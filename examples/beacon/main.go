@@ -1,0 +1,98 @@
+// Command beacon uses the by-product the paper highlights in Section 6.1:
+// the self-stabilizing coin-flipping pipeline gives every honest node a
+// stream of shared random bits, one per beat — a randomness beacon that
+// survives Byzantine nodes and transient memory corruption. Here the
+// cluster uses the stream to run a distributed lottery: every beat, the
+// shared bits accumulate into a draw, and all honest nodes announce the
+// same winner without exchanging any application messages.
+//
+// Section 6.1's caveat applies and is printed: the adversary sees each
+// bit in the beat it appears, so the bits must only select among options
+// committed in earlier beats (here: the fixed ticket assignment).
+//
+//	go run ./examples/beacon
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ssbyzclock "ssbyzclock"
+)
+
+func main() {
+	const (
+		n = 4
+		f = 1
+	)
+	cfg := ssbyzclock.Config{N: n, F: f, K: 16, Coin: ssbyzclock.CoinFM, Seed: 6}
+	nodes := make([]*ssbyzclock.Node, n)
+	for i := range nodes {
+		nd, err := ssbyzclock.NewNode(cfg, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+
+	honest := n - f
+	// Warm up: let the coin pipelines fill (Δ_A beats) and the clocks
+	// converge, then collect 3 bits per draw.
+	draws := 0
+	agreeDraws := 0
+	var accum []byte
+	for beat := uint64(0); beat < 120; beat++ {
+		inboxes := make([][]ssbyzclock.InMessage, n)
+		for id := 0; id < honest; id++ {
+			outs, err := nodes[id].BeginBeat(beat)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, o := range outs {
+				if o.To == ssbyzclock.BroadcastTo {
+					for to := range inboxes {
+						inboxes[to] = append(inboxes[to], ssbyzclock.InMessage{From: id, Data: o.Data})
+					}
+				} else {
+					inboxes[o.To] = append(inboxes[o.To], ssbyzclock.InMessage{From: id, Data: o.Data})
+				}
+			}
+		}
+		for id := 0; id < honest; id++ {
+			nodes[id].EndBeat(beat, inboxes[id])
+		}
+		if beat < 10 {
+			continue // pipeline warm-up
+		}
+
+		// Each honest node reads its local view of the shared bit.
+		bit0 := nodes[0].RandomBit()
+		agreed := true
+		for id := 1; id < honest; id++ {
+			if nodes[id].RandomBit() != bit0 {
+				agreed = false
+			}
+		}
+		if !agreed {
+			// Constant-probability disagreement is part of the coin's
+			// contract; a draw simply isn't held on such beats (nodes
+			// can detect this at the application layer by exchanging
+			// commitments — out of scope here).
+			continue
+		}
+		accum = append(accum, bit0)
+		if len(accum) == 3 {
+			winner := int(accum[0])<<2 | int(accum[1])<<1 | int(accum[2])
+			draws++
+			agreeDraws++
+			if draws <= 8 {
+				fmt.Printf("draw %2d: bits=%d%d%d -> ticket %d wins\n",
+					draws, accum[0], accum[1], accum[2], winner)
+			}
+			accum = accum[:0]
+		}
+	}
+	fmt.Printf("\nheld %d lottery draws from the shared beacon (all honest nodes agreed)\n", agreeDraws)
+	fmt.Println("\ncaveat (paper §6.1): the adversary sees each bit as it is produced;")
+	fmt.Println("use the stream only to choose among outcomes committed in earlier beats.")
+}

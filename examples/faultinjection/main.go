@@ -1,0 +1,88 @@
+// Command faultinjection demonstrates self-stabilization, the property
+// that distinguishes this protocol from classic Byzantine clock sync: a
+// transient fault overwrites every honest node's memory mid-run (clock
+// values, coin pipelines, phase tallies — everything), and the cluster
+// re-synchronizes in expected constant beats, with two active Byzantine
+// equivocators attacking throughout.
+//
+//	go run ./examples/faultinjection
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	ssbyzclock "ssbyzclock"
+)
+
+func main() {
+	const (
+		n        = 7
+		f        = 2
+		k        = 32
+		beats    = 240
+		faultAt1 = 120
+		faultAt2 = 180
+	)
+	cluster, err := ssbyzclock.NewCluster(
+		ssbyzclock.Config{N: n, F: f, K: k, Coin: ssbyzclock.CoinFM, Seed: 77},
+		ssbyzclock.ClusterOptions{
+			Adversary:     ssbyzclock.AdvSplitter, // active equivocation
+			ScrambleStart: true,
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Ribbon: one character per beat. '#' = honest clocks synchronized,
+	// '.' = not (yet) synchronized, '!' = the beat we injected the fault.
+	var ribbon strings.Builder
+	firstSync := -1
+	resyncs := []int{}
+	lastFault := -1
+	for beat := 0; beat < beats; beat++ {
+		if beat == faultAt1 || beat == faultAt2 {
+			cluster.ScrambleHonest(int64(beat))
+			ribbon.WriteByte('!')
+			lastFault = beat
+			continue
+		}
+		res, err := cluster.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Synced {
+			ribbon.WriteByte('#')
+			if firstSync < 0 {
+				firstSync = beat
+			}
+			if lastFault >= 0 {
+				resyncs = append(resyncs, beat-lastFault)
+				lastFault = -1
+			}
+		} else {
+			ribbon.WriteByte('.')
+		}
+	}
+
+	fmt.Printf("n=%d f=%d k=%d, splitter adversary active throughout\n\n", n, f, k)
+	out := ribbon.String()
+	for i := 0; i < len(out); i += 80 {
+		end := i + 80
+		if end > len(out) {
+			end = len(out)
+		}
+		fmt.Printf("beats %3d-%3d  %s\n", i, end-1, out[i:end])
+	}
+	fmt.Println("\nlegend: '#' synced, '.' unsynced, '!' transient fault injected")
+	fmt.Printf("\nfirst synchronization after scrambled start: beat %d\n", firstSync)
+	for i, r := range resyncs {
+		fmt.Printf("re-synchronization after fault %d: %d beats\n", i+1, r)
+	}
+	if len(resyncs) < 2 {
+		fmt.Println("warning: a fault window did not re-synchronize within the demo")
+	}
+}

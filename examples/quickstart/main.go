@@ -1,0 +1,58 @@
+// Command quickstart is the smallest possible use of the library: a
+// 4-node cluster with one crashed (silent Byzantine) node, started from
+// scrambled memory, that synchronizes its digital clocks in a handful of
+// beats and keeps them in lockstep.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ssbyzclock "ssbyzclock"
+)
+
+func main() {
+	cluster, err := ssbyzclock.NewCluster(
+		ssbyzclock.Config{
+			N:    4,                 // cluster size
+			F:    1,                 // tolerated Byzantine nodes (F < N/3)
+			K:    16,                // clock modulus: values cycle 0..15
+			Coin: ssbyzclock.CoinFM, // the paper's GVSS-based common coin
+			Seed: 2008,
+		},
+		ssbyzclock.ClusterOptions{
+			Adversary:     ssbyzclock.AdvSilent, // node 3 crashes
+			ScrambleStart: true,                 // arbitrary initial memory
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	fmt.Println("beat | node0 node1 node2 | synced")
+	fmt.Println("-----+-------------------+-------")
+	syncedStreak := 0
+	for beat := 0; beat < 120 && syncedStreak < 12; beat++ {
+		res, err := cluster.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		mark := ""
+		if res.Synced {
+			mark = fmt.Sprintf("yes (clock=%d)", res.Value)
+			syncedStreak++
+		} else {
+			syncedStreak = 0
+		}
+		fmt.Printf("%4d | %5d %5d %5d | %s\n",
+			res.Beat, res.Clocks[0], res.Clocks[1], res.Clocks[2], mark)
+	}
+	if syncedStreak >= 12 {
+		fmt.Println("\nclocks synchronized and incrementing in lockstep — done")
+	} else {
+		fmt.Println("\nno convergence within the demo window (unexpected)")
+	}
+}

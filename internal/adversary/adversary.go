@@ -1,0 +1,133 @@
+// Package adversary implements the Byzantine adversary of the paper's
+// model (Section 2): an information-theoretic, rushing adversary with
+// private channels controlling up to f nodes. It observes every message
+// addressed to a faulty node (but none of the honest-to-honest traffic),
+// chooses the faulty nodes' messages after seeing the honest ones
+// ("rushing"), may equivocate (different message to each recipient), but
+// cannot forge sender identities (Definition 2.2).
+//
+// The engine (package sim) composes each faulty node's *honest* messages
+// from a real protocol instance and hands them to the adversary, which
+// may forward, mutate, replace or drop them. This lets attack strategies
+// deviate surgically — e.g. equivocating only GVSS votes — while
+// otherwise participating in the protocol, which is far more damaging
+// than pure noise.
+package adversary
+
+import (
+	"math/rand"
+
+	"ssbyzclock/internal/proto"
+)
+
+// Context is the adversary's knowledge of the system: fixed constants
+// plus its own randomness source.
+type Context struct {
+	N, F   int
+	Faulty []int
+	Rng    *rand.Rand
+}
+
+// IsFaulty reports whether id is adversary-controlled.
+func (c *Context) IsFaulty(id int) bool {
+	for _, f := range c.Faulty {
+		if f == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Sends is one faulty node's outgoing messages for a beat.
+type Sends struct {
+	From int
+	Out  []proto.Send
+}
+
+// Intercept is an honest message visible to the adversary: one addressed
+// to a faulty node (broadcasts included, since a broadcast reaches the
+// faulty nodes too).
+type Intercept struct {
+	From, To int
+	Msg      proto.Message
+}
+
+// Adversary chooses the faulty nodes' messages each beat.
+//
+// composed holds the messages the faulty nodes would send if they
+// followed the protocol (one entry per faulty node, in Context.Faulty
+// order); visible is the rushing adversary's view of this beat's honest
+// traffic. The returned sends are delivered as coming from the respective
+// faulty nodes; sends claiming a non-faulty From are discarded by the
+// engine (identity cannot be forged).
+type Adversary interface {
+	Act(beat uint64, composed []Sends, visible []Intercept) []Sends
+}
+
+// Passive forwards the faulty nodes' honest messages untouched: the
+// faulty nodes follow the protocol. Useful as a control.
+type Passive struct{}
+
+// Act implements Adversary.
+func (Passive) Act(_ uint64, composed []Sends, _ []Intercept) []Sends { return composed }
+
+// Silent drops all faulty output: a crash-fault adversary.
+type Silent struct{}
+
+// Act implements Adversary.
+func (Silent) Act(uint64, []Sends, []Intercept) []Sends { return nil }
+
+// Delayer forwards honest behaviour but randomly withholds each message
+// with probability Drop — an omission-fault adversary.
+type Delayer struct {
+	Ctx  *Context
+	Drop float64
+}
+
+// Act implements Adversary.
+func (a *Delayer) Act(_ uint64, composed []Sends, _ []Intercept) []Sends {
+	out := make([]Sends, 0, len(composed))
+	for _, s := range composed {
+		kept := Sends{From: s.From}
+		for _, m := range s.Out {
+			if a.Ctx.Rng.Float64() >= a.Drop {
+				kept.Out = append(kept.Out, m)
+			}
+		}
+		out = append(out, kept)
+	}
+	return out
+}
+
+// Replayer records every visible honest message and, each beat, replays a
+// random sample back into the network alongside the honest faulty output
+// — stale-state noise resembling the "phantom messages" of Definition 2.2
+// (sent by live nodes, so legal, but semantically stale).
+type Replayer struct {
+	Ctx    *Context
+	memory []proto.Message
+}
+
+// Act implements Adversary.
+func (a *Replayer) Act(_ uint64, composed []Sends, visible []Intercept) []Sends {
+	for _, v := range visible {
+		a.memory = append(a.memory, v.Msg)
+		if len(a.memory) > 4096 {
+			a.memory = a.memory[len(a.memory)-4096:]
+		}
+	}
+	out := append([]Sends(nil), composed...)
+	if len(a.memory) == 0 {
+		return out
+	}
+	for i := range out {
+		for k := 0; k < a.Ctx.N; k++ {
+			if a.Ctx.Rng.Intn(2) == 0 {
+				continue
+			}
+			msg := a.memory[a.Ctx.Rng.Intn(len(a.memory))]
+			out[i].Out = append(out[i].Out, proto.Send{To: a.Ctx.Rng.Intn(a.Ctx.N), Msg: msg})
+		}
+	}
+	return out
+}

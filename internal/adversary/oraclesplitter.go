@@ -1,0 +1,97 @@
+package adversary
+
+import (
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/proto"
+)
+
+// OracleSplitter is the resiliency-boundary attack (E7): a clock-layer
+// splitter that additionally knows the random bit the receivers will use
+// to interpret ⊥ votes this beat (BitOracle). Within f < n/3 the oracle
+// is worthless — at most one value can reach the n-f quorum per beat
+// (2(n-2f) > n-f), so honest nodes can never be flipped to two different
+// defined clocks. Once f ≥ n/3 that arithmetic flips: the attacker can
+// hand one half of the honest nodes a quorum for 0 and the other half a
+// quorum for 1 simultaneously, and with the bit known it keeps the two
+// groups perfectly balanced forever.
+//
+// The oracle models what the paper concedes in §6.1 — the adversary sees
+// the coin's output in the beat it is produced — and becomes *exact*
+// when the coin itself has collapsed (e.g. recovery corrupted beyond the
+// Berlekamp–Welch budget makes every pipeline emit a constant), which is
+// precisely what happens past the bound under RecoverCorruptor.
+type OracleSplitter struct {
+	Ctx *Context
+	// BitOracle reports the bit receivers will substitute for ⊥ this
+	// beat; nil means assume 0.
+	BitOracle func() byte
+}
+
+// Act implements Adversary.
+func (a *OracleSplitter) Act(_ uint64, composed []Sends, visible []Intercept) []Sends {
+	bit := byte(0)
+	if a.BitOracle != nil {
+		bit = a.BitOracle()
+	}
+	// Effective honest votes per 2-clock instance path.
+	type tally struct{ eff [2]int }
+	tallies := map[Path]*tally{}
+	seen := map[Path]map[int]bool{}
+	for _, ic := range visible {
+		path, leaf := Unwrap(ic.Msg)
+		m, ok := leaf.(core.TwoClockMsg)
+		if !ok {
+			continue
+		}
+		if seen[path] == nil {
+			seen[path] = map[int]bool{}
+			tallies[path] = &tally{}
+		}
+		if seen[path][ic.From] {
+			continue
+		}
+		seen[path][ic.From] = true
+		v := m.V
+		if v == core.Bot {
+			v = bit
+		}
+		if v <= 1 {
+			tallies[path].eff[v]++
+		}
+	}
+	quorum := a.Ctx.N - a.Ctx.F
+	f := a.Ctx.F
+	out := make([]Sends, 0, len(composed))
+	for _, s := range composed {
+		rewritten := PerRecipient(a.Ctx.N, s.Out, func(to int, path Path, leaf proto.Message) proto.Message {
+			m, ok := leaf.(core.TwoClockMsg)
+			if !ok {
+				return leaf
+			}
+			t := tallies[path]
+			if t == nil {
+				return m
+			}
+			// Can both values be pushed over the quorum (only possible
+			// when f >= n/3)? Then split the recipients.
+			both := t.eff[0]+f >= quorum && t.eff[1]+f >= quorum
+			if both {
+				// Parity split keeps the two honest groups balanced no
+				// matter where the faulty ids sit, so the mixed state is
+				// reproduced exactly each beat.
+				if to%2 == 0 {
+					return core.TwoClockMsg{V: 0} // quorum for 0 -> flips to 1
+				}
+				return core.TwoClockMsg{V: 1} // quorum for 1 -> flips to 0
+			}
+			// Otherwise boost the minority to starve the majority's
+			// quorum where possible.
+			if t.eff[0] >= t.eff[1] {
+				return core.TwoClockMsg{V: 1}
+			}
+			return core.TwoClockMsg{V: 0}
+		})
+		out = append(out, Sends{From: s.From, Out: rewritten})
+	}
+	return out
+}

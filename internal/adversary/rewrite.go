@@ -1,0 +1,72 @@
+package adversary
+
+import "ssbyzclock/internal/proto"
+
+// Path identifies a protocol instance inside a nested protocol stack as
+// the sequence of envelope child tags from the top-level protocol down to
+// the leaf message. Two messages with equal paths belong to the same
+// sub-protocol instance (e.g. the A1 two-clock inside a four-clock inside
+// a clock-sync).
+type Path string
+
+// Unwrap peels all envelopes off a message, returning the leaf and its
+// path.
+func Unwrap(m proto.Message) (Path, proto.Message) {
+	var path []byte
+	for {
+		env, ok := m.(proto.Envelope)
+		if !ok {
+			return Path(path), m
+		}
+		path = append(path, env.Child)
+		m = env.Inner
+	}
+}
+
+// Wrap re-wraps a leaf message under the given path.
+func Wrap(path Path, leaf proto.Message) proto.Message {
+	m := leaf
+	for i := len(path) - 1; i >= 0; i-- {
+		m = proto.Envelope{Child: path[i], Inner: m}
+	}
+	return m
+}
+
+// RewriteLeaves maps fn over the leaf of every send, preserving wrapping
+// and destinations. fn returning nil drops the send.
+func RewriteLeaves(sends []proto.Send, fn func(path Path, leaf proto.Message) proto.Message) []proto.Send {
+	out := make([]proto.Send, 0, len(sends))
+	for _, s := range sends {
+		path, leaf := Unwrap(s.Msg)
+		nl := fn(path, leaf)
+		if nl == nil {
+			continue
+		}
+		out = append(out, proto.Send{To: s.To, Msg: Wrap(path, nl)})
+	}
+	return out
+}
+
+// PerRecipient expands every send into explicit per-recipient sends
+// (broadcasts become n unicasts), letting fn pick a possibly different
+// leaf for each recipient — the equivocation primitive. fn returning nil
+// drops that recipient's copy.
+func PerRecipient(n int, sends []proto.Send, fn func(to int, path Path, leaf proto.Message) proto.Message) []proto.Send {
+	var out []proto.Send
+	emit := func(to int, path Path, leaf proto.Message) {
+		if nl := fn(to, path, leaf); nl != nil {
+			out = append(out, proto.Send{To: to, Msg: Wrap(path, nl)})
+		}
+	}
+	for _, s := range sends {
+		path, leaf := Unwrap(s.Msg)
+		if s.To == proto.Broadcast {
+			for to := 0; to < n; to++ {
+				emit(to, path, leaf)
+			}
+		} else if s.To >= 0 && s.To < n {
+			emit(s.To, path, leaf)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package adversary
+
+import (
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/proto"
+)
+
+// ClockSplitter is a rushing, protocol-aware attack on the 2-clock layer:
+// it reads the honest nodes' clock broadcasts (visible because they are
+// broadcasts), tallies the effective votes per 2-clock instance, and then
+// equivocates its own clock values per recipient to keep the cluster
+// split — boosting the minority value at recipients it wants blocked
+// below the n-f quorum and the majority at the rest.
+//
+// Against the published algorithm (VariantCorrect) this cannot defeat
+// Lemma 4: honest ⊥ broadcasts are substituted with the *current* beat's
+// common random bit by receivers, a bit this adversary does not use, so
+// with constant probability per beat every honest tally reaches quorum on
+// the same value no matter what the splitter adds. Against
+// VariantPreRand (Remark 3.1's broken scheme) the ⊥ senders reveal their
+// substituted bit inside their broadcasts, the tally below becomes exact,
+// and the splitter stalls convergence — experiment E6.
+//
+// All non-2-clock traffic (coin, clock-sync phases) is forwarded
+// honestly, which keeps the attack surgical and the coin alive.
+type ClockSplitter struct {
+	Ctx *Context
+}
+
+// Act implements Adversary.
+func (a *ClockSplitter) Act(_ uint64, composed []Sends, visible []Intercept) []Sends {
+	// Tally honest clock votes per 2-clock instance (per path). ⊥ votes
+	// are counted separately: under VariantCorrect their effective value
+	// is the receiver's fresh random bit, unknown here.
+	type tally struct{ v0, v1, bot int }
+	tallies := map[Path]*tally{}
+	seen := map[Path]map[int]bool{}
+	for _, ic := range visible {
+		path, leaf := Unwrap(ic.Msg)
+		m, ok := leaf.(core.TwoClockMsg)
+		if !ok {
+			continue
+		}
+		if seen[path] == nil {
+			seen[path] = map[int]bool{}
+			tallies[path] = &tally{}
+		}
+		if seen[path][ic.From] {
+			continue
+		}
+		seen[path][ic.From] = true
+		switch m.V {
+		case 0:
+			tallies[path].v0++
+		case 1:
+			tallies[path].v1++
+		case core.Bot:
+			tallies[path].bot++
+		}
+	}
+	quorum := a.Ctx.N - a.Ctx.F
+	out := make([]Sends, 0, len(composed))
+	for _, s := range composed {
+		rewritten := PerRecipient(a.Ctx.N, s.Out, func(to int, path Path, leaf proto.Message) proto.Message {
+			m, ok := leaf.(core.TwoClockMsg)
+			if !ok {
+				return leaf // forward coin and phase traffic honestly
+			}
+			t := tallies[path]
+			if t == nil {
+				return m
+			}
+			// Split the recipients: the low half is pushed toward 0, the
+			// high half toward 1 — unless one value already has quorum
+			// from honest votes alone, in which case boost the other
+			// side at every recipient to fight the emerging agreement.
+			push := uint8(0)
+			if to >= a.Ctx.N/2 {
+				push = 1
+			}
+			switch {
+			case t.v0 >= quorum:
+				push = 1
+			case t.v1 >= quorum:
+				push = 0
+			case t.v0 > t.v1 && t.v0+t.bot >= quorum:
+				push = 1
+			case t.v1 > t.v0 && t.v1+t.bot >= quorum:
+				push = 0
+			}
+			return core.TwoClockMsg{V: push}
+		})
+		out = append(out, Sends{From: s.From, Out: rewritten})
+	}
+	return out
+}

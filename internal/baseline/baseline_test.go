@@ -1,0 +1,154 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/baseline"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/sim"
+)
+
+func silent(*adversary.Context) adversary.Adversary { return adversary.Silent{} }
+
+func TestDolevWelchConvergesSmall(t *testing.T) {
+	// k=2, n=4: expected a handful of beats; give generous budget.
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := sim.Config{N: 4, F: 1, Seed: seed, NewAdversary: silent, ScrambleStart: true}
+		e := sim.New(cfg, baseline.NewDolevWelchProtocol(2))
+		res := sim.MeasureConvergence(e, 2, 2000, 12)
+		if !res.Converged {
+			t.Fatalf("seed %d: Dolev-Welch n=4 k=2 did not converge", seed)
+		}
+	}
+}
+
+func TestDolevWelchClosure(t *testing.T) {
+	cfg := sim.Config{N: 7, F: 2, Seed: 1, NewAdversary: silent, ScrambleStart: true}
+	e := sim.New(cfg, baseline.NewDolevWelchProtocol(2))
+	res := sim.MeasureConvergence(e, 2, 5000, 12)
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	prev, _ := sim.ReadClocks(e).Synced()
+	for i := 0; i < 100; i++ {
+		e.Step()
+		v, ok := sim.ReadClocks(e).Synced()
+		if !ok || v != (prev+1)%2 {
+			t.Fatalf("closure violated at step %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestDolevWelchConvergenceGrowsWithN(t *testing.T) {
+	// The exponential row of Table 1: mean convergence time must grow
+	// steeply with n-f. Averages over several seeds keep the test stable.
+	mean := func(n, f int) float64 {
+		total := 0
+		const runs = 12
+		for seed := int64(0); seed < runs; seed++ {
+			cfg := sim.Config{N: n, F: f, Seed: seed, NewAdversary: silent, ScrambleStart: true}
+			e := sim.New(cfg, baseline.NewDolevWelchProtocol(2))
+			res := sim.MeasureConvergence(e, 2, 40000, 8)
+			if !res.Converged {
+				total += 40000
+				continue
+			}
+			total += res.ConvergedAt
+		}
+		return float64(total) / runs
+	}
+	small := mean(4, 1)  // n-f = 3
+	large := mean(10, 3) // n-f = 7
+	if large < small*2 {
+		t.Fatalf("expected exponential growth: mean(n=4)=%.1f mean(n=10)=%.1f", small, large)
+	}
+}
+
+func TestPhaseKingConverges(t *testing.T) {
+	for _, cse := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}, {13, 4}} {
+		cfg := sim.Config{N: cse.n, F: cse.f, Seed: int64(cse.n), NewAdversary: silent, ScrambleStart: true}
+		e := sim.New(cfg, baseline.NewPhaseKingProtocol(64))
+		res := sim.MeasureConvergence(e, 64, 40*(cse.f+2), 16)
+		if !res.Converged {
+			t.Fatalf("n=%d f=%d: phase-king did not converge", cse.n, cse.f)
+		}
+	}
+}
+
+func TestPhaseKingClosureUnderEquivocation(t *testing.T) {
+	// A passive-but-present Byzantine set must not break closure.
+	cfg := sim.Config{N: 7, F: 2, Seed: 9, ScrambleStart: true}
+	e := sim.New(cfg, baseline.NewPhaseKingProtocol(32))
+	res := sim.MeasureConvergence(e, 32, 400, 16)
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	prev, _ := sim.ReadClocks(e).Synced()
+	for i := 0; i < 64; i++ {
+		e.Step()
+		v, ok := sim.ReadClocks(e).Synced()
+		if !ok || v != (prev+1)%32 {
+			t.Fatalf("closure violated at step %d: v=%d ok=%v want %d", i, v, ok, (prev+1)%32)
+		}
+		prev = v
+	}
+}
+
+func TestPhaseKingSelfStabilizes(t *testing.T) {
+	cfg := sim.Config{N: 7, F: 2, Seed: 11, NewAdversary: silent, ScrambleStart: true}
+	e := sim.New(cfg, baseline.NewPhaseKingProtocol(16))
+	for trial := 0; trial < 3; trial++ {
+		e.ScrambleHonest()
+		res := sim.MeasureConvergence(e, 16, 400, 16)
+		if !res.Converged {
+			t.Fatalf("trial %d: no re-convergence", trial)
+		}
+	}
+}
+
+func TestNaiveConvergesWithoutFaults(t *testing.T) {
+	cfg := sim.Config{N: 5, F: 0, Seed: 2, ScrambleStart: true}
+	e := sim.New(cfg, baseline.NewNaiveProtocol(16))
+	res := sim.MeasureConvergence(e, 16, 40, 8)
+	if !res.Converged {
+		t.Fatal("naive did not converge without faults")
+	}
+}
+
+func TestNaiveBrokenByOneByzantine(t *testing.T) {
+	// The strawman's purpose: a single Byzantine node claiming a fresh
+	// slightly larger maximum every beat drags honest clocks forward, so the incremental
+	// pattern never holds. (It may still accidentally look "synced" on
+	// value, but closure must fail.)
+	jumper := func(ctx *adversary.Context) adversary.Adversary {
+		return maxJumper{ctx: ctx}
+	}
+	cfg := sim.Config{N: 4, F: 1, Seed: 3, NewAdversary: jumper, ScrambleStart: true}
+	e := sim.New(cfg, baseline.NewNaiveProtocol(1<<30))
+	res := sim.MeasureConvergence(e, 1<<30, 300, 10)
+	if res.Converged {
+		// Converged here would mean clocks increment by exactly 1 per
+		// beat for 10 beats — impossible while the jumper doubles the max.
+		t.Fatal("naive protocol unexpectedly withstood a Byzantine node")
+	}
+}
+
+type maxJumper struct {
+	ctx *adversary.Context
+}
+
+func (a maxJumper) Act(beat uint64, composed []adversary.Sends, _ []adversary.Intercept) []adversary.Sends {
+	out := make([]adversary.Sends, 0, len(composed))
+	for _, s := range composed {
+		out = append(out, adversary.Sends{From: s.From, Out: adversary.RewriteLeaves(s.Out,
+			func(_ adversary.Path, leaf proto.Message) proto.Message {
+				if m, ok := leaf.(baseline.ClockMsg); ok {
+					return baseline.ClockMsg{V: (m.V + uint64(beat)%97 + 2) % (1 << 30)}
+				}
+				return leaf
+			})})
+	}
+	return out
+}

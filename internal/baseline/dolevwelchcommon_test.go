@@ -1,0 +1,73 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"ssbyzclock/internal/baseline"
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/sim"
+)
+
+func TestDolevWelchCommonConverges(t *testing.T) {
+	for _, k := range []uint64{2, 8, 32} {
+		cfg := sim.Config{N: 7, F: 2, Seed: int64(k), NewAdversary: silent, ScrambleStart: true}
+		e := sim.New(cfg, baseline.NewDolevWelchCommonProtocol(k, coin.RabinFactory{Seed: int64(k)}))
+		res := sim.MeasureConvergence(e, k, 4000, 12)
+		if !res.Converged {
+			t.Fatalf("k=%d: adapted Dolev-Welch did not converge", k)
+		}
+	}
+}
+
+func TestDolevWelchCommonBeatsLocalVariant(t *testing.T) {
+	// Section 6.1's claim: replacing the local coin with the common coin
+	// gives an exponential reduction. Compare mean convergence at a size
+	// where the local variant visibly struggles.
+	mean := func(factory func() sim.NodeFactory) float64 {
+		total := 0
+		const runs = 10
+		for seed := int64(0); seed < runs; seed++ {
+			cfg := sim.Config{N: 10, F: 3, Seed: seed, NewAdversary: silent, ScrambleStart: true}
+			e := sim.New(cfg, factory())
+			res := sim.MeasureConvergence(e, 2, 30000, 10)
+			if res.Converged {
+				total += res.ConvergedAt
+			} else {
+				total += 30000
+			}
+		}
+		return float64(total) / runs
+	}
+	local := mean(func() sim.NodeFactory { return baseline.NewDolevWelchProtocol(2) })
+	common := mean(func() sim.NodeFactory {
+		return baseline.NewDolevWelchCommonProtocol(2, coin.RabinFactory{Seed: 77})
+	})
+	if common*3 > local {
+		t.Fatalf("common-coin adaptation not markedly faster: local=%.1f common=%.1f", local, common)
+	}
+}
+
+func TestDolevWelchCommonGrowsWithK(t *testing.T) {
+	// ...but, per Section 6.1, it is still not constant: convergence
+	// depends on the wraparound value.
+	mean := func(k uint64) float64 {
+		total := 0
+		const runs = 12
+		for seed := int64(0); seed < runs; seed++ {
+			cfg := sim.Config{N: 7, F: 2, Seed: seed + 50, NewAdversary: silent, ScrambleStart: true}
+			e := sim.New(cfg, baseline.NewDolevWelchCommonProtocol(k, coin.RabinFactory{Seed: seed}))
+			res := sim.MeasureConvergence(e, k, 20000, 10)
+			if res.Converged {
+				total += res.ConvergedAt
+			} else {
+				total += 20000
+			}
+		}
+		return float64(total) / runs
+	}
+	small := mean(2)
+	large := mean(256)
+	if large < small+4 {
+		t.Fatalf("expected k-dependence: k=2 %.1f vs k=256 %.1f", small, large)
+	}
+}

@@ -1,0 +1,76 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/baseline"
+	"ssbyzclock/internal/sim"
+)
+
+// worstCaseKing measures PhaseKing convergence with the faulty ids
+// occupying the first f king slots and a king-spoiling adversary.
+func worstCaseKing(t *testing.T, n, f int, seed int64) int {
+	t.Helper()
+	faulty := make([]int, f)
+	for i := range faulty {
+		faulty[i] = i
+	}
+	cfg := sim.Config{
+		N: n, F: f, Seed: seed, Faulty: faulty, ScrambleStart: true,
+		NewAdversary: func(ctx *adversary.Context) adversary.Adversary {
+			return &adversary.KingSpoiler{Ctx: ctx}
+		},
+	}
+	e := sim.New(cfg, baseline.NewPhaseKingProtocol(64))
+	res := sim.MeasureConvergence(e, 64, 40*(f+3), 16)
+	if !res.Converged {
+		t.Fatalf("n=%d f=%d: no convergence in worst case", n, f)
+	}
+	return res.ConvergedAt
+}
+
+// TestPhaseKingWorstCaseLinearInF validates the O(f) row of Table 1: with
+// faulty kings first, convergence grows linearly (one wasted 4-beat epoch
+// per faulty king).
+func TestPhaseKingWorstCaseLinearInF(t *testing.T) {
+	prev := 0
+	for _, cse := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}, {13, 4}} {
+		beats := worstCaseKing(t, cse.n, cse.f, 1)
+		if beats <= prev {
+			t.Fatalf("f=%d converged in %d beats, not above f=%d's %d — not linear",
+				cse.f, beats, cse.f-1, prev)
+		}
+		// Expect roughly 4 beats per spoiled epoch, plus the honest epoch.
+		if beats > 4*(cse.f+2) {
+			t.Fatalf("f=%d took %d beats, above the O(f) envelope %d", cse.f, beats, 4*(cse.f+2))
+		}
+		prev = beats
+	}
+}
+
+// TestPhaseKingSpoilerCannotBreakClosure: once synchronized, the spoiler
+// (which controls kings) must not desynchronize the cluster.
+func TestPhaseKingSpoilerCannotBreakClosure(t *testing.T) {
+	faulty := []int{0, 1}
+	cfg := sim.Config{
+		N: 7, F: 2, Seed: 5, Faulty: faulty, ScrambleStart: true,
+		NewAdversary: func(ctx *adversary.Context) adversary.Adversary {
+			return &adversary.KingSpoiler{Ctx: ctx}
+		},
+	}
+	e := sim.New(cfg, baseline.NewPhaseKingProtocol(32))
+	res := sim.MeasureConvergence(e, 32, 400, 16)
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	prev, _ := sim.ReadClocks(e).Synced()
+	for i := 0; i < 80; i++ {
+		e.Step()
+		v, ok := sim.ReadClocks(e).Synced()
+		if !ok || v != (prev+1)%32 {
+			t.Fatalf("closure violated at step %d (spoiled king epoch?)", i)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,263 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"ssbyzclock/internal/proto"
+)
+
+// PhaseProposeMsg is the phase-1 broadcast: the value the sender saw an
+// n-f quorum for at phase 0, or ⊥.
+type PhaseProposeMsg struct {
+	V   uint64
+	Bot bool
+}
+
+// Kind implements proto.Message.
+func (PhaseProposeMsg) Kind() string { return "baseline.propose" }
+
+// PhaseBitMsg is the phase-2 broadcast: whether the sender's save value
+// reached an n-f quorum of proposals.
+type PhaseBitMsg struct {
+	B uint8
+}
+
+// Kind implements proto.Message.
+func (PhaseBitMsg) Kind() string { return "baseline.bit" }
+
+// KingMsg is the rotating king's phase-2 broadcast of its save value, the
+// deterministic fallback replacing the paper's random coin.
+type KingMsg struct {
+	V uint64
+}
+
+// Kind implements proto.Message.
+func (KingMsg) Kind() string { return "baseline.king" }
+
+// PhaseKing is the deterministic O(f) baseline: the four-phase
+// broadcast/propose/vote/decide cycle of Figure 4, with Block 3.d's coin
+// fallback replaced by the value of a rotating king (Berman–Garay style),
+// and the phase/king indices derived from the global beat number (see the
+// package comment's substitution note). Tolerates f < n/3; worst-case
+// convergence is O(f) epochs of 4 beats — the adversary wastes the
+// epochs of its own kings, but an honest king's epoch synchronizes
+// everyone.
+type PhaseKing struct {
+	env proto.Env
+	k   uint64
+
+	fullClock uint64
+	save      uint64
+
+	prevFull    map[uint64]int
+	prevPropose map[uint64]int
+	prevBits    [2]int
+	prevKing    map[int]uint64 // sender -> claimed king value (last beat)
+}
+
+var (
+	_ proto.Protocol    = (*PhaseKing)(nil)
+	_ proto.ClockReader = (*PhaseKing)(nil)
+	_ proto.Scrambler   = (*PhaseKing)(nil)
+)
+
+// NewPhaseKing constructs the deterministic baseline for modulus k.
+func NewPhaseKing(env proto.Env, k uint64) *PhaseKing {
+	if k == 0 {
+		k = 1
+	}
+	return &PhaseKing{env: env, k: k}
+}
+
+// phase returns the beat's position in the 4-beat epoch; king returns the
+// epoch's king id. Both come from the global beat (the substitution).
+func (p *PhaseKing) phase(beat uint64) uint64 { return beat % 4 }
+func (p *PhaseKing) king(beat uint64) int     { return int((beat / 4) % uint64(p.env.N)) }
+
+// Compose implements proto.Protocol.
+func (p *PhaseKing) Compose(beat uint64) []proto.Send {
+	p.fullClock = (p.fullClock + 1) % p.k
+	quorum := p.env.Quorum()
+	var out []proto.Send
+	bcast := func(m proto.Message) {
+		out = append(out, proto.Send{To: proto.Broadcast, Msg: m})
+	}
+	switch p.phase(beat) {
+	case 0:
+		bcast(ClockMsg{V: p.fullClock})
+	case 1:
+		m := PhaseProposeMsg{Bot: true}
+		for v, cnt := range p.prevFull {
+			if cnt >= quorum {
+				m = PhaseProposeMsg{V: v}
+				break
+			}
+		}
+		bcast(m)
+	case 2:
+		bestV, bestCnt := uint64(0), 0
+		for v, cnt := range p.prevPropose {
+			if cnt > bestCnt || (cnt == bestCnt && bestCnt > 0 && v < bestV) {
+				bestV, bestCnt = v, cnt
+			}
+		}
+		b := PhaseBitMsg{B: 0}
+		if bestCnt > 0 {
+			p.save = bestV
+			if bestCnt >= quorum {
+				b.B = 1
+			}
+		} else {
+			// No proposals at all: fall back on the own clock, NOT a
+			// fixed default — a common constant default would let the
+			// cluster synchronize without any agreement work (the global
+			// beat index already gives common phase numbering), hiding
+			// the O(f) king rotation this baseline exists to exhibit.
+			p.save = p.fullClock
+		}
+		bcast(b)
+		if p.king(beat) == p.env.ID {
+			// The king reveals its save as the deterministic fallback. If
+			// any honest node will see a bit-1 quorum, every honest node
+			// (the king included) holds the same save, so adopters and
+			// keepers end up equal — the Berman–Garay validity argument.
+			bcast(KingMsg{V: p.save})
+		}
+	case 3:
+		// Decision happens in Deliver.
+	}
+	return out
+}
+
+// Deliver implements proto.Protocol.
+func (p *PhaseKing) Deliver(beat uint64, inbox []proto.Recv) {
+	if p.phase(beat) == 3 {
+		quorum := p.env.Quorum()
+		kingVal, kingOK := p.prevKing[p.king(beat)]
+		switch {
+		case p.prevBits[1] >= quorum:
+			// Strong quorum: every honest node has the same save.
+			p.fullClock = (p.save%p.k + 3) % p.k
+		case kingOK:
+			// Fallback: adopt the king's save. Honest king => everyone
+			// adopts one value (and any bit-1 quorum seen elsewhere had
+			// the king's save anyway). Byzantine king => the epoch is
+			// wasted; the rotation reaches an honest king within f+1
+			// epochs — the O(f) bound.
+			p.fullClock = (kingVal%p.k + 3) % p.k
+		default:
+			// Silent king: keep the own (incremented) clock.
+		}
+	}
+
+	// Record this beat's traffic for the next phase.
+	p.prevFull = map[uint64]int{}
+	p.prevPropose = map[uint64]int{}
+	p.prevBits = [2]int{}
+	p.prevKing = map[int]uint64{}
+	seenF := make([]bool, p.env.N)
+	seenP := make([]bool, p.env.N)
+	seenB := make([]bool, p.env.N)
+	for _, r := range inbox {
+		if r.From < 0 || r.From >= p.env.N {
+			continue
+		}
+		switch m := r.Msg.(type) {
+		case ClockMsg:
+			if !seenF[r.From] && m.V < p.k {
+				seenF[r.From] = true
+				p.prevFull[m.V]++
+			}
+		case PhaseProposeMsg:
+			if !seenP[r.From] {
+				seenP[r.From] = true
+				if !m.Bot && m.V < p.k {
+					p.prevPropose[m.V]++
+				}
+			}
+		case PhaseBitMsg:
+			if !seenB[r.From] && m.B <= 1 {
+				seenB[r.From] = true
+				p.prevBits[m.B]++
+			}
+		case KingMsg:
+			if _, dup := p.prevKing[r.From]; !dup && m.V < p.k {
+				p.prevKing[r.From] = m.V
+			}
+		}
+	}
+}
+
+// Clock implements proto.ClockReader.
+func (p *PhaseKing) Clock() (uint64, bool) { return p.fullClock % p.k, true }
+
+// Modulus implements proto.ClockReader.
+func (p *PhaseKing) Modulus() uint64 { return p.k }
+
+// Scramble implements proto.Scrambler.
+func (p *PhaseKing) Scramble(rng *rand.Rand) {
+	p.fullClock = rng.Uint64()
+	p.save = rng.Uint64()
+	p.prevFull = map[uint64]int{rng.Uint64() % (p.k + 3): rng.Intn(p.env.N + 2)}
+	p.prevPropose = map[uint64]int{rng.Uint64() % (p.k + 3): rng.Intn(p.env.N + 2)}
+	p.prevBits = [2]int{rng.Intn(p.env.N + 2), rng.Intn(p.env.N + 2)}
+	p.prevKing = map[int]uint64{rng.Intn(p.env.N): rng.Uint64()}
+}
+
+// NewPhaseKingProtocol adapts NewPhaseKing to a sim.NodeFactory.
+func NewPhaseKingProtocol(k uint64) func(proto.Env) proto.Protocol {
+	return func(env proto.Env) proto.Protocol { return NewPhaseKing(env, k) }
+}
+
+// Naive is the non-tolerant strawman: adopt the maximum received clock
+// plus one. Converges in one beat without faults; a single Byzantine node
+// steers it arbitrarily (shown in the quickstart example).
+type Naive struct {
+	env   proto.Env
+	k     uint64
+	clock uint64
+}
+
+var (
+	_ proto.Protocol    = (*Naive)(nil)
+	_ proto.ClockReader = (*Naive)(nil)
+	_ proto.Scrambler   = (*Naive)(nil)
+)
+
+// NewNaive constructs the strawman for modulus k.
+func NewNaive(env proto.Env, k uint64) *Naive {
+	if k == 0 {
+		k = 1
+	}
+	return &Naive{env: env, k: k}
+}
+
+// Compose implements proto.Protocol.
+func (na *Naive) Compose(uint64) []proto.Send {
+	return []proto.Send{{To: proto.Broadcast, Msg: ClockMsg{V: na.clock % na.k}}}
+}
+
+// Deliver implements proto.Protocol.
+func (na *Naive) Deliver(_ uint64, inbox []proto.Recv) {
+	best := na.clock % na.k
+	for _, r := range inbox {
+		if m, ok := r.Msg.(ClockMsg); ok && m.V < na.k && m.V > best {
+			best = m.V
+		}
+	}
+	na.clock = (best + 1) % na.k
+}
+
+// Clock implements proto.ClockReader.
+func (na *Naive) Clock() (uint64, bool) { return na.clock % na.k, true }
+
+// Modulus implements proto.ClockReader.
+func (na *Naive) Modulus() uint64 { return na.k }
+
+// Scramble implements proto.Scrambler.
+func (na *Naive) Scramble(rng *rand.Rand) { na.clock = rng.Uint64() }
+
+// NewNaiveProtocol adapts NewNaive to a sim.NodeFactory.
+func NewNaiveProtocol(k uint64) func(proto.Env) proto.Protocol {
+	return func(env proto.Env) proto.Protocol { return NewNaive(env, k) }
+}

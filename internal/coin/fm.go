@@ -1,0 +1,195 @@
+package coin
+
+import (
+	"sort"
+
+	"ssbyzclock/internal/field"
+	"ssbyzclock/internal/gvss"
+	"ssbyzclock/internal/proto"
+)
+
+// FMRounds is the round count of the Feldman–Micali-style coin: the three
+// GVSS sharing rounds, the accept-set round, and the recover round.
+const FMRounds = 5
+
+// AcceptMsg is a node's round-4 broadcast: the set of dealers whose
+// dealing *to this node* it graded high. The node's lottery ticket is the
+// sum of those dealers' contributions, which become public only in the
+// next (recover) round — so accept sets are committed while tickets are
+// still unpredictable, the property Lemma 4's independence argument needs.
+type AcceptMsg struct {
+	Set []uint16
+}
+
+// Kind implements proto.Message.
+func (AcceptMsg) Kind() string { return "coin.accept" }
+
+// FMFactory creates Feldman–Micali-style coin instances.
+type FMFactory struct{}
+
+// Rounds implements Factory.
+func (FMFactory) Rounds() int { return FMRounds }
+
+// New implements Factory.
+func (FMFactory) New(env proto.Env, _ uint64) Flipper {
+	return &fmFlipper{
+		env:     env,
+		session: gvss.New(env, env.Rng),
+		accepts: make([][]uint16, env.N),
+	}
+}
+
+// fmFlipper runs one coin flip:
+//
+//	round 1-3  GVSS share / echo / vote for all n dealers, each dealing a
+//	           vector of n secrets (contributions to each node's ticket)
+//	round 4    broadcast accept set: dealers I graded high for my ticket
+//	round 5    GVSS recover; then compute every node's ticket as the sum
+//	           of its accepted dealers' contributions, elect the node with
+//	           the minimum ticket as leader, and output the parity of the
+//	           leader's ticket
+//
+// Properties (measured in experiment E2, reasoning in DESIGN.md §3):
+// honest nodes' tickets are identical at every honest observer, uniform,
+// and unpredictable before round 5; a Byzantine node cannot control its
+// own ticket because it contains at least f+1 honest contributions. All
+// honest nodes therefore elect the same leader — and output the same
+// parity — at least whenever the global minimum ticket belongs to an
+// honest node, which happens with constant probability >= (n-f)/n.
+type fmFlipper struct {
+	env     proto.Env
+	session *gvss.Instance
+	accepts [][]uint16 // [node] accept set, nil if none/invalid received
+	out     byte
+	done    bool
+}
+
+// Rounds implements Flipper.
+func (c *fmFlipper) Rounds() int { return FMRounds }
+
+// Compose implements Flipper.
+func (c *fmFlipper) Compose(round int) []proto.Send {
+	switch round {
+	case 1:
+		return c.session.ComposeShare()
+	case 2:
+		return c.session.ComposeEcho()
+	case 3:
+		return c.session.ComposeVote()
+	case 4:
+		set := make([]uint16, 0, c.env.N)
+		for d := 0; d < c.env.N; d++ {
+			if c.session.Grade(d, c.env.ID) == gvss.GradeHigh {
+				set = append(set, uint16(d))
+			}
+		}
+		return []proto.Send{{To: proto.Broadcast, Msg: AcceptMsg{Set: set}}}
+	case 5:
+		return c.session.ComposeRecover()
+	default:
+		return nil
+	}
+}
+
+// Deliver implements Flipper.
+func (c *fmFlipper) Deliver(round int, inbox []proto.Recv) {
+	switch round {
+	case 1:
+		c.session.DeliverShare(inbox)
+	case 2:
+		c.session.DeliverEcho(inbox)
+	case 3:
+		c.session.DeliverVote(inbox)
+	case 4:
+		c.deliverAccept(inbox)
+	case 5:
+		c.session.DeliverRecover(inbox)
+		c.computeOutput()
+	}
+}
+
+func (c *fmFlipper) deliverAccept(inbox []proto.Recv) {
+	n := c.env.N
+	for _, r := range inbox {
+		m, ok := r.Msg.(AcceptMsg)
+		if !ok || r.From < 0 || r.From >= n || c.accepts[r.From] != nil {
+			continue
+		}
+		set := dedupSet(m.Set, n)
+		if len(set) < c.env.Quorum() {
+			// An accept set smaller than n-f is impossible for an honest
+			// node (all n-f honest dealers' dealings reach grade high), so
+			// reject it: small sets would let a Byzantine node name a
+			// colluding dealer set whose contributions it already knows,
+			// giving it control over its own ticket.
+			continue
+		}
+		c.accepts[r.From] = set
+	}
+}
+
+func (c *fmFlipper) computeOutput() {
+	n := c.env.N
+	type ticket struct {
+		node int
+		val  field.Elem
+	}
+	best := ticket{node: -1}
+	for j := 0; j < n; j++ {
+		set := c.accepts[j]
+		if set == nil {
+			continue
+		}
+		valid := true
+		var sum field.Elem
+		for _, d := range set {
+			if c.session.Grade(int(d), j) < gvss.GradeLow {
+				// The claimed dealer is worthless in my view: an honest j
+				// graded it high, which forces grade >= low everywhere, so
+				// this claim exposes j as Byzantine.
+				valid = false
+				break
+			}
+			if v, ok := c.session.Recovered(int(d), j); ok {
+				sum = field.Add(sum, v)
+			}
+			// Unrecoverable dealings contribute the deterministic default
+			// 0; this can only happen for Byzantine-dealt contributions.
+		}
+		if !valid {
+			continue
+		}
+		if best.node < 0 || sum < best.val || (sum == best.val && j < best.node) {
+			best = ticket{node: j, val: sum}
+		}
+	}
+	if best.node >= 0 {
+		c.out = byte(best.val & 1)
+	} else {
+		c.out = 0
+	}
+	c.done = true
+}
+
+// Output implements Flipper.
+func (c *fmFlipper) Output() byte {
+	if !c.done {
+		return 0
+	}
+	return c.out
+}
+
+// dedupSet validates, deduplicates and sorts a claimed accept set,
+// dropping out-of-range dealers.
+func dedupSet(in []uint16, n int) []uint16 {
+	seen := make(map[uint16]bool, len(in))
+	out := make([]uint16, 0, len(in))
+	for _, d := range in {
+		if int(d) < n && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,71 @@
+package coin
+
+import "ssbyzclock/internal/proto"
+
+// RabinFactory is an idealized common coin in the style of Rabin [17]:
+// all nodes read the same predistributed random tape, indexed by the
+// global beat at which the instance was created. It sends no messages and
+// always agrees (p0 = p1 = 1/2, agreement probability 1).
+//
+// The paper's footnote 1 excludes this construction for the headline
+// result because the shared tape is special common initialization, which
+// a transient fault could desynchronize; here the tape index comes from
+// the global beat supplied by the engine, so it survives scrambling by
+// construction. RabinFactory is used for fast large-n sweeps of the clock
+// layers and as a differential-testing oracle for the FM coin.
+type RabinFactory struct {
+	// Seed selects the tape. All nodes of a run must share it.
+	Seed int64
+}
+
+// Rounds implements Factory. One round, so the coin pipeline has depth 1.
+func (RabinFactory) Rounds() int { return 1 }
+
+// New implements Factory.
+func (fa RabinFactory) New(_ proto.Env, beat uint64) Flipper {
+	return &rabinFlipper{bit: byte(splitmix64(uint64(fa.Seed)^splitmix64(beat)) & 1)}
+}
+
+type rabinFlipper struct {
+	bit  byte
+	done bool
+}
+
+func (c *rabinFlipper) Rounds() int               { return 1 }
+func (c *rabinFlipper) Compose(int) []proto.Send  { return nil }
+func (c *rabinFlipper) Deliver(int, []proto.Recv) { c.done = true }
+func (c *rabinFlipper) Output() byte {
+	if !c.done {
+		return 0
+	}
+	return c.bit
+}
+
+// LocalFactory is an independent per-node coin: every node flips its own
+// bit. It is *not* a common coin (agreement probability 2^-(n_h-1) for
+// n_h honest nodes) and exists as the randomness model of the
+// Dolev–Welch baseline and the E9 ablation.
+type LocalFactory struct{}
+
+// Rounds implements Factory.
+func (LocalFactory) Rounds() int { return 1 }
+
+// New implements Factory.
+func (LocalFactory) New(env proto.Env, _ uint64) Flipper {
+	return &localFlipper{bit: byte(env.Rng.Intn(2))}
+}
+
+type localFlipper struct {
+	bit  byte
+	done bool
+}
+
+func (c *localFlipper) Rounds() int               { return 1 }
+func (c *localFlipper) Compose(int) []proto.Send  { return nil }
+func (c *localFlipper) Deliver(int, []proto.Recv) { c.done = true }
+func (c *localFlipper) Output() byte {
+	if !c.done {
+		return 0
+	}
+	return c.bit
+}

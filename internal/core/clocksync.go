@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math/rand"
+
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/sscoin"
+)
+
+// Envelope child tags of ClockSync.
+const (
+	clockSyncChildA    = 0 // embedded ss-Byz-4-Clock
+	clockSyncChildCoin = 1 // own ss-Byz-Coin-Flip pipeline (phase 3's rand)
+	clockSyncChildMsg  = 2 // FullClockMsg / ProposeMsg / BitMsg
+	clockSyncKids      = 3
+)
+
+// tally summarizes one beat's received ClockSync messages; each phase of
+// the next beat consumes the part sent by its predecessor phase. Values
+// are deduplicated per sender and validated before counting.
+type tally struct {
+	// fullClock counts per received full-clock value (phase-0 traffic).
+	fullClock map[uint64]int
+	// propose counts per proposed value, excluding ⊥ (phase-1 traffic).
+	propose map[uint64]int
+	// bits counts received 0s and 1s (phase-2 traffic).
+	bits [2]int
+}
+
+// ClockSync is ss-Byz-Clock-Sync (Figure 4): the k-Clock algorithm for
+// arbitrary k with constant expected convergence time and constant
+// message overhead (Theorem 4). An embedded ss-Byz-4-Clock partitions
+// beats into four phases; the full clock is incremented every beat and
+// re-agreed once per 4-beat cycle via a Turpin–Coan-style
+// broadcast/propose/vote exchange whose fallback is the common coin
+// (Rabin-style randomized agreement).
+type ClockSync struct {
+	env  proto.Env
+	k    uint64
+	a    *FourClock
+	pipe *sscoin.Pipeline
+
+	fullClock uint64
+	save      uint64
+
+	// stale selects the E6 ablation: phase 3 falls back on the *previous*
+	// beat's random bit, which the coin's recover round already made
+	// public — so the adversary knows it when committing the phase-2 bit
+	// votes, exactly the correlation Remark 3.1 warns against. The
+	// published algorithm (stale=false) uses the bit produced by this
+	// beat's coin step, committed one round after the votes.
+	stale    bool
+	staleBit byte
+
+	prev tally // messages received last beat
+	// phase is the Compose-time snapshot of clock(A) for the current
+	// beat ("consider u.clock(A) at the beginning of the beat");
+	// phaseOK is false while A is unconverged at this node.
+	phase   uint64
+	phaseOK bool
+}
+
+var (
+	_ proto.Protocol    = (*ClockSync)(nil)
+	_ proto.ClockReader = (*ClockSync)(nil)
+	_ proto.Scrambler   = (*ClockSync)(nil)
+)
+
+// NewClockSync constructs ss-Byz-Clock-Sync for modulus k >= 1 over the
+// given coin factory.
+func NewClockSync(env proto.Env, k uint64, factory coin.Factory) *ClockSync {
+	return NewClockSyncStale(env, k, factory, false)
+}
+
+// NewClockSyncStale additionally selects the stale-rand ablation variant
+// (see the stale field); production users always want stale=false.
+func NewClockSyncStale(env proto.Env, k uint64, factory coin.Factory, stale bool) *ClockSync {
+	if k == 0 {
+		k = 1
+	}
+	return &ClockSync{
+		env:   env,
+		k:     k,
+		a:     NewFourClock(env, factory),
+		pipe:  sscoin.New(env, factory),
+		stale: stale,
+	}
+}
+
+// Compose implements proto.Protocol: one beat of A and of the coin
+// pipeline, the full-clock increment (Figure 4 line 2), and the current
+// phase's broadcast, computed from the previous beat's tally.
+func (c *ClockSync) Compose(beat uint64) []proto.Send {
+	out := proto.WrapSends(clockSyncChildA, c.a.Compose(beat))
+	out = append(out, proto.WrapSends(clockSyncChildCoin, c.pipe.Compose(beat))...)
+
+	c.phase, c.phaseOK = c.a.Clock()
+	c.staleBit = c.pipe.Bit() // the previous beat's (already public) bit
+
+	// Line 2: increment every beat. The mod also normalizes any
+	// transient-fault garbage left in fullClock.
+	c.fullClock = (c.fullClock + 1) % c.k
+
+	if !c.phaseOK {
+		return out
+	}
+	quorum := c.env.Quorum()
+	var msg proto.Message
+	switch c.phase {
+	case 0: // Block 3.a: broadcast the full clock.
+		msg = FullClockMsg{V: c.fullClock}
+	case 1: // Block 3.b: propose the quorum value seen in the previous beat.
+		p := ProposeMsg{Bot: true}
+		for v, cnt := range c.prev.fullClock {
+			if cnt >= quorum {
+				p = ProposeMsg{V: v}
+				break
+			}
+		}
+		msg = p
+	case 2: // Block 3.c: adopt the majority proposal, vote on its support.
+		bestV, bestCnt := uint64(0), 0
+		for v, cnt := range c.prev.propose {
+			if cnt > bestCnt || (cnt == bestCnt && bestCnt > 0 && v < bestV) {
+				bestV, bestCnt = v, cnt
+			}
+		}
+		b := BitMsg{B: 0}
+		if bestCnt > 0 {
+			c.save = bestV
+			if bestCnt >= quorum {
+				b.B = 1
+			}
+		} else {
+			c.save = 0 // "if save = ⊥ set save := 0"
+		}
+		msg = b
+	case 3: // Block 3.d sends nothing; the decision happens in Deliver.
+	}
+	if msg != nil {
+		out = append(out, proto.Send{
+			To:  proto.Broadcast,
+			Msg: proto.Envelope{Child: clockSyncChildMsg, Inner: msg},
+		})
+	}
+	return out
+}
+
+// Deliver implements proto.Protocol: step A and the coin, apply Block 3.d
+// when in phase 3, and record this beat's tally for the next beat.
+func (c *ClockSync) Deliver(beat uint64, inbox []proto.Recv) {
+	boxes := proto.SplitInbox(inbox, clockSyncKids)
+	c.a.Deliver(beat, boxes[clockSyncChildA])
+	c.pipe.Deliver(beat, boxes[clockSyncChildCoin])
+
+	if c.phaseOK && c.phase == 3 {
+		// Block 3.d: the bit votes were committed in the previous beat;
+		// rand was produced by this beat's coin step, so it is
+		// independent of them (Lemma 8).
+		quorum := c.env.Quorum()
+		rand := c.pipe.Bit()
+		if c.stale {
+			rand = c.staleBit
+		}
+		switch {
+		case c.prev.bits[1] >= quorum:
+			c.fullClock = (c.save%c.k + 3) % c.k
+		case c.prev.bits[0] >= quorum:
+			c.fullClock = 0
+		case rand == 1:
+			c.fullClock = (c.save%c.k + 3) % c.k
+		default:
+			c.fullClock = 0
+		}
+	}
+
+	// Record this beat's ClockSync traffic for the next beat's phase.
+	next := tally{fullClock: map[uint64]int{}, propose: map[uint64]int{}}
+	seenFC := make([]bool, c.env.N)
+	seenP := make([]bool, c.env.N)
+	seenB := make([]bool, c.env.N)
+	for _, r := range boxes[clockSyncChildMsg] {
+		if r.From < 0 || r.From >= c.env.N {
+			continue
+		}
+		switch m := r.Msg.(type) {
+		case FullClockMsg:
+			if !seenFC[r.From] && m.V < c.k {
+				seenFC[r.From] = true
+				next.fullClock[m.V]++
+			}
+		case ProposeMsg:
+			if !seenP[r.From] {
+				seenP[r.From] = true
+				if !m.Bot && m.V < c.k {
+					next.propose[m.V]++
+				}
+			}
+		case BitMsg:
+			if !seenB[r.From] && m.B <= 1 {
+				seenB[r.From] = true
+				next.bits[m.B]++
+			}
+		}
+	}
+	c.prev = next
+}
+
+// Clock implements proto.ClockReader. The full clock is always defined
+// (it increments regardless of agreement); callers needing a "synced"
+// signal must compare across nodes, as self-stabilization precludes a
+// local converged flag.
+func (c *ClockSync) Clock() (uint64, bool) { return c.fullClock % c.k, true }
+
+// Modulus implements proto.ClockReader.
+func (c *ClockSync) Modulus() uint64 { return c.k }
+
+// Phase returns clock(A) as of the last Compose, for observability.
+func (c *ClockSync) Phase() (uint64, bool) { return c.phase, c.phaseOK }
+
+// RandBit returns the node's most recent common random bit. After a beat
+// completes this value is public knowledge (the coin's recover round
+// revealed it), which is what makes the stale variant attackable.
+func (c *ClockSync) RandBit() byte { return c.pipe.Bit() }
+
+// ConvergenceBound returns Δ_node, as in ss-Byz-4-Clock (Section 5).
+func (c *ClockSync) ConvergenceBound() int { return c.a.ConvergenceBound() }
+
+// Scramble implements proto.Scrambler: arbitrary values everywhere,
+// including out-of-range clocks and corrupted tallies.
+func (c *ClockSync) Scramble(rng *rand.Rand) {
+	c.a.Scramble(rng)
+	c.pipe.Scramble(rng)
+	c.fullClock = rng.Uint64()
+	c.save = rng.Uint64()
+	c.phase = rng.Uint64() % 8
+	c.phaseOK = rng.Intn(2) == 0
+	c.prev = tally{
+		fullClock: map[uint64]int{rng.Uint64() % (c.k + 3): rng.Intn(c.env.N + 2)},
+		propose:   map[uint64]int{rng.Uint64() % (c.k + 3): rng.Intn(c.env.N + 2)},
+		bits:      [2]int{rng.Intn(c.env.N + 2), rng.Intn(c.env.N + 2)},
+	}
+}
+
+// NewTwoClockProtocol, NewFourClockProtocol and NewClockSyncProtocol are
+// sim.NodeFactory adapters used by tests, benchmarks and the CLIs.
+func NewTwoClockProtocol(factory coin.Factory) func(proto.Env) proto.Protocol {
+	return func(env proto.Env) proto.Protocol { return NewTwoClock(env, factory) }
+}
+
+// NewFourClockProtocol adapts NewFourClock to a node factory.
+func NewFourClockProtocol(factory coin.Factory) func(proto.Env) proto.Protocol {
+	return func(env proto.Env) proto.Protocol { return NewFourClock(env, factory) }
+}
+
+// NewClockSyncProtocol adapts NewClockSync to a node factory.
+func NewClockSyncProtocol(k uint64, factory coin.Factory) func(proto.Env) proto.Protocol {
+	return func(env proto.Env) proto.Protocol { return NewClockSync(env, k, factory) }
+}

@@ -1,0 +1,83 @@
+package core_test
+
+// Message-complexity spec tests: the per-beat traffic of each protocol
+// follows a closed-form count, and the engine's tallies must match it
+// (steady state, no faults). This pins down experiment E8's numbers
+// analytically:
+//
+//   FM coin pipeline, per node per beat (Δ_A = 5 concurrent instances,
+//   one per round): share n unicasts + echo n unicasts + vote/accept/
+//   recover broadcasts (n deliveries each) = 5n deliveries.
+//
+//   ss-Byz-2-Clock    = pipeline + 1 clock broadcast      = 6n
+//   ss-Byz-4-Clock    = A1 (6n) + A2 on alternate beats   = 9n averaged
+//   ss-Byz-Clock-Sync = 4-clock (9n) + own pipeline (5n)
+//                       + 1 phase broadcast               = 15n averaged
+//
+// A mismatch means a protocol sends messages on beats it should not (or
+// drops ones it should send) — a regression canary.
+
+import (
+	"math"
+	"testing"
+
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/sim"
+)
+
+func measureMsgs(t *testing.T, factory sim.NodeFactory, n, f, beats int) float64 {
+	t.Helper()
+	e := sim.New(sim.Config{N: n, F: f, Seed: 1}, factory)
+	e.Run(12) // settle pipelines and the A1/A2 alternation
+	base := e.HonestMsgs
+	e.Run(beats)
+	return float64(e.HonestMsgs-base) / float64(beats) / float64(n-f)
+}
+
+func TestTwoClockMessageFormula(t *testing.T) {
+	for _, n := range []int{4, 7, 10} {
+		f := (n - 1) / 3
+		got := measureMsgs(t, core.NewTwoClockProtocol(coin.FMFactory{}), n, f, 40)
+		want := 6 * float64(n)
+		if got != want {
+			t.Fatalf("n=%d: %.2f msgs/node-beat, want exactly %.0f", n, got, want)
+		}
+	}
+}
+
+func TestFourClockMessageFormula(t *testing.T) {
+	for _, n := range []int{4, 7} {
+		f := (n - 1) / 3
+		got := measureMsgs(t, core.NewFourClockProtocol(coin.FMFactory{}), n, f, 64)
+		want := 9 * float64(n)
+		if math.Abs(got-want) > float64(n)/2 {
+			t.Fatalf("n=%d: %.2f msgs/node-beat, want ~%.0f", n, got, want)
+		}
+	}
+}
+
+func TestClockSyncMessageFormula(t *testing.T) {
+	for _, n := range []int{4, 7} {
+		f := (n - 1) / 3
+		got := measureMsgs(t, core.NewClockSyncProtocol(64, coin.FMFactory{}), n, f, 64)
+		want := 15 * float64(n)
+		if math.Abs(got-want) > float64(n)/2 {
+			t.Fatalf("n=%d: %.2f msgs/node-beat, want ~%.0f", n, got, want)
+		}
+	}
+}
+
+func TestRabinClockSyncMessageFormula(t *testing.T) {
+	// With the message-free Rabin coin the formula drops to the clock
+	// layers alone: 2-clock broadcasts (1 + 1/2 per beat averaged) plus
+	// the phase broadcast ~ 2.5n per node-beat.
+	for _, n := range []int{4, 7} {
+		f := (n - 1) / 3
+		got := measureMsgs(t, core.NewClockSyncProtocol(64, coin.RabinFactory{Seed: 1}), n, f, 64)
+		want := 2.5 * float64(n)
+		if math.Abs(got-want) > float64(n)/2 {
+			t.Fatalf("n=%d: %.2f msgs/node-beat, want ~%.1f", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bytes"
+)
+
+// tiny keeps the smoke runs fast; the real budgets live in the defaults
+// and are exercised by cmd/repro and the benchmarks.
+var tiny = Params{Runs: 2, MaxBeats: 400, Hold: 8}
+
+// TestAllExperimentsRun smoke-tests the harness: every experiment must
+// produce a non-empty table mentioning its claim line, without panicking.
+func TestAllExperimentsRun(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*bytes.Buffer)
+		want string
+	}{
+		{"coin", func(b *bytes.Buffer) { CoinQuality(b, Params{Runs: 1, MaxBeats: 60}) }, "agree%"},
+		{"twoclock", func(b *bytes.Buffer) { TwoClock(b, tiny) }, "P[T>t]"},
+		{"fourclock", func(b *bytes.Buffer) { FourClock(b, tiny) }, "constant convergence"},
+		{"clocksync", func(b *bytes.Buffer) { ClockSync(b, tiny) }, "independent of k"},
+		{"ablation-rand", func(b *bytes.Buffer) { AblationRand(b, tiny) }, "stale"},
+		{"resilience", func(b *bytes.Buffer) { Resilience(b, Params{Runs: 1, MaxBeats: 150, Hold: 8}) }, "n/3"},
+		{"msgcomplexity", func(b *bytes.Buffer) { MsgComplexity(b, Params{Runs: 1, MaxBeats: 12}) }, "bytes/beat/node"},
+		{"ablation-coin", func(b *bytes.Buffer) { AblationCoin(b, tiny) }, "common"},
+		{"powerclock", func(b *bytes.Buffer) { PowerVsSync(b, Params{Runs: 1, Hold: 8}) }, "PowerClock"},
+		{"dw-adapted", func(b *bytes.Buffer) { DWAdaptation(b, Params{Runs: 1, MaxBeats: 1500, Hold: 8}) }, "ss-Byz-Coin-Flip"},
+		{"selfstab", func(b *bytes.Buffer) { SelfStab(b, tiny) }, "scramble"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			c.fn(&buf)
+			out := buf.String()
+			if !strings.Contains(out, c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+			if strings.Count(out, "\n") < 4 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestTable1Smoke runs the big one separately with a very small budget.
+func TestTable1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 smoke is slow")
+	}
+	var buf bytes.Buffer
+	Table1(&buf, Params{Runs: 1, MaxBeats: 3000, Hold: 8})
+	out := buf.String()
+	for _, want := range []string{"ss-Byz-Clock-Sync", "Dolev-Welch", "PhaseKing"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package field
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDecode is returned by Decode when the points are not within maxErrors
+// of any polynomial of the requested degree. Callers (the GVSS recover
+// phase) treat it as "dealer exposed as faulty" and substitute a default.
+var ErrDecode = errors.New("field: berlekamp-welch decoding failed")
+
+// Decode recovers the unique polynomial of degree <= degree that agrees
+// with all but at most maxErrors of the given points, using the
+// Berlekamp–Welch algorithm. The x-coordinates must be distinct and
+// non-zero (our share indices are 1..n).
+//
+// With m points and e errors, decoding requires m >= degree+1+2e; the GVSS
+// recover phase uses m = n, degree = f, e <= f, which at n = 3f+1 is
+// exactly tight — the reason the paper's resiliency bound f < n/3 is
+// optimal for this substrate.
+func Decode(xs, ys []Elem, degree, maxErrors int) (Poly, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: %d xs vs %d ys", ErrDecode, len(xs), len(ys))
+	}
+	m := len(xs)
+	if degree < 0 || maxErrors < 0 {
+		return nil, fmt.Errorf("%w: negative degree or error bound", ErrDecode)
+	}
+	// Cap the error-locator degree at what the point count can support.
+	if cap := (m - degree - 1) / 2; maxErrors > cap {
+		maxErrors = cap
+	}
+	if maxErrors < 0 {
+		return nil, fmt.Errorf("%w: %d points cannot determine degree-%d poly", ErrDecode, m, degree)
+	}
+	for e := maxErrors; e >= 0; e-- {
+		if p, ok := tryDecode(xs, ys, degree, e); ok {
+			return p, nil
+		}
+	}
+	return nil, ErrDecode
+}
+
+// tryDecode attempts decoding with an error locator of degree exactly e:
+// find monic E (degree e) and Q (degree <= degree+e) with
+// Q(x_i) = y_i * E(x_i) for all i, then f = Q / E.
+func tryDecode(xs, ys []Elem, degree, e int) (Poly, bool) {
+	m := len(xs)
+	nq := degree + e + 1 // unknown coefficients of Q
+	ne := e              // unknown coefficients of E (monic leading term fixed)
+	cols := nq + ne
+	// Row i: sum_j q_j x^j - y_i sum_{j<e} E_j x^j = y_i x^e.
+	a := make([][]Elem, m)
+	b := make([]Elem, m)
+	for i := 0; i < m; i++ {
+		row := make([]Elem, cols)
+		xp := Elem(1)
+		for j := 0; j < nq; j++ {
+			row[j] = xp
+			xp = Mul(xp, xs[i])
+		}
+		xp = Elem(1)
+		for j := 0; j < ne; j++ {
+			row[nq+j] = Neg(Mul(ys[i], xp))
+			xp = Mul(xp, xs[i])
+		}
+		a[i] = row
+		b[i] = Mul(ys[i], Pow(xs[i], uint64(e)))
+	}
+	sol, ok := solveLinear(a, b)
+	if !ok {
+		return nil, false
+	}
+	q := Poly(sol[:nq]).trim()
+	eloc := make(Poly, e+1)
+	copy(eloc, sol[nq:])
+	eloc[e] = 1 // monic
+	f, rem := polyDivMod(q, eloc)
+	if rem.Degree() >= 0 || f.Degree() > degree {
+		return nil, false
+	}
+	// Verify: f must disagree with at most e points.
+	bad := 0
+	for i := 0; i < m; i++ {
+		if f.Eval(xs[i]) != ys[i] {
+			bad++
+		}
+	}
+	if bad > e {
+		return nil, false
+	}
+	return f, true
+}
+
+// solveLinear solves A x = b over GF(P) by Gaussian elimination with
+// partial pivoting, returning any solution (free variables set to zero).
+// ok is false when the system is inconsistent. A is mutated.
+func solveLinear(a [][]Elem, b []Elem) ([]Elem, bool) {
+	rows := len(a)
+	if rows == 0 {
+		return nil, false
+	}
+	cols := len(a[0])
+	pivotCol := make([]int, 0, rows) // column of the pivot in each reduced row
+	r := 0
+	for c := 0; c < cols && r < rows; c++ {
+		// Find a pivot in column c at or below row r.
+		pivot := -1
+		for i := r; i < rows; i++ {
+			if a[i][c] != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a[r], a[pivot] = a[pivot], a[r]
+		b[r], b[pivot] = b[pivot], b[r]
+		inv := Inv(a[r][c])
+		for j := c; j < cols; j++ {
+			a[r][j] = Mul(a[r][j], inv)
+		}
+		b[r] = Mul(b[r], inv)
+		for i := 0; i < rows; i++ {
+			if i == r || a[i][c] == 0 {
+				continue
+			}
+			factor := a[i][c]
+			for j := c; j < cols; j++ {
+				a[i][j] = Sub(a[i][j], Mul(factor, a[r][j]))
+			}
+			b[i] = Sub(b[i], Mul(factor, b[r]))
+		}
+		pivotCol = append(pivotCol, c)
+		r++
+	}
+	// Inconsistency: a zero row with non-zero rhs.
+	for i := r; i < rows; i++ {
+		if b[i] != 0 {
+			return nil, false
+		}
+	}
+	x := make([]Elem, cols)
+	for i, c := range pivotCol {
+		x[c] = b[i]
+	}
+	return x, true
+}
+
+// polyDivMod returns quotient and remainder of p / d. d must be non-zero;
+// our only caller passes a monic E.
+func polyDivMod(p, d Poly) (quot, rem Poly) {
+	dd := d.Degree()
+	if dd < 0 {
+		panic("field: division by zero polynomial")
+	}
+	rem = p.Clone().trim()
+	if rem.Degree() < dd {
+		return nil, rem
+	}
+	quot = make(Poly, rem.Degree()-dd+1)
+	inv := Inv(d[dd])
+	for rem.Degree() >= dd {
+		shift := rem.Degree() - dd
+		factor := Mul(rem[rem.Degree()], inv)
+		quot[shift] = factor
+		for i := 0; i <= dd; i++ {
+			rem[shift+i] = Sub(rem[shift+i], Mul(factor, d[i]))
+		}
+		rem = rem.trim()
+	}
+	return quot, rem
+}

@@ -1,0 +1,31 @@
+package field
+
+// DecodeFast is Decode with a happy-path shortcut: it first interpolates
+// through the first degree+1 points and accepts the result if it disagrees
+// with at most maxErrors of all points. This avoids the Berlekamp–Welch
+// linear system entirely in the common case where no (or few, and
+// unluckily-placed) errors are present; it falls back to Decode otherwise.
+func DecodeFast(xs, ys []Elem, degree, maxErrors int) (Poly, error) {
+	// Cap at the information-theoretic bound, as Decode does: accepting a
+	// fit with more disagreements than (m-degree-1)/2 would not be unique
+	// and could differ between honest receivers of equivocated shares.
+	if cap := (len(xs) - degree - 1) / 2; maxErrors > cap {
+		maxErrors = cap
+	}
+	if degree >= 0 && maxErrors >= 0 && len(xs) == len(ys) && len(xs) > degree {
+		p := Interpolate(xs[:degree+1], ys[:degree+1])
+		bad := 0
+		for i := range xs {
+			if p.Eval(xs[i]) != ys[i] {
+				bad++
+				if bad > maxErrors {
+					break
+				}
+			}
+		}
+		if bad <= maxErrors {
+			return p, nil
+		}
+	}
+	return Decode(xs, ys, degree, maxErrors)
+}

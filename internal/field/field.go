@@ -1,0 +1,89 @@
+// Package field implements arithmetic in the prime field GF(p) used by the
+// secret-sharing substrate of the common coin, together with polynomial
+// evaluation, Lagrange interpolation, and Berlekamp–Welch decoding of
+// Reed–Solomon codewords with Byzantine errors.
+//
+// The paper (Remark 2.3) requires a prime p > n known to all nodes as part
+// of the code. We fix p = 2^31 - 1 (the Mersenne prime 2147483647), which
+// exceeds every node count this repository simulates and keeps all products
+// of two field elements below 2^62, so plain uint64 arithmetic never
+// overflows.
+package field
+
+import "fmt"
+
+// P is the field modulus, the Mersenne prime 2^31 - 1. It satisfies the
+// paper's requirement p > n for every supported cluster size and is large
+// enough that the coin's "tickets" (uniform field elements) collide with
+// negligible probability.
+const P uint64 = 2147483647
+
+// Elem is an element of GF(P), always kept in canonical range [0, P).
+type Elem uint64
+
+// Reduce maps an arbitrary uint64 into canonical range. It accepts any
+// input because Byzantine messages may carry out-of-range values.
+func Reduce(v uint64) Elem { return Elem(v % P) }
+
+// Add returns a + b mod P.
+func Add(a, b Elem) Elem {
+	s := uint64(a) + uint64(b)
+	if s >= P {
+		s -= P
+	}
+	return Elem(s)
+}
+
+// Sub returns a - b mod P.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return a + Elem(P) - b
+}
+
+// Neg returns -a mod P.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Elem(P) - a
+}
+
+// Mul returns a * b mod P. Safe: operands are < 2^31 so the product fits
+// in 62 bits.
+func Mul(a, b Elem) Elem { return Elem(uint64(a) * uint64(b) % P) }
+
+// Pow returns a^e mod P by square-and-multiply.
+func Pow(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a, using Fermat's little
+// theorem (P is prime). Inv(0) panics: callers must guard, as division by
+// zero indicates a protocol logic error, never bad remote input.
+func Inv(a Elem) Elem {
+	if a == 0 {
+		panic("field: inverse of zero")
+	}
+	return Pow(a, P-2)
+}
+
+// Div returns a / b mod P. Div by zero panics (see Inv).
+func Div(a, b Elem) Elem { return Mul(a, Inv(b)) }
+
+// String implements fmt.Stringer.
+func (e Elem) String() string { return fmt.Sprintf("%d", uint64(e)) }
+
+// Valid reports whether e is in canonical range. Deserialized or
+// adversarial values must be checked (or passed through Reduce) before use.
+func (e Elem) Valid() bool { return uint64(e) < P }

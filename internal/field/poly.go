@@ -1,0 +1,115 @@
+package field
+
+import "math/rand"
+
+// Poly is a univariate polynomial over GF(P), coefficient form, index i
+// holding the coefficient of x^i. The zero-length polynomial is the zero
+// polynomial.
+type Poly []Elem
+
+// RandomPoly returns a uniformly random polynomial of the given degree
+// whose constant term is the supplied secret. degree must be >= 0.
+func RandomPoly(rng *rand.Rand, degree int, secret Elem) Poly {
+	p := make(Poly, degree+1)
+	p[0] = secret
+	for i := 1; i <= degree; i++ {
+		p[i] = Elem(rng.Uint64() % P)
+	}
+	return p
+}
+
+// Eval evaluates p at x by Horner's rule.
+func (p Poly) Eval(x Elem) Elem {
+	var acc Elem
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = Add(Mul(acc, x), p[i])
+	}
+	return acc
+}
+
+// Degree returns the degree of p, treating trailing zero coefficients as
+// absent. The zero polynomial has degree -1.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy (guides: copy slices at boundaries).
+func (p Poly) Clone() Poly {
+	if p == nil {
+		return nil
+	}
+	out := make(Poly, len(p))
+	copy(out, p)
+	return out
+}
+
+// Interpolate returns the unique polynomial of degree < len(xs) passing
+// through the given points, by Lagrange interpolation. xs must be distinct
+// and len(xs) == len(ys); it panics otherwise, as callers construct the
+// point sets locally.
+func Interpolate(xs, ys []Elem) Poly {
+	if len(xs) != len(ys) {
+		panic("field: interpolate length mismatch")
+	}
+	n := len(xs)
+	result := make(Poly, n)
+	// Accumulate y_i * prod_{j != i} (x - x_j) / (x_i - x_j).
+	for i := 0; i < n; i++ {
+		// Numerator polynomial prod_{j != i}(x - x_j), built incrementally.
+		num := Poly{1}
+		denom := Elem(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			num = num.mulLinear(Neg(xs[j]))
+			denom = Mul(denom, Sub(xs[i], xs[j]))
+		}
+		scale := Mul(ys[i], Inv(denom))
+		for d := 0; d < len(num); d++ {
+			result[d] = Add(result[d], Mul(num[d], scale))
+		}
+	}
+	return result.trim()
+}
+
+// mulLinear returns p * (x + c).
+func (p Poly) mulLinear(c Elem) Poly {
+	out := make(Poly, len(p)+1)
+	for i, coef := range p {
+		out[i] = Add(out[i], Mul(coef, c))
+		out[i+1] = Add(out[i+1], coef)
+	}
+	return out
+}
+
+// trim drops trailing zero coefficients.
+func (p Poly) trim() Poly {
+	i := len(p)
+	for i > 0 && p[i-1] == 0 {
+		i--
+	}
+	return p[:i]
+}
+
+// mul returns the product of two polynomials.
+func (p Poly) mul(q Poly) Poly {
+	if len(p) == 0 || len(q) == 0 {
+		return nil
+	}
+	out := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			out[i+j] = Add(out[i+j], Mul(a, b))
+		}
+	}
+	return out.trim()
+}

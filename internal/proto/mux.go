@@ -1,0 +1,48 @@
+package proto
+
+// Env wrapping for protocol composition: a parent protocol that embeds
+// child protocols (e.g. ss-Byz-4-Clock embeds two ss-Byz-2-Clock
+// instances, each of which embeds a coin pipeline) wraps each child's
+// messages in an Envelope tagged with the child's index, and routes
+// delivered envelopes back to the matching child. Tags are small constants
+// fixed in the code, so routing is self-stabilizing: no routing state can
+// be corrupted by a transient fault.
+
+// Envelope wraps a child protocol's message with the child's index within
+// its parent. Byzantine senders may use arbitrary child indices; routers
+// must drop unknown ones.
+type Envelope struct {
+	Child uint8
+	Inner Message
+}
+
+// Kind implements Message.
+func (e Envelope) Kind() string { return "env" }
+
+// WrapSends wraps every message in sends with the given child tag.
+func WrapSends(child uint8, sends []Send) []Send {
+	if len(sends) == 0 {
+		return nil
+	}
+	out := make([]Send, len(sends))
+	for i, s := range sends {
+		out[i] = Send{To: s.To, Msg: Envelope{Child: child, Inner: s.Msg}}
+	}
+	return out
+}
+
+// SplitInbox routes enveloped messages into per-child inboxes covering
+// children [0, numChildren). Messages that are not envelopes or carry an
+// out-of-range child tag are dropped: only Byzantine nodes produce them,
+// and dropping is the safe interpretation.
+func SplitInbox(inbox []Recv, numChildren int) [][]Recv {
+	out := make([][]Recv, numChildren)
+	for _, r := range inbox {
+		env, okEnv := r.Msg.(Envelope)
+		if !okEnv || int(env.Child) >= numChildren {
+			continue
+		}
+		out[env.Child] = append(out[env.Child], Recv{From: r.From, Msg: env.Inner})
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package proto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type fakeMsg struct{ id int }
+
+func (fakeMsg) Kind() string { return "test.fake" }
+
+func TestWrapSendsPreservesDestinations(t *testing.T) {
+	in := []Send{
+		{To: Broadcast, Msg: fakeMsg{1}},
+		{To: 3, Msg: fakeMsg{2}},
+	}
+	out := WrapSends(7, in)
+	if len(out) != 2 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, s := range out {
+		env, ok := s.Msg.(Envelope)
+		if !ok || env.Child != 7 {
+			t.Fatalf("send %d not wrapped with child 7: %#v", i, s.Msg)
+		}
+		if s.To != in[i].To {
+			t.Fatalf("destination changed: %d -> %d", in[i].To, s.To)
+		}
+		if env.Inner.(fakeMsg).id != in[i].Msg.(fakeMsg).id {
+			t.Fatalf("payload changed")
+		}
+	}
+}
+
+func TestWrapSendsEmpty(t *testing.T) {
+	if out := WrapSends(1, nil); out != nil {
+		t.Fatalf("wrapping nil produced %v", out)
+	}
+}
+
+func TestSplitInboxRoutes(t *testing.T) {
+	inbox := []Recv{
+		{From: 0, Msg: Envelope{Child: 0, Inner: fakeMsg{10}}},
+		{From: 1, Msg: Envelope{Child: 2, Inner: fakeMsg{11}}},
+		{From: 2, Msg: Envelope{Child: 1, Inner: fakeMsg{12}}},
+		{From: 3, Msg: Envelope{Child: 2, Inner: fakeMsg{13}}},
+	}
+	boxes := SplitInbox(inbox, 3)
+	if len(boxes[0]) != 1 || len(boxes[1]) != 1 || len(boxes[2]) != 2 {
+		t.Fatalf("routing counts wrong: %d %d %d", len(boxes[0]), len(boxes[1]), len(boxes[2]))
+	}
+	if boxes[2][0].From != 1 || boxes[2][1].From != 3 {
+		t.Fatalf("senders lost in routing")
+	}
+	if boxes[2][0].Msg.(fakeMsg).id != 11 {
+		t.Fatalf("payload lost in routing")
+	}
+}
+
+func TestSplitInboxDropsByzantineShapes(t *testing.T) {
+	inbox := []Recv{
+		{From: 0, Msg: fakeMsg{1}},                           // not an envelope
+		{From: 1, Msg: Envelope{Child: 9, Inner: fakeMsg{}}}, // out-of-range child
+		{From: 2, Msg: Envelope{Child: 1, Inner: fakeMsg{}}}, // valid
+	}
+	boxes := SplitInbox(inbox, 2)
+	if len(boxes[0]) != 0 || len(boxes[1]) != 1 {
+		t.Fatalf("invalid messages not dropped: %d %d", len(boxes[0]), len(boxes[1]))
+	}
+}
+
+func TestEnvValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		env  Env
+		want bool
+	}{
+		{Env{N: 4, F: 1, ID: 0, Rng: rng}, true},
+		{Env{N: 4, F: 1, ID: 3, Rng: rng}, true},
+		{Env{N: 4, F: 1, ID: 4, Rng: rng}, false},
+		{Env{N: 4, F: 1, ID: -1, Rng: rng}, false},
+		{Env{N: 0, F: 0, ID: 0, Rng: rng}, false},
+		{Env{N: 4, F: -1, ID: 0, Rng: rng}, false},
+		{Env{N: 4, F: 1, ID: 0, Rng: nil}, false},
+	}
+	for i, c := range cases {
+		if got := c.env.Valid(); got != c.want {
+			t.Errorf("case %d: Valid() = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestQuorum(t *testing.T) {
+	e := Env{N: 10, F: 3}
+	if q := e.Quorum(); q != 7 {
+		t.Fatalf("quorum = %d", q)
+	}
+}

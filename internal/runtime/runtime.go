@@ -1,0 +1,306 @@
+// Package runtime executes the protocols on real goroutines: every node
+// runs in its own goroutine and all traffic crosses the in-process
+// network as wire-encoded bytes, exactly as it would leave a NIC. A
+// coordinator implements the paper's global beat system: it signals a
+// beat, collects every node's outgoing messages (the synchrony barrier —
+// "every message sent at beat r arrives before beat r+1"), lets the
+// configured Byzantine adversary rewrite the faulty nodes' traffic, then
+// delivers all inboxes and waits for processing to finish.
+//
+// The lockstep simulator (package sim) is faster for experiments; this
+// runtime exists to prove the protocols run correctly as concurrent
+// processes over a serialized transport, and it is what the examples use.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/wire"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// N is the cluster size; F of the nodes (the last F ids) are
+	// controlled by the adversary.
+	N, F int
+	// Seed drives all node and adversary randomness deterministically.
+	Seed int64
+	// NewProtocol builds each node's protocol instance.
+	NewProtocol func(env proto.Env) proto.Protocol
+	// NewAdversary builds the Byzantine adversary; nil means the faulty
+	// nodes follow the protocol.
+	NewAdversary func(ctx *adversary.Context) adversary.Adversary
+	// ScrambleStart starts every honest node from an arbitrary state.
+	ScrambleStart bool
+}
+
+// ClockReading is one node's clock at the end of a beat.
+type ClockReading struct {
+	Value uint64
+	OK    bool
+}
+
+// Snapshot reports the cluster state after a beat.
+type Snapshot struct {
+	Beat   uint64
+	Clocks []ClockReading // indexed by node id; faulty nodes' honest copies included
+}
+
+// SyncedHonest reports whether all honest (non-adversary) clocks agree.
+func (s Snapshot) SyncedHonest(f int) (uint64, bool) {
+	honest := s.Clocks[:len(s.Clocks)-f]
+	if len(honest) == 0 {
+		return 0, false
+	}
+	v := honest[0].Value
+	for _, c := range honest {
+		if !c.OK || c.Value != v {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// envelopeBytes is one encoded message in flight.
+type envelopeBytes struct {
+	from, to int
+	data     []byte
+}
+
+type nodeCmd struct {
+	kind  byte // 'c' compose, 'd' deliver, 's' scramble, 'q' quit
+	beat  uint64
+	inbox []proto.Recv
+	seed  int64
+}
+
+type nodeReply struct {
+	sends []proto.Send
+	clock ClockReading
+	err   error
+}
+
+type node struct {
+	id    int
+	prot  proto.Protocol
+	cmds  chan nodeCmd
+	reply chan nodeReply
+}
+
+// Cluster is a running set of node goroutines. Create with New, drive
+// with Step or Run, and always Close (it joins all goroutines).
+type Cluster struct {
+	cfg    Config
+	nodes  []*node
+	adv    adversary.Adversary
+	advCtx *adversary.Context
+	beat   uint64
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New builds and starts the cluster goroutines.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.N <= 0 || cfg.F < 0 || cfg.F >= cfg.N {
+		return nil, fmt.Errorf("runtime: bad config n=%d f=%d", cfg.N, cfg.F)
+	}
+	if cfg.NewProtocol == nil {
+		return nil, errors.New("runtime: NewProtocol is required")
+	}
+	c := &Cluster{cfg: cfg}
+	var faulty []int
+	for i := cfg.N - cfg.F; i < cfg.N; i++ {
+		faulty = append(faulty, i)
+	}
+	c.advCtx = &adversary.Context{
+		N: cfg.N, F: cfg.F, Faulty: faulty,
+		Rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5adbeef)),
+	}
+	if cfg.NewAdversary != nil {
+		c.adv = cfg.NewAdversary(c.advCtx)
+	} else {
+		c.adv = adversary.Passive{}
+	}
+	for i := 0; i < cfg.N; i++ {
+		env := proto.Env{
+			N: cfg.N, F: cfg.F, ID: i,
+			Rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+		}
+		nd := &node{
+			id:    i,
+			prot:  cfg.NewProtocol(env),
+			cmds:  make(chan nodeCmd),
+			reply: make(chan nodeReply),
+		}
+		c.nodes = append(c.nodes, nd)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			nd.loop()
+		}()
+	}
+	if cfg.ScrambleStart {
+		for i, nd := range c.nodes {
+			if i >= cfg.N-cfg.F {
+				break
+			}
+			nd.cmds <- nodeCmd{kind: 's', seed: cfg.Seed ^ int64(i)<<20}
+			<-nd.reply
+		}
+	}
+	return c, nil
+}
+
+// loop is the node goroutine: it owns the protocol instance exclusively,
+// so no locking is needed on protocol state.
+func (nd *node) loop() {
+	for cmd := range nd.cmds {
+		switch cmd.kind {
+		case 'c':
+			nd.reply <- nodeReply{sends: nd.prot.Compose(cmd.beat)}
+		case 'd':
+			nd.prot.Deliver(cmd.beat, cmd.inbox)
+			r := nodeReply{}
+			if cr, ok := nd.prot.(proto.ClockReader); ok {
+				r.clock.Value, r.clock.OK = cr.Clock()
+			}
+			nd.reply <- r
+		case 's':
+			if s, ok := nd.prot.(proto.Scrambler); ok {
+				s.Scramble(rand.New(rand.NewSource(cmd.seed)))
+			}
+			nd.reply <- nodeReply{}
+		case 'q':
+			nd.reply <- nodeReply{}
+			return
+		}
+	}
+}
+
+// Step executes one beat across all goroutines and returns the resulting
+// snapshot.
+func (c *Cluster) Step() (Snapshot, error) {
+	if c.closed {
+		return Snapshot{}, errors.New("runtime: cluster closed")
+	}
+	n := c.cfg.N
+	beat := c.beat
+
+	// Compose phase: all nodes concurrently.
+	for _, nd := range c.nodes {
+		nd.cmds <- nodeCmd{kind: 'c', beat: beat}
+	}
+	composed := make([][]proto.Send, n)
+	for i, nd := range c.nodes {
+		composed[i] = (<-nd.reply).sends
+	}
+
+	// Serialize everything onto the in-process wire. Unencodable
+	// messages are a programming error worth surfacing, not dropping.
+	var flight []envelopeBytes
+	encodeOut := func(from int, sends []proto.Send) error {
+		for _, s := range sends {
+			data, err := wire.Encode(s.Msg)
+			if err != nil {
+				return fmt.Errorf("runtime: node %d: %w", from, err)
+			}
+			if s.To == proto.Broadcast {
+				for to := 0; to < n; to++ {
+					flight = append(flight, envelopeBytes{from: from, to: to, data: data})
+				}
+			} else if s.To >= 0 && s.To < n {
+				flight = append(flight, envelopeBytes{from: from, to: s.To, data: data})
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n-c.cfg.F; i++ {
+		if err := encodeOut(i, composed[i]); err != nil {
+			return Snapshot{}, err
+		}
+	}
+
+	// Adversary phase: rushing view of honest traffic addressed to the
+	// faulty ids, then the faulty nodes' actual sends.
+	var visible []adversary.Intercept
+	for _, eb := range flight {
+		if eb.to >= n-c.cfg.F {
+			if m, err := wire.Decode(eb.data); err == nil {
+				visible = append(visible, adversary.Intercept{From: eb.from, To: eb.to, Msg: m})
+			}
+		}
+	}
+	defaults := make([]adversary.Sends, c.cfg.F)
+	for k, id := range c.advCtx.Faulty {
+		defaults[k] = adversary.Sends{From: id, Out: composed[id]}
+	}
+	for _, fs := range c.adv.Act(beat, defaults, visible) {
+		if fs.From < n-c.cfg.F || fs.From >= n {
+			continue // identity cannot be forged
+		}
+		if err := encodeOut(fs.From, fs.Out); err != nil {
+			return Snapshot{}, err
+		}
+	}
+
+	// Deliver phase: decode per recipient (drop undecodable bytes — only
+	// an adversary could produce them) and hand over the inboxes.
+	inboxes := make([][]proto.Recv, n)
+	for _, eb := range flight {
+		m, err := wire.Decode(eb.data)
+		if err != nil {
+			continue
+		}
+		inboxes[eb.to] = append(inboxes[eb.to], proto.Recv{From: eb.from, Msg: m})
+	}
+	for i, nd := range c.nodes {
+		nd.cmds <- nodeCmd{kind: 'd', beat: beat, inbox: inboxes[i]}
+	}
+	snap := Snapshot{Beat: beat, Clocks: make([]ClockReading, n)}
+	for i, nd := range c.nodes {
+		snap.Clocks[i] = (<-nd.reply).clock
+	}
+	c.beat++
+	return snap, nil
+}
+
+// Run executes the given number of beats, returning the final snapshot.
+func (c *Cluster) Run(beats int) (Snapshot, error) {
+	var snap Snapshot
+	var err error
+	for i := 0; i < beats; i++ {
+		snap, err = c.Step()
+		if err != nil {
+			return snap, err
+		}
+	}
+	return snap, nil
+}
+
+// ScrambleHonest injects a transient fault into every honest node.
+func (c *Cluster) ScrambleHonest(seed int64) {
+	for i := 0; i < c.cfg.N-c.cfg.F; i++ {
+		c.nodes[i].cmds <- nodeCmd{kind: 's', seed: seed + int64(i)}
+		<-c.nodes[i].reply
+	}
+}
+
+// Close stops all node goroutines and waits for them to exit. It is safe
+// to call once; the cluster is unusable afterwards.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, nd := range c.nodes {
+		nd.cmds <- nodeCmd{kind: 'q'}
+		<-nd.reply
+		close(nd.cmds)
+	}
+	c.wg.Wait()
+}

@@ -1,0 +1,157 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/runtime"
+)
+
+func TestClusterClockSyncConverges(t *testing.T) {
+	c, err := runtime.New(runtime.Config{
+		N: 4, F: 1, Seed: 1,
+		NewProtocol:   core.NewClockSyncProtocol(16, coin.FMFactory{}),
+		ScrambleStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	synced := 0
+	var prev uint64
+	havePrev := false
+	for b := 0; b < 600 && synced < 16; b++ {
+		snap, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := snap.SyncedHonest(1)
+		if ok && (!havePrev || v == (prev+1)%16) {
+			synced++
+		} else {
+			synced = 0
+		}
+		prev, havePrev = v, ok
+	}
+	if synced < 16 {
+		t.Fatal("clock-sync did not converge on the goroutine runtime")
+	}
+}
+
+func TestClusterSurvivesScramble(t *testing.T) {
+	c, err := runtime.New(runtime.Config{
+		N: 4, F: 1, Seed: 2,
+		NewProtocol: core.NewTwoClockProtocol(coin.RabinFactory{Seed: 3}),
+		NewAdversary: func(ctx *adversary.Context) adversary.Adversary {
+			return adversary.Silent{}
+		},
+		ScrambleStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitSync := func() bool {
+		streak := 0
+		var prev uint64
+		havePrev := false
+		for b := 0; b < 300; b++ {
+			snap, err := c.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, ok := snap.SyncedHonest(1)
+			if ok && (!havePrev || v == (prev+1)%2) {
+				streak++
+				if streak >= 10 {
+					return true
+				}
+			} else {
+				streak = 0
+			}
+			prev, havePrev = v, ok
+		}
+		return false
+	}
+	if !waitSync() {
+		t.Fatal("no initial convergence")
+	}
+	c.ScrambleHonest(99)
+	if !waitSync() {
+		t.Fatal("no re-convergence after scramble")
+	}
+}
+
+func TestClusterAgreesWithLockstepEngine(t *testing.T) {
+	// Differential test: the goroutine runtime and the lockstep engine
+	// implement the same model, so honest-node convergence behaviour must
+	// match when fed identical protocols (not bit-identical runs — node
+	// RNG seeding differs — but both must converge and hold closure).
+	c, err := runtime.New(runtime.Config{
+		N: 7, F: 2, Seed: 5,
+		NewProtocol:   core.NewClockSyncProtocol(8, coin.RabinFactory{Seed: 5}),
+		ScrambleStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var prev uint64
+	havePrev := false
+	streak, converged := 0, false
+	for b := 0; b < 500; b++ {
+		snap, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := snap.SyncedHonest(2)
+		if ok && (!havePrev || v == (prev+1)%8) {
+			streak++
+		} else {
+			if converged {
+				t.Fatalf("closure violated at beat %d after convergence", b)
+			}
+			streak = 0
+		}
+		if streak >= 24 {
+			converged = true
+		}
+		prev, havePrev = v, ok
+	}
+	if !converged {
+		t.Fatal("no convergence on runtime")
+	}
+}
+
+func TestClusterRejectsBadConfig(t *testing.T) {
+	if _, err := runtime.New(runtime.Config{N: 0, F: 0}); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := runtime.New(runtime.Config{N: 3, F: 3, NewProtocol: core.NewTwoClockProtocol(coin.LocalFactory{})}); err == nil {
+		t.Fatal("accepted f=n")
+	}
+	if _, err := runtime.New(runtime.Config{N: 3, F: 0}); err == nil {
+		t.Fatal("accepted nil protocol factory")
+	}
+}
+
+func TestClusterCloseIdempotent(t *testing.T) {
+	c, err := runtime.New(runtime.Config{
+		N: 4, F: 0, Seed: 9,
+		NewProtocol: func(env proto.Env) proto.Protocol { return core.NewTwoClock(env, coin.LocalFactory{}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // must not panic or deadlock
+	if _, err := c.Step(); err == nil {
+		t.Fatal("step after close succeeded")
+	}
+}

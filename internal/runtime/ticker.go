@@ -1,0 +1,35 @@
+package runtime
+
+import (
+	"context"
+	"time"
+)
+
+// RunTicker drives the cluster from a real-time beat source: one beat per
+// interval, until the context is cancelled or beats have elapsed
+// (beats <= 0 means run until cancellation). Each snapshot is passed to
+// observe (which may be nil). The paper's model requires every beat's
+// messages to be processed before the next beat fires; Step guarantees
+// that internally, so the interval only has to cover Step's compute time
+// — if a Step overruns the interval, the next beat fires immediately
+// afterwards, preserving correctness (beats are logical, not wall-clock,
+// to the protocol).
+func (c *Cluster) RunTicker(ctx context.Context, interval time.Duration, beats int, observe func(Snapshot)) error {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for done := 0; beats <= 0 || done < beats; done++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+		snap, err := c.Step()
+		if err != nil {
+			return err
+		}
+		if observe != nil {
+			observe(snap)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package runtime_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/runtime"
+)
+
+func TestRunTickerExecutesBeats(t *testing.T) {
+	c, err := runtime.New(runtime.Config{
+		N: 4, F: 1, Seed: 1,
+		NewProtocol: core.NewClockSyncProtocol(16, coin.RabinFactory{Seed: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var snaps []runtime.Snapshot
+	err = c.RunTicker(context.Background(), time.Millisecond, 10, func(s runtime.Snapshot) {
+		snaps = append(snaps, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 10 {
+		t.Fatalf("observed %d beats, want 10", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Beat != snaps[i-1].Beat+1 {
+			t.Fatalf("beats not consecutive: %d then %d", snaps[i-1].Beat, snaps[i].Beat)
+		}
+	}
+}
+
+func TestRunTickerHonorsCancellation(t *testing.T) {
+	c, err := runtime.New(runtime.Config{
+		N: 4, F: 0, Seed: 2,
+		NewProtocol: core.NewTwoClockProtocol(coin.LocalFactory{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	beats := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- c.RunTicker(ctx, time.Millisecond, 0, func(runtime.Snapshot) { beats++ })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunTicker did not stop after cancellation")
+	}
+	if beats == 0 {
+		t.Fatal("no beats executed before cancellation")
+	}
+}

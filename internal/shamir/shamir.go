@@ -1,0 +1,128 @@
+// Package shamir implements Shamir secret sharing over GF(P), in both the
+// plain univariate form and the symmetric bivariate form used by graded
+// verifiable secret sharing: a symmetric polynomial S(x,y) of degree f in
+// each variable hides the secret at S(0,0); node i's share is the row
+// polynomial g_i(x) = S(x,i), and any two nodes can cross-check their rows
+// because symmetry forces g_i(j) = g_j(i).
+package shamir
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssbyzclock/internal/field"
+)
+
+// Share splits secret into n shares, any f+1 of which reconstruct it and
+// any f of which reveal nothing. Share i (0-based slice index) is the
+// evaluation at x = i+1.
+func Share(rng *rand.Rand, secret field.Elem, f, n int) []field.Elem {
+	p := field.RandomPoly(rng, f, secret)
+	out := make([]field.Elem, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.Eval(field.Elem(i + 1))
+	}
+	return out
+}
+
+// Reconstruct recovers the secret from exactly f+1 shares given as
+// (index, value) pairs, where index is the 0-based share index. It errors
+// on duplicate or insufficient points. It performs no error correction;
+// use Robust for Byzantine inputs.
+func Reconstruct(points map[int]field.Elem, f int) (field.Elem, error) {
+	if len(points) < f+1 {
+		return 0, fmt.Errorf("shamir: need %d shares, have %d", f+1, len(points))
+	}
+	xs := make([]field.Elem, 0, f+1)
+	ys := make([]field.Elem, 0, f+1)
+	for idx, v := range points {
+		if len(xs) == f+1 {
+			break
+		}
+		xs = append(xs, field.Elem(idx+1))
+		ys = append(ys, v)
+	}
+	return field.Interpolate(xs, ys).Eval(0), nil
+}
+
+// Robust recovers the secret from shares of which at most maxErrors are
+// corrupt, via Berlekamp–Welch. points maps 0-based share index to value.
+func Robust(points map[int]field.Elem, f, maxErrors int) (field.Elem, error) {
+	xs := make([]field.Elem, 0, len(points))
+	ys := make([]field.Elem, 0, len(points))
+	for idx, v := range points {
+		xs = append(xs, field.Elem(idx+1))
+		ys = append(ys, v)
+	}
+	p, err := field.Decode(xs, ys, f, maxErrors)
+	if err != nil {
+		return 0, err
+	}
+	return p.Eval(0), nil
+}
+
+// Bivariate is a symmetric bivariate polynomial of degree Deg in each
+// variable with coefficient matrix C (C[i][j] = C[j][i]); the secret is
+// C[0][0].
+type Bivariate struct {
+	Deg int
+	C   [][]field.Elem
+}
+
+// NewBivariate returns a uniformly random symmetric bivariate polynomial of
+// degree f hiding the given secret.
+func NewBivariate(rng *rand.Rand, f int, secret field.Elem) *Bivariate {
+	c := make([][]field.Elem, f+1)
+	for i := range c {
+		c[i] = make([]field.Elem, f+1)
+	}
+	c[0][0] = secret
+	for i := 0; i <= f; i++ {
+		for j := i; j <= f; j++ {
+			if i == 0 && j == 0 {
+				continue
+			}
+			v := field.Reduce(rng.Uint64())
+			c[i][j] = v
+			c[j][i] = v
+		}
+	}
+	return &Bivariate{Deg: f, C: c}
+}
+
+// Row returns g_i(x) = S(x, i) for 1-based evaluation point i, the share
+// polynomial handed to node i-1.
+func (b *Bivariate) Row(i field.Elem) field.Poly {
+	row := make(field.Poly, b.Deg+1)
+	for xi := 0; xi <= b.Deg; xi++ {
+		// Coefficient of x^xi is sum_j C[xi][j] * i^j.
+		var acc field.Elem
+		ip := field.Elem(1)
+		for j := 0; j <= b.Deg; j++ {
+			acc = field.Add(acc, field.Mul(b.C[xi][j], ip))
+			ip = field.Mul(ip, i)
+		}
+		row[xi] = acc
+	}
+	return row
+}
+
+// Secret returns S(0,0).
+func (b *Bivariate) Secret() field.Elem { return b.C[0][0] }
+
+// Eval evaluates S at (x, y).
+func (b *Bivariate) Eval(x, y field.Elem) field.Elem {
+	var acc field.Elem
+	xp := field.Elem(1)
+	for i := 0; i <= b.Deg; i++ {
+		var inner field.Elem
+		yp := field.Elem(1)
+		for j := 0; j <= b.Deg; j++ {
+			inner = field.Add(inner, field.Mul(b.C[i][j], yp))
+			yp = field.Mul(yp, y)
+		}
+		acc = field.Add(acc, field.Mul(xp, inner))
+		xp = field.Mul(xp, x)
+	}
+	return acc
+}

@@ -1,0 +1,279 @@
+// Package sim is the deterministic lockstep simulation engine for the
+// paper's synchronous model: a global beat system over a fully connected
+// network in which every message sent at beat r arrives before beat r+1,
+// up to f nodes are Byzantine (driven by an adversary.Adversary with
+// rushing and private channels), and transient faults can scramble node
+// state and inject phantom messages.
+//
+// All randomness derives from a single seed, so every run replays
+// exactly.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/wire"
+)
+
+// NodeFactory builds one node's protocol instance.
+type NodeFactory func(env proto.Env) proto.Protocol
+
+// Config describes one simulated cluster.
+type Config struct {
+	// N is the cluster size, F the number of Byzantine nodes.
+	N, F int
+	// Seed drives every random choice of the run (node randomness,
+	// adversary randomness, scrambling).
+	Seed int64
+	// Faulty lists the adversary-controlled node ids. Empty means the
+	// last F ids.
+	Faulty []int
+	// NewAdversary builds the adversary; nil means Passive (faulty nodes
+	// follow the protocol).
+	NewAdversary func(ctx *adversary.Context) adversary.Adversary
+	// ScrambleStart overwrites every honest node's state with arbitrary
+	// values before the first beat. Convergence experiments need it:
+	// freshly constructed nodes are often already synchronized, whereas
+	// the paper's claims quantify over arbitrary initial states.
+	ScrambleStart bool
+	// CountBytes additionally tallies the wire-encoded size of every
+	// honest message into HonestBytes (slower; used by experiment E8).
+	CountBytes bool
+}
+
+// Engine simulates one cluster. Create with New, then call Step (or Run)
+// and inspect node protocols via Node.
+type Engine struct {
+	cfg    Config
+	nodes  []proto.Protocol // all n, including faulty (adversary's copies)
+	faulty []int
+	isBad  []bool
+	adv    adversary.Adversary
+	advCtx *adversary.Context
+	beat   uint64
+
+	scrambleRng *rand.Rand
+	phantoms    []proto.Recv
+
+	// Metrics, cumulative across beats. Broadcast counts as N messages.
+	HonestMsgs uint64
+	FaultyMsgs uint64
+	// HonestBytes is the cumulative wire size of honest traffic; only
+	// tallied when Config.CountBytes is set.
+	HonestBytes uint64
+}
+
+// New builds an engine. It panics on malformed configs: configs are
+// constructed by tests and benchmarks, not from external input.
+func New(cfg Config, factory NodeFactory) *Engine {
+	if cfg.N <= 0 || cfg.F < 0 || cfg.F >= cfg.N {
+		panic(fmt.Sprintf("sim: bad config n=%d f=%d", cfg.N, cfg.F))
+	}
+	e := &Engine{cfg: cfg}
+	e.faulty = append([]int(nil), cfg.Faulty...)
+	if len(e.faulty) == 0 {
+		for i := cfg.N - cfg.F; i < cfg.N; i++ {
+			e.faulty = append(e.faulty, i)
+		}
+	}
+	if len(e.faulty) != cfg.F {
+		panic(fmt.Sprintf("sim: %d faulty ids for f=%d", len(e.faulty), cfg.F))
+	}
+	e.isBad = make([]bool, cfg.N)
+	for _, id := range e.faulty {
+		if id < 0 || id >= cfg.N {
+			panic(fmt.Sprintf("sim: faulty id %d out of range", id))
+		}
+		e.isBad[id] = true
+	}
+	e.nodes = make([]proto.Protocol, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		env := proto.Env{N: cfg.N, F: cfg.F, ID: i, Rng: rngFor(cfg.Seed, uint64(i))}
+		e.nodes[i] = factory(env)
+	}
+	e.advCtx = &adversary.Context{
+		N: cfg.N, F: cfg.F,
+		Faulty: append([]int(nil), e.faulty...),
+		Rng:    rngFor(cfg.Seed, 1<<32),
+	}
+	if cfg.NewAdversary != nil {
+		e.adv = cfg.NewAdversary(e.advCtx)
+	} else {
+		e.adv = adversary.Passive{}
+	}
+	e.scrambleRng = rngFor(cfg.Seed, 1<<33)
+	if cfg.ScrambleStart {
+		e.ScrambleHonest()
+	}
+	return e
+}
+
+// rngFor derives an independent deterministic stream from seed and salt.
+func rngFor(seed int64, salt uint64) *rand.Rand {
+	x := uint64(seed) ^ salt
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return rand.New(rand.NewSource(int64(x ^ (x >> 31))))
+}
+
+// Beat returns the next beat number to execute (the count of completed
+// beats).
+func (e *Engine) Beat() uint64 { return e.beat }
+
+// N returns the cluster size.
+func (e *Engine) N() int { return e.cfg.N }
+
+// F returns the Byzantine bound.
+func (e *Engine) F() int { return e.cfg.F }
+
+// Node returns node i's protocol instance (faulty nodes return the
+// adversary's honest-copy instance).
+func (e *Engine) Node(i int) proto.Protocol { return e.nodes[i] }
+
+// IsFaulty reports whether node i is adversary-controlled.
+func (e *Engine) IsFaulty(i int) bool { return e.isBad[i] }
+
+// HonestIDs returns the non-faulty node ids in ascending order.
+func (e *Engine) HonestIDs() []int {
+	out := make([]int, 0, e.cfg.N-e.cfg.F)
+	for i := 0; i < e.cfg.N; i++ {
+		if !e.isBad[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Step executes one beat: compose, adversary, deliver.
+func (e *Engine) Step() {
+	n := e.cfg.N
+	beat := e.beat
+
+	// Phase 1: every node (honest and the faulty nodes' honest copies)
+	// composes its messages.
+	composed := make([][]proto.Send, n)
+	for i := 0; i < n; i++ {
+		composed[i] = e.nodes[i].Compose(beat)
+	}
+
+	// Phase 2: the rushing adversary sees honest traffic addressed to
+	// faulty nodes (private channels: honest-to-honest unicast is
+	// invisible) and decides the faulty nodes' actual messages.
+	var visible []adversary.Intercept
+	for i := 0; i < n; i++ {
+		if e.isBad[i] {
+			continue
+		}
+		for _, s := range composed[i] {
+			if s.To == proto.Broadcast {
+				for _, bad := range e.faulty {
+					visible = append(visible, adversary.Intercept{From: i, To: bad, Msg: s.Msg})
+				}
+			} else if s.To >= 0 && s.To < n && e.isBad[s.To] {
+				visible = append(visible, adversary.Intercept{From: i, To: s.To, Msg: s.Msg})
+			}
+		}
+	}
+	defaultSends := make([]adversary.Sends, len(e.faulty))
+	for k, id := range e.faulty {
+		defaultSends[k] = adversary.Sends{From: id, Out: composed[id]}
+	}
+	faultySends := e.adv.Act(beat, defaultSends, visible)
+
+	// Phase 3: deliver. Inboxes receive honest sends plus the adversary's
+	// chosen sends; the faulty nodes' protocol copies also receive
+	// everything, keeping their state plausible.
+	inboxes := make([][]proto.Recv, n)
+	if len(e.phantoms) > 0 {
+		for i := 0; i < n; i++ {
+			if !e.isBad[i] {
+				inboxes[i] = append(inboxes[i], e.phantoms...)
+			}
+		}
+		e.phantoms = nil
+	}
+	deliver := func(from, to int, m proto.Message) {
+		inboxes[to] = append(inboxes[to], proto.Recv{From: from, Msg: m})
+	}
+	fanout := func(from int, s proto.Send, honest bool) {
+		if honest && e.cfg.CountBytes {
+			mult := uint64(1)
+			if s.To == proto.Broadcast {
+				mult = uint64(n)
+			}
+			e.HonestBytes += mult * uint64(wire.Size(s.Msg))
+		}
+		count := uint64(1)
+		if s.To == proto.Broadcast {
+			count = uint64(n)
+			for to := 0; to < n; to++ {
+				deliver(from, to, s.Msg)
+			}
+		} else if s.To >= 0 && s.To < n {
+			deliver(from, s.To, s.Msg)
+		} else {
+			return
+		}
+		if honest {
+			e.HonestMsgs += count
+		} else {
+			e.FaultyMsgs += count
+		}
+	}
+	for i := 0; i < n; i++ {
+		if e.isBad[i] {
+			continue
+		}
+		for _, s := range composed[i] {
+			fanout(i, s, true)
+		}
+	}
+	for _, fs := range faultySends {
+		if fs.From < 0 || fs.From >= n || !e.isBad[fs.From] {
+			continue // identity cannot be forged (Definition 2.2)
+		}
+		for _, s := range fs.Out {
+			fanout(fs.From, s, false)
+		}
+	}
+	for i := 0; i < n; i++ {
+		e.nodes[i].Deliver(beat, inboxes[i])
+	}
+	e.beat++
+}
+
+// Run executes the given number of beats.
+func (e *Engine) Run(beats int) {
+	for i := 0; i < beats; i++ {
+		e.Step()
+	}
+}
+
+// ScrambleHonest models a transient fault hitting every honest node:
+// each node implementing proto.Scrambler gets its state overwritten with
+// arbitrary values.
+func (e *Engine) ScrambleHonest() {
+	for i := 0; i < e.cfg.N; i++ {
+		if e.isBad[i] {
+			continue
+		}
+		if s, ok := e.nodes[i].(proto.Scrambler); ok {
+			s.Scramble(e.scrambleRng)
+		}
+	}
+}
+
+// InjectPhantoms queues stale garbage messages: at the next Step, every
+// honest node additionally receives each message attributed to a random
+// sender. This models the network's own transient faults — messages left
+// in buffers from before the network became coherent (Definition 2.2's
+// "phantom" messages, delivered one last time).
+func (e *Engine) InjectPhantoms(msgs []proto.Message) {
+	for _, m := range msgs {
+		e.phantoms = append(e.phantoms, proto.Recv{From: e.scrambleRng.Intn(e.cfg.N), Msg: m})
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import "ssbyzclock/internal/proto"
+
+// ClockState is a snapshot of the honest nodes' clocks at the end of a
+// beat.
+type ClockState struct {
+	Beat   uint64
+	Values []uint64 // per honest node, in HonestIDs order
+	OK     []bool
+}
+
+// Synced reports whether all honest clocks are defined and equal, and the
+// common value.
+func (s ClockState) Synced() (uint64, bool) {
+	if len(s.Values) == 0 {
+		return 0, false
+	}
+	v := s.Values[0]
+	for i := range s.Values {
+		if !s.OK[i] || s.Values[i] != v {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// ReadClocks snapshots the honest nodes' clocks. Nodes whose protocol
+// does not implement proto.ClockReader are reported as not-OK.
+func ReadClocks(e *Engine) ClockState {
+	ids := e.HonestIDs()
+	s := ClockState{Beat: e.Beat(), Values: make([]uint64, len(ids)), OK: make([]bool, len(ids))}
+	for i, id := range ids {
+		if cr, ok := e.Node(id).(proto.ClockReader); ok {
+			s.Values[i], s.OK[i] = cr.Clock()
+		}
+	}
+	return s
+}
+
+// ConvergenceResult reports a MeasureConvergence run.
+type ConvergenceResult struct {
+	// Converged is false if the run hit MaxBeats without settling.
+	Converged bool
+	// ConvergedAt is the first beat (0-based, counted from the start of
+	// the measurement) after which the honest clocks were synchronized
+	// and remained synchronized, incrementing by one mod k, until the
+	// measurement ended.
+	ConvergedAt int
+	// Beats is the number of beats executed.
+	Beats int
+	// ClosureViolations counts beats at which a previously synchronized
+	// system lost synchronization — zero for a correct protocol once
+	// converged (Definition 3.2's closure).
+	ClosureViolations int
+}
+
+// MeasureConvergence steps the engine until the honest clocks have been
+// clock-synched (Definition 3.1) and incrementing correctly for
+// holdBeats consecutive beats, then keeps attributing the convergence
+// point to the *start* of that stable suffix. It gives up after maxBeats.
+func MeasureConvergence(e *Engine, k uint64, maxBeats, holdBeats int) ConvergenceResult {
+	res := ConvergenceResult{ConvergedAt: -1}
+	stableSince := -1
+	var prev uint64
+	havePrev := false
+	for b := 0; b < maxBeats; b++ {
+		e.Step()
+		res.Beats++
+		st := ReadClocks(e)
+		v, ok := st.Synced()
+		good := ok && (!havePrev || v == (prev+1)%k)
+		if ok {
+			prev, havePrev = v, true
+		} else {
+			havePrev = false
+		}
+		if good {
+			if stableSince < 0 {
+				stableSince = b
+			}
+			if b-stableSince+1 >= holdBeats {
+				res.Converged = true
+				res.ConvergedAt = stableSince
+				return res
+			}
+		} else {
+			if stableSince >= 0 {
+				res.ClosureViolations++
+			}
+			stableSince = -1
+		}
+	}
+	return res
+}
+
+// BitState snapshots the honest nodes' coin bits at the end of a beat.
+type BitState struct {
+	Bits []byte
+}
+
+// Agreed reports whether all honest bits are equal, and the common bit.
+func (s BitState) Agreed() (byte, bool) {
+	if len(s.Bits) == 0 {
+		return 0, false
+	}
+	b := s.Bits[0]
+	for _, v := range s.Bits {
+		if v != b {
+			return 0, false
+		}
+	}
+	return b, true
+}
+
+// ReadBits snapshots the honest nodes' coin outputs.
+func ReadBits(e *Engine) BitState {
+	ids := e.HonestIDs()
+	s := BitState{Bits: make([]byte, len(ids))}
+	for i, id := range ids {
+		if br, ok := e.Node(id).(proto.BitReader); ok {
+			s.Bits[i] = br.Bit()
+		}
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+package sscoin_test
+
+import (
+	"testing"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/sim"
+	"ssbyzclock/internal/sscoin"
+)
+
+// misTagger rewrites the age tag on every coin message the faulty nodes
+// send, shifting it by one (mod pipeline depth): round-1 share messages
+// arrive at peers' round-2 instances and so on. The pipeline's positional
+// session routing must treat these as ordinary Byzantine garbage for the
+// receiving instance — agreement and balance must survive.
+type misTagger struct {
+	ctx *adversary.Context
+}
+
+func (a misTagger) Act(_ uint64, composed []adversary.Sends, _ []adversary.Intercept) []adversary.Sends {
+	out := make([]adversary.Sends, 0, len(composed))
+	for _, s := range composed {
+		shifted := make([]proto.Send, 0, len(s.Out))
+		for _, snd := range s.Out {
+			env, ok := snd.Msg.(proto.Envelope)
+			if !ok {
+				shifted = append(shifted, snd)
+				continue
+			}
+			next := env.Child%uint8(coin.FMRounds) + 1 // 1..Δ_A shifted by one
+			shifted = append(shifted, proto.Send{To: snd.To, Msg: proto.Envelope{Child: next, Inner: env.Inner}})
+		}
+		out = append(out, adversary.Sends{From: s.From, Out: shifted})
+	}
+	return out
+}
+
+func TestPipelineSurvivesAgeTagConfusion(t *testing.T) {
+	cfg := sim.Config{
+		N: 7, F: 2, Seed: 9,
+		NewAdversary: func(ctx *adversary.Context) adversary.Adversary { return misTagger{ctx: ctx} },
+	}
+	e := sim.New(cfg, func(env proto.Env) proto.Protocol {
+		return sscoin.New(env, coin.FMFactory{})
+	})
+	e.Run(coin.FMRounds + 1)
+	agree, ones, beats := 0, 0, 80
+	for i := 0; i < beats; i++ {
+		e.Step()
+		if b, ok := sim.ReadBits(e).Agreed(); ok {
+			agree++
+			if b == 1 {
+				ones++
+			}
+		}
+	}
+	if agree != beats {
+		t.Fatalf("mis-tagged coin traffic broke agreement: %d/%d", agree, beats)
+	}
+	if ones == 0 || ones == agree {
+		t.Fatalf("mis-tagged coin traffic froze the stream: %d/%d ones", ones, agree)
+	}
+}
+
+// TestPipelineIgnoresOutOfRangeTags: tags outside 1..Δ_A must be dropped
+// by the router, not crash or corrupt slot state.
+func TestPipelineIgnoresOutOfRangeTags(t *testing.T) {
+	badTagger := func(ctx *adversary.Context) adversary.Adversary {
+		return tagBlaster{ctx: ctx}
+	}
+	cfg := sim.Config{N: 4, F: 1, Seed: 10, NewAdversary: badTagger}
+	e := sim.New(cfg, func(env proto.Env) proto.Protocol {
+		return sscoin.New(env, coin.FMFactory{})
+	})
+	e.Run(coin.FMRounds + 1)
+	agree, beats := 0, 40
+	for i := 0; i < beats; i++ {
+		e.Step()
+		if _, ok := sim.ReadBits(e).Agreed(); ok {
+			agree++
+		}
+	}
+	if agree != beats {
+		t.Fatalf("out-of-range tags broke agreement: %d/%d", agree, beats)
+	}
+}
+
+type tagBlaster struct {
+	ctx *adversary.Context
+}
+
+func (a tagBlaster) Act(_ uint64, composed []adversary.Sends, _ []adversary.Intercept) []adversary.Sends {
+	out := make([]adversary.Sends, 0, len(composed))
+	for _, s := range composed {
+		mangled := make([]proto.Send, 0, len(s.Out))
+		for _, snd := range s.Out {
+			if env, ok := snd.Msg.(proto.Envelope); ok {
+				mangled = append(mangled, proto.Send{
+					To:  snd.To,
+					Msg: proto.Envelope{Child: 200 + env.Child, Inner: env.Inner},
+				})
+			}
+		}
+		out = append(out, adversary.Sends{From: s.From, Out: mangled})
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanKnown(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{1, 2, 3, 4} {
+		s.Add(x)
+	}
+	if got := s.Mean(); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestEmptySampleSafe(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 || s.Std() != 0 {
+		t.Fatal("empty sample not all-zero")
+	}
+	if s.N() != 0 {
+		t.Fatal("empty N")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.AddInt(i)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 50}, {0.95, 95}, {1.0, 100}, {0.01, 1},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("q%.2f = %v want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestStd(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if got := s.Std(); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("std = %v", got)
+	}
+}
+
+func TestMinMaxProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Clamp magnitudes so the mean's running sum cannot overflow;
+			// experiment data (beat counts) is nowhere near this scale.
+			x = math.Mod(x, 1e12)
+			s.Add(x)
+			ok = ok && s.Min() <= s.Max()
+			ok = ok && s.Min() <= s.Mean()+1e-9 && s.Mean() <= s.Max()+1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("proto", "n", "beats")
+	tb.AddRow("ss-byz-clock-sync", "7", "12.5")
+	tb.AddRow("dw", "4")
+	out := tb.String()
+	if !strings.Contains(out, "ss-byz-clock-sync") || !strings.Contains(out, "beats") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var s Sample
+	s.AddInt(10)
+	s.AddInt(20)
+	out := s.Summary()
+	if !strings.Contains(out, "mean=15.0") || !strings.Contains(out, "n=2") {
+		t.Fatalf("summary = %q", out)
+	}
+}

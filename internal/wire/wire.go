@@ -1,0 +1,382 @@
+// Package wire is the binary codec for every protocol message in this
+// repository. The lockstep simulator passes messages as Go values for
+// speed; the goroutine runtime (package runtime) serializes them through
+// this codec, and the E8 experiment uses Size to report on-the-wire
+// message complexity.
+//
+// Format: one tag byte selecting the concrete type, followed by the
+// type's fields; integers are unsigned varints, field elements are
+// varints of their canonical value, bool matrices are bit-packed
+// row-major. Envelopes nest recursively. Decode never panics on
+// malformed input — Byzantine peers own the wire.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ssbyzclock/internal/baseline"
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/field"
+	"ssbyzclock/internal/gvss"
+	"ssbyzclock/internal/proto"
+)
+
+// ErrMalformed is returned by Decode for any undecodable input.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// Type tags. Stable on the wire; append only.
+const (
+	tagEnvelope      byte = 1
+	tagShare         byte = 2
+	tagEcho          byte = 3
+	tagVote          byte = 4
+	tagRecover       byte = 5
+	tagAccept        byte = 6
+	tagTwoClock      byte = 7
+	tagFullClock     byte = 8
+	tagPropose       byte = 9
+	tagBit           byte = 10
+	tagBaseClock     byte = 11
+	tagBasePropose   byte = 12
+	tagBaseBit       byte = 13
+	tagBaseKing      byte = 14
+	maxNestingDepth       = 16
+	maxSliceElements      = 1 << 20
+)
+
+// Encode serializes a message. It errors on unregistered concrete types.
+func Encode(m proto.Message) ([]byte, error) {
+	var b []byte
+	if err := encodeTo(&b, m, 0); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Size returns the encoded size in bytes, or 0 for unregistered types.
+func Size(m proto.Message) int {
+	b, err := Encode(m)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+func encodeTo(b *[]byte, m proto.Message, depth int) error {
+	if depth > maxNestingDepth {
+		return fmt.Errorf("wire: envelope nesting exceeds %d", maxNestingDepth)
+	}
+	switch v := m.(type) {
+	case proto.Envelope:
+		*b = append(*b, tagEnvelope, v.Child)
+		return encodeTo(b, v.Inner, depth+1)
+	case gvss.ShareMsg:
+		*b = append(*b, tagShare)
+		putUvarint(b, uint64(len(v.Rows)))
+		for _, row := range v.Rows {
+			putElems(b, row)
+		}
+	case gvss.EchoMsg:
+		*b = append(*b, tagEcho)
+		putElemMatrix(b, v.Vals)
+		putBoolMatrix(b, v.Has)
+	case gvss.VoteMsg:
+		*b = append(*b, tagVote)
+		putBoolMatrix(b, v.OK)
+	case gvss.RecoverMsg:
+		*b = append(*b, tagRecover)
+		putElemMatrix(b, v.Shares)
+		putBoolMatrix(b, v.HasRow)
+	case coin.AcceptMsg:
+		*b = append(*b, tagAccept)
+		putUvarint(b, uint64(len(v.Set)))
+		for _, d := range v.Set {
+			putUvarint(b, uint64(d))
+		}
+	case core.TwoClockMsg:
+		*b = append(*b, tagTwoClock, v.V)
+	case core.FullClockMsg:
+		*b = append(*b, tagFullClock)
+		putUvarint(b, v.V)
+	case core.ProposeMsg:
+		*b = append(*b, tagPropose, boolByte(v.Bot))
+		putUvarint(b, v.V)
+	case core.BitMsg:
+		*b = append(*b, tagBit, v.B)
+	case baseline.ClockMsg:
+		*b = append(*b, tagBaseClock)
+		putUvarint(b, v.V)
+	case baseline.PhaseProposeMsg:
+		*b = append(*b, tagBasePropose, boolByte(v.Bot))
+		putUvarint(b, v.V)
+	case baseline.PhaseBitMsg:
+		*b = append(*b, tagBaseBit, v.B)
+	case baseline.KingMsg:
+		*b = append(*b, tagBaseKing)
+		putUvarint(b, v.V)
+	default:
+		return fmt.Errorf("wire: unregistered message type %T", m)
+	}
+	return nil
+}
+
+// Decode parses a message, consuming the whole buffer.
+func Decode(data []byte) (proto.Message, error) {
+	m, rest, err := decodeFrom(data, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(rest))
+	}
+	return m, nil
+}
+
+func decodeFrom(data []byte, depth int) (proto.Message, []byte, error) {
+	if depth > maxNestingDepth {
+		return nil, nil, fmt.Errorf("%w: nesting too deep", ErrMalformed)
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty", ErrMalformed)
+	}
+	tag, data := data[0], data[1:]
+	switch tag {
+	case tagEnvelope:
+		if len(data) == 0 {
+			return nil, nil, ErrMalformed
+		}
+		child := data[0]
+		inner, rest, err := decodeFrom(data[1:], depth+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		return proto.Envelope{Child: child, Inner: inner}, rest, nil
+	case tagShare:
+		n, data, err := getUvarint(data)
+		if err != nil || n > maxSliceElements {
+			return nil, nil, ErrMalformed
+		}
+		rows := make([]field.Poly, n)
+		for i := range rows {
+			rows[i], data, err = getElems(data)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return gvss.ShareMsg{Rows: rows}, data, nil
+	case tagEcho:
+		vals, data, err := getElemMatrix(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		has, data, err := getBoolMatrix(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return gvss.EchoMsg{Vals: vals, Has: has}, data, nil
+	case tagVote:
+		ok, data, err := getBoolMatrix(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return gvss.VoteMsg{OK: ok}, data, nil
+	case tagRecover:
+		shares, data, err := getElemMatrix(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		has, data, err := getBoolMatrix(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return gvss.RecoverMsg{Shares: shares, HasRow: has}, data, nil
+	case tagAccept:
+		n, data, err := getUvarint(data)
+		if err != nil || n > maxSliceElements {
+			return nil, nil, ErrMalformed
+		}
+		set := make([]uint16, n)
+		for i := range set {
+			var v uint64
+			v, data, err = getUvarint(data)
+			if err != nil || v > 1<<16-1 {
+				return nil, nil, ErrMalformed
+			}
+			set[i] = uint16(v)
+		}
+		return coin.AcceptMsg{Set: set}, data, nil
+	case tagTwoClock:
+		if len(data) < 1 {
+			return nil, nil, ErrMalformed
+		}
+		return core.TwoClockMsg{V: data[0]}, data[1:], nil
+	case tagFullClock:
+		v, data, err := getUvarint(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.FullClockMsg{V: v}, data, nil
+	case tagPropose:
+		if len(data) < 1 {
+			return nil, nil, ErrMalformed
+		}
+		bot := data[0] != 0
+		v, data, err := getUvarint(data[1:])
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.ProposeMsg{V: v, Bot: bot}, data, nil
+	case tagBit:
+		if len(data) < 1 {
+			return nil, nil, ErrMalformed
+		}
+		return core.BitMsg{B: data[0]}, data[1:], nil
+	case tagBaseClock:
+		v, data, err := getUvarint(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return baseline.ClockMsg{V: v}, data, nil
+	case tagBasePropose:
+		if len(data) < 1 {
+			return nil, nil, ErrMalformed
+		}
+		bot := data[0] != 0
+		v, data, err := getUvarint(data[1:])
+		if err != nil {
+			return nil, nil, err
+		}
+		return baseline.PhaseProposeMsg{V: v, Bot: bot}, data, nil
+	case tagBaseBit:
+		if len(data) < 1 {
+			return nil, nil, ErrMalformed
+		}
+		return baseline.PhaseBitMsg{B: data[0]}, data[1:], nil
+	case tagBaseKing:
+		v, data, err := getUvarint(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return baseline.KingMsg{V: v}, data, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown tag %d", ErrMalformed, tag)
+	}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func putUvarint(b *[]byte, v uint64) {
+	*b = binary.AppendUvarint(*b, v)
+}
+
+func getUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, ErrMalformed
+	}
+	return v, data[n:], nil
+}
+
+func putElems(b *[]byte, es []field.Elem) {
+	putUvarint(b, uint64(len(es)))
+	for _, e := range es {
+		putUvarint(b, uint64(e))
+	}
+}
+
+func getElems(data []byte) (field.Poly, []byte, error) {
+	n, data, err := getUvarint(data)
+	if err != nil || n > maxSliceElements {
+		return nil, nil, ErrMalformed
+	}
+	es := make(field.Poly, n)
+	for i := range es {
+		var v uint64
+		v, data, err = getUvarint(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		es[i] = field.Reduce(v) // canonicalize: the wire may carry garbage
+	}
+	return es, data, nil
+}
+
+func putElemMatrix(b *[]byte, m [][]field.Elem) {
+	putUvarint(b, uint64(len(m)))
+	for _, row := range m {
+		putElems(b, row)
+	}
+}
+
+func getElemMatrix(data []byte) ([][]field.Elem, []byte, error) {
+	n, data, err := getUvarint(data)
+	if err != nil || n > maxSliceElements {
+		return nil, nil, ErrMalformed
+	}
+	m := make([][]field.Elem, n)
+	for i := range m {
+		var row field.Poly
+		row, data, err = getElems(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[i] = row
+	}
+	return m, data, nil
+}
+
+// putBoolMatrix writes row count, then per row the bit count and the
+// bit-packed bits.
+func putBoolMatrix(b *[]byte, m [][]bool) {
+	putUvarint(b, uint64(len(m)))
+	for _, row := range m {
+		putUvarint(b, uint64(len(row)))
+		var cur byte
+		for i, v := range row {
+			if v {
+				cur |= 1 << (i % 8)
+			}
+			if i%8 == 7 {
+				*b = append(*b, cur)
+				cur = 0
+			}
+		}
+		if len(row)%8 != 0 {
+			*b = append(*b, cur)
+		}
+	}
+}
+
+func getBoolMatrix(data []byte) ([][]bool, []byte, error) {
+	n, data, err := getUvarint(data)
+	if err != nil || n > maxSliceElements {
+		return nil, nil, ErrMalformed
+	}
+	m := make([][]bool, n)
+	for i := range m {
+		var cnt uint64
+		cnt, data, err = getUvarint(data)
+		if err != nil || cnt > maxSliceElements {
+			return nil, nil, ErrMalformed
+		}
+		nbytes := int((cnt + 7) / 8)
+		if len(data) < nbytes {
+			return nil, nil, ErrMalformed
+		}
+		row := make([]bool, cnt)
+		for j := range row {
+			row[j] = data[j/8]&(1<<(j%8)) != 0
+		}
+		data = data[nbytes:]
+		m[i] = row
+	}
+	return m, data, nil
+}

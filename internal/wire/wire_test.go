@@ -1,0 +1,229 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ssbyzclock/internal/baseline"
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/field"
+	"ssbyzclock/internal/gvss"
+	"ssbyzclock/internal/proto"
+)
+
+func roundTrip(t *testing.T, m proto.Message) {
+	t.Helper()
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatalf("encode %T: %v", m, err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode %T: %v", m, err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n  in:  %#v\n  out: %#v", m, got)
+	}
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	msgs := []proto.Message{
+		core.TwoClockMsg{V: 0},
+		core.TwoClockMsg{V: core.Bot},
+		core.FullClockMsg{V: 0},
+		core.FullClockMsg{V: 1<<63 - 1},
+		core.ProposeMsg{V: 42},
+		core.ProposeMsg{Bot: true},
+		core.BitMsg{B: 1},
+		baseline.ClockMsg{V: 12345},
+		baseline.PhaseProposeMsg{V: 9, Bot: false},
+		baseline.PhaseProposeMsg{Bot: true},
+		baseline.PhaseBitMsg{B: 0},
+		baseline.KingMsg{V: 7},
+		coin.AcceptMsg{Set: []uint16{}},
+		coin.AcceptMsg{Set: []uint16{0, 3, 65535}},
+	}
+	for _, m := range msgs {
+		roundTrip(t, m)
+	}
+}
+
+func TestRoundTripEnvelopes(t *testing.T) {
+	m := proto.Envelope{Child: 2, Inner: proto.Envelope{Child: 0, Inner: proto.Envelope{Child: 5, Inner: core.BitMsg{B: 1}}}}
+	roundTrip(t, m)
+}
+
+func TestRoundTripGVSSRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(8)
+		f := rng.Intn(3)
+		switch trial % 4 {
+		case 0:
+			rows := make([]field.Poly, n)
+			for i := range rows {
+				rows[i] = randPoly(rng, f+1)
+			}
+			roundTrip(t, gvss.ShareMsg{Rows: rows})
+		case 1:
+			roundTrip(t, gvss.EchoMsg{Vals: randMatrix(rng, n), Has: randBools(rng, n)})
+		case 2:
+			roundTrip(t, gvss.VoteMsg{OK: randBools(rng, n)})
+		case 3:
+			roundTrip(t, gvss.RecoverMsg{Shares: randMatrix(rng, n), HasRow: randBools(rng, n)})
+		}
+	}
+}
+
+func TestRoundTripWholeProtocolTraffic(t *testing.T) {
+	// Everything a live ss-Byz-Clock-Sync node actually sends must make
+	// it through the codec unchanged.
+	env := proto.Env{N: 4, F: 1, ID: 0, Rng: rand.New(rand.NewSource(2))}
+	node := core.NewClockSync(env, 64, coin.FMFactory{})
+	for beat := uint64(0); beat < 12; beat++ {
+		sends := node.Compose(beat)
+		var inbox []proto.Recv
+		for _, s := range sends {
+			b, err := Encode(s.Msg)
+			if err != nil {
+				t.Fatalf("beat %d: encode: %v", beat, err)
+			}
+			m, err := Decode(b)
+			if err != nil {
+				t.Fatalf("beat %d: decode: %v", beat, err)
+			}
+			if !reflect.DeepEqual(m, s.Msg) {
+				t.Fatalf("beat %d: mismatch for %s", beat, s.Msg.Kind())
+			}
+			inbox = append(inbox, proto.Recv{From: 0, Msg: m})
+		}
+		node.Deliver(beat, inbox)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		// Must never panic; error or clean decode both acceptable.
+		if m, err := Decode(b); err == nil {
+			// Re-encoding a successful decode must round trip.
+			b2, err := Encode(m)
+			if err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			m2, err := Decode(b2)
+			if err != nil || !reflect.DeepEqual(m, m2) {
+				t.Fatalf("unstable decode: %#v vs %#v", m, m2)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	m := gvss.EchoMsg{Vals: randMatrix(rand.New(rand.NewSource(4)), 5), Has: randBools(rand.New(rand.NewSource(5)), 5)}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Decode(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(b))
+		}
+	}
+}
+
+func TestDecodeRejectsTrailing(t *testing.T) {
+	b, err := Encode(core.BitMsg{B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(b, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestEncodeRejectsUnknownType(t *testing.T) {
+	if _, err := Encode(unknownMsg{}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestEncodeRejectsDeepNesting(t *testing.T) {
+	var m proto.Message = core.BitMsg{B: 0}
+	for i := 0; i < 40; i++ {
+		m = proto.Envelope{Child: 1, Inner: m}
+	}
+	if _, err := Encode(m); err == nil {
+		t.Fatal("over-deep nesting accepted")
+	}
+}
+
+func TestSizeReportsBytes(t *testing.T) {
+	if s := Size(core.BitMsg{B: 1}); s != 2 {
+		t.Fatalf("BitMsg size = %d, want 2", s)
+	}
+	if s := Size(unknownMsg{}); s != 0 {
+		t.Fatalf("unknown size = %d, want 0", s)
+	}
+}
+
+type unknownMsg struct{}
+
+func (unknownMsg) Kind() string { return "test.unknown" }
+
+func randPoly(rng *rand.Rand, n int) field.Poly {
+	p := make(field.Poly, n)
+	for i := range p {
+		p[i] = field.Reduce(rng.Uint64())
+	}
+	return p
+}
+
+func randMatrix(rng *rand.Rand, n int) [][]field.Elem {
+	m := make([][]field.Elem, n)
+	for i := range m {
+		m[i] = randPoly(rng, n)
+	}
+	return m
+}
+
+func randBools(rng *rand.Rand, n int) [][]bool {
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+		for j := range m[i] {
+			m[i][j] = rng.Intn(2) == 0
+		}
+	}
+	return m
+}
+
+func BenchmarkEncodeEcho(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	m := gvss.EchoMsg{Vals: randMatrix(rng, 10), Has: randBools(rng, 10)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeEcho(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m := gvss.EchoMsg{Vals: randMatrix(rng, 10), Has: randBools(rng, 10)}
+	buf, err := Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package ssbyzclock_test
+
+import (
+	"testing"
+
+	ssbyzclock "ssbyzclock"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ssbyzclock.Config
+		ok   bool
+	}{
+		{"valid", ssbyzclock.Config{N: 4, F: 1}, true},
+		{"no-faults", ssbyzclock.Config{N: 1, F: 0}, true},
+		{"zero-n", ssbyzclock.Config{N: 0}, false},
+		{"f-too-big", ssbyzclock.Config{N: 3, F: 1}, false},
+		{"negative-f", ssbyzclock.Config{N: 4, F: -1}, false},
+		{"boundary-ok", ssbyzclock.Config{N: 7, F: 2}, true},
+		{"boundary-bad", ssbyzclock.Config{N: 6, F: 2}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ssbyzclock.NewNode(c.cfg, 0)
+			if (err == nil) != c.ok {
+				t.Fatalf("cfg %+v: err=%v, want ok=%v", c.cfg, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestNewNodeIDRange(t *testing.T) {
+	cfg := ssbyzclock.Config{N: 4, F: 1}
+	if _, err := ssbyzclock.NewNode(cfg, -1); err == nil {
+		t.Fatal("accepted negative id")
+	}
+	if _, err := ssbyzclock.NewNode(cfg, 4); err == nil {
+		t.Fatal("accepted id == N")
+	}
+	n, err := ssbyzclock.NewNode(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID() != 3 {
+		t.Fatalf("ID() = %d", n.ID())
+	}
+}
+
+// TestManualTransport drives Nodes over a hand-rolled transport, the way
+// a downstream user would: BeginBeat, exchange bytes, EndBeat.
+func TestManualTransport(t *testing.T) {
+	cfg := ssbyzclock.Config{N: 4, F: 0, K: 8, Coin: ssbyzclock.CoinFM, Seed: 42}
+	nodes := make([]*ssbyzclock.Node, cfg.N)
+	for i := range nodes {
+		n, err := ssbyzclock.NewNode(cfg, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	streak := 0
+	var prev uint64
+	havePrev := false
+	for beat := uint64(0); beat < 200 && streak < 16; beat++ {
+		inboxes := make([][]ssbyzclock.InMessage, cfg.N)
+		for id, n := range nodes {
+			outs, err := n.BeginBeat(beat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range outs {
+				if o.To == ssbyzclock.BroadcastTo {
+					for to := range inboxes {
+						inboxes[to] = append(inboxes[to], ssbyzclock.InMessage{From: id, Data: o.Data})
+					}
+				} else {
+					inboxes[o.To] = append(inboxes[o.To], ssbyzclock.InMessage{From: id, Data: o.Data})
+				}
+			}
+		}
+		for id, n := range nodes {
+			n.EndBeat(beat, inboxes[id])
+		}
+		v0, _ := nodes[0].Clock()
+		agree := true
+		for _, n := range nodes {
+			v, ok := n.Clock()
+			if !ok || v != v0 {
+				agree = false
+			}
+		}
+		if agree && (!havePrev || v0 == (prev+1)%cfg.K) {
+			streak++
+		} else {
+			streak = 0
+		}
+		prev, havePrev = v0, agree
+	}
+	if streak < 16 {
+		t.Fatal("manual transport cluster did not synchronize")
+	}
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	for _, adv := range []ssbyzclock.AdversaryKind{
+		ssbyzclock.AdvPassive, ssbyzclock.AdvSilent, ssbyzclock.AdvSplitter,
+	} {
+		t.Run(adv.String(), func(t *testing.T) {
+			c, err := ssbyzclock.NewCluster(
+				ssbyzclock.Config{N: 4, F: 1, K: 16, Coin: ssbyzclock.CoinRabin, Seed: 7},
+				ssbyzclock.ClusterOptions{Adversary: adv, ScrambleStart: true},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			_, ok, err := c.RunUntilSynced(800, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("no sync under %s", adv)
+			}
+		})
+	}
+}
+
+func TestClusterTransientFaultRecovery(t *testing.T) {
+	c, err := ssbyzclock.NewCluster(
+		ssbyzclock.Config{N: 4, F: 1, K: 16, Coin: ssbyzclock.CoinFM, Seed: 11},
+		ssbyzclock.ClusterOptions{Adversary: ssbyzclock.AdvSilent, ScrambleStart: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok, err := c.RunUntilSynced(800, 16); err != nil || !ok {
+		t.Fatalf("initial sync failed: ok=%v err=%v", ok, err)
+	}
+	c.ScrambleHonest(123)
+	if _, ok, err := c.RunUntilSynced(800, 16); err != nil || !ok {
+		t.Fatalf("re-sync after transient fault failed: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if ssbyzclock.CoinFM.String() != "fm" || ssbyzclock.CoinLocal.String() != "local" {
+		t.Fatal("coin kind strings")
+	}
+	if ssbyzclock.AdvSplitter.String() != "splitter" {
+		t.Fatal("adversary kind strings")
+	}
+}
