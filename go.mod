@@ -1,0 +1,3 @@
+module ssbyzclock
+
+go 1.22

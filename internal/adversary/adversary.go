@@ -60,6 +60,13 @@ type Intercept struct {
 // traffic. The returned sends are delivered as coming from the respective
 // faulty nodes; sends claiming a non-faulty From are discarded by the
 // engine (identity cannot be forged).
+//
+// The composed and visible slices are only valid for the duration of the
+// call — the engine reuses their backing arrays across beats — so
+// implementations must not retain them (retaining the Message values
+// themselves is fine; messages are never pooled). An adversary that
+// records traffic across beats (e.g. Replayer) must copy the entries it
+// keeps.
 type Adversary interface {
 	Act(beat uint64, composed []Sends, visible []Intercept) []Sends
 }

@@ -14,7 +14,7 @@ type Path string
 func Unwrap(m proto.Message) (Path, proto.Message) {
 	var path []byte
 	for {
-		env, ok := m.(proto.Envelope)
+		env, ok := proto.AsEnvelope(m)
 		if !ok {
 			return Path(path), m
 		}

@@ -48,6 +48,17 @@ type Factory interface {
 	New(env proto.Env, beat uint64) Flipper
 }
 
+// Recycler is optionally implemented by factories whose instances can be
+// re-initialized in place. Renew behaves exactly like New — including the
+// deterministic randomness it draws — but may reuse the retired
+// instance's allocations; drivers (the ss-Byz-Coin-Flip pipeline) pass
+// the instance that just exited the pipeline. Implementations must fall
+// back to New when old is foreign (e.g. a fault-scrambled wrapper) or
+// shaped for a different environment.
+type Recycler interface {
+	Renew(old Flipper, env proto.Env, beat uint64) Flipper
+}
+
 // splitmix64 is the SplitMix64 mixer, used to derive beacon bits and
 // scramble seeds deterministically.
 func splitmix64(x uint64) uint64 {

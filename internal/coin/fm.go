@@ -1,7 +1,7 @@
 package coin
 
 import (
-	"sort"
+	"slices"
 
 	"ssbyzclock/internal/field"
 	"ssbyzclock/internal/gvss"
@@ -37,6 +37,24 @@ func (FMFactory) New(env proto.Env, _ uint64) Flipper {
 		session: gvss.New(env, env.Rng),
 		accepts: make([][]uint16, env.N),
 	}
+}
+
+// Renew implements Recycler: a flipper that just exited the coin pipeline
+// is re-initialized in place — fresh dealer secrets, cleared session and
+// accept state — reusing all of its allocations. It draws from env.Rng
+// exactly as New does, so recycling never changes a seeded run.
+func (f FMFactory) Renew(old Flipper, env proto.Env, beat uint64) Flipper {
+	c, ok := old.(*fmFlipper)
+	if !ok || !c.session.Reset(env, env.Rng) {
+		return f.New(env, beat)
+	}
+	c.env = env
+	for i := range c.accepts {
+		c.accepts[i] = nil
+	}
+	c.out = 0
+	c.done = false
+	return c
 }
 
 // fmFlipper runs one coin flip:
@@ -180,16 +198,27 @@ func (c *fmFlipper) Output() byte {
 }
 
 // dedupSet validates, deduplicates and sorts a claimed accept set,
-// dropping out-of-range dealers.
+// dropping out-of-range dealers. Cluster sizes up to 64 dedup via a
+// bitmask; only larger (hypothetical) clusters pay for a map.
 func dedupSet(in []uint16, n int) []uint16 {
-	seen := make(map[uint16]bool, len(in))
 	out := make([]uint16, 0, len(in))
-	for _, d := range in {
-		if int(d) < n && !seen[d] {
-			seen[d] = true
-			out = append(out, d)
+	if n <= 64 {
+		var seen uint64
+		for _, d := range in {
+			if int(d) < n && seen&(1<<d) == 0 {
+				seen |= 1 << d
+				out = append(out, d)
+			}
+		}
+	} else {
+		seen := make(map[uint16]bool, len(in))
+		for _, d := range in {
+			if int(d) < n && !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -1,0 +1,40 @@
+package field
+
+// BatchInv replaces every element of a with its multiplicative inverse
+// using Montgomery's trick: one Fermat inversion plus 3(len(a)-1)
+// multiplications, instead of one ~60-multiplication Fermat inversion per
+// element. Any zero entry panics, matching Inv: division by zero is a
+// protocol logic error, never bad remote input.
+//
+// scratch, when non-nil and large enough, is used for the prefix-product
+// table so steady-state callers allocate nothing; pass nil for a one-shot
+// call.
+func BatchInv(a []Elem, scratch []Elem) {
+	n := len(a)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		a[0] = Inv(a[0])
+		return
+	}
+	prefix := scratch
+	if cap(prefix) < n {
+		prefix = make([]Elem, n)
+	}
+	prefix = prefix[:n]
+	// prefix[i] = a[0]*...*a[i]
+	acc := a[0]
+	prefix[0] = acc
+	for i := 1; i < n; i++ {
+		acc = Mul(acc, a[i])
+		prefix[i] = acc
+	}
+	inv := Inv(acc) // panics on zero product, i.e. any zero entry
+	for i := n - 1; i > 0; i-- {
+		ai := a[i]
+		a[i] = Mul(inv, prefix[i-1])
+		inv = Mul(inv, ai)
+	}
+	a[0] = inv
+}

@@ -66,7 +66,8 @@ func tryDecode(xs, ys []Elem, degree, e int) (Poly, bool) {
 			xp = Mul(xp, xs[i])
 		}
 		a[i] = row
-		b[i] = Mul(ys[i], Pow(xs[i], uint64(e)))
+		// After the loop xp = xs[i]^ne = xs[i]^e, saving a Pow per row.
+		b[i] = Mul(ys[i], xp)
 	}
 	sol, ok := solveLinear(a, b)
 	if !ok {
@@ -93,9 +94,16 @@ func tryDecode(xs, ys []Elem, degree, e int) (Poly, bool) {
 	return f, true
 }
 
-// solveLinear solves A x = b over GF(P) by Gaussian elimination with
-// partial pivoting, returning any solution (free variables set to zero).
-// ok is false when the system is inconsistent. A is mutated.
+// solveLinear solves A x = b over GF(P) by division-free Gauss–Jordan
+// elimination with partial pivoting, returning any solution (free
+// variables set to zero). ok is false when the system is inconsistent.
+// A is mutated.
+//
+// Instead of normalizing each pivot row with a ~60-multiplication Fermat
+// inversion, rows are eliminated by cross-multiplication
+// (row_i := p*row_i - a_ic*row_r, valid over a field since every pivot p
+// is non-zero), and the accumulated pivot diagonal is inverted once at
+// the end with a single Montgomery batch inversion.
 func solveLinear(a [][]Elem, b []Elem) ([]Elem, bool) {
 	rows := len(a)
 	if rows == 0 {
@@ -118,33 +126,45 @@ func solveLinear(a [][]Elem, b []Elem) ([]Elem, bool) {
 		}
 		a[r], a[pivot] = a[pivot], a[r]
 		b[r], b[pivot] = b[pivot], b[r]
-		inv := Inv(a[r][c])
-		for j := c; j < cols; j++ {
-			a[r][j] = Mul(a[r][j], inv)
-		}
-		b[r] = Mul(b[r], inv)
+		p := a[r][c]
 		for i := 0; i < rows; i++ {
 			if i == r || a[i][c] == 0 {
 				continue
 			}
 			factor := a[i][c]
-			for j := c; j < cols; j++ {
-				a[i][j] = Sub(a[i][j], Mul(factor, a[r][j]))
+			// Cross-multiplication scales all of row i, so the loop must
+			// start at row i's first possibly-nonzero column: rows not yet
+			// reduced (i > r) are zero left of c, but earlier pivot rows
+			// can hold nonzero entries in skipped (free) columns at or
+			// after their own pivot column. row_r itself is zero left of c.
+			jStart := c
+			if i < r {
+				jStart = pivotCol[i]
 			}
-			b[i] = Sub(b[i], Mul(factor, b[r]))
+			for j := jStart; j < cols; j++ {
+				a[i][j] = Sub(Mul(p, a[i][j]), Mul(factor, a[r][j]))
+			}
+			b[i] = Sub(Mul(p, b[i]), Mul(factor, b[r]))
 		}
 		pivotCol = append(pivotCol, c)
 		r++
 	}
-	// Inconsistency: a zero row with non-zero rhs.
+	// Inconsistency: a zero row with non-zero rhs. (Cross-multiplication
+	// scales rows by non-zero pivots only, preserving zero/non-zero.)
 	for i := r; i < rows; i++ {
 		if b[i] != 0 {
 			return nil, false
 		}
 	}
+	// x[c] = b[i] / a[i][c] for each pivot row: one batched inversion.
+	diag := make([]Elem, len(pivotCol))
+	for i, c := range pivotCol {
+		diag[i] = a[i][c]
+	}
+	BatchInv(diag, nil)
 	x := make([]Elem, cols)
 	for i, c := range pivotCol {
-		x[c] = b[i]
+		x[c] = Mul(b[i], diag[i])
 	}
 	return x, true
 }

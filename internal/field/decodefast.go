@@ -5,7 +5,21 @@ package field
 // with at most maxErrors of all points. This avoids the Berlekamp–Welch
 // linear system entirely in the common case where no (or few, and
 // unluckily-placed) errors are present; it falls back to Decode otherwise.
+//
+// The happy-path interpolation runs through the Recon weight cache: share
+// x-sets repeat every beat, so the Lagrange basis is looked up rather than
+// rebuilt, making the no-error case a single O(degree^2) mul-add sweep
+// plus the verification scan.
 func DecodeFast(xs, ys []Elem, degree, maxErrors int) (Poly, error) {
+	return DecodeFastInto(nil, xs, ys, degree, maxErrors)
+}
+
+// DecodeFastInto is DecodeFast reusing dst for the happy-path result; hot
+// callers that do not retain the polynomial (the GVSS recover round) pass
+// a scratch buffer and decode with zero allocations. The fallback path
+// (Decode) still allocates — it only runs under active Byzantine
+// corruption.
+func DecodeFastInto(dst Poly, xs, ys []Elem, degree, maxErrors int) (Poly, error) {
 	// Cap at the information-theoretic bound, as Decode does: accepting a
 	// fit with more disagreements than (m-degree-1)/2 would not be unique
 	// and could differ between honest receivers of equivocated shares.
@@ -13,7 +27,7 @@ func DecodeFast(xs, ys []Elem, degree, maxErrors int) (Poly, error) {
 		maxErrors = cap
 	}
 	if degree >= 0 && maxErrors >= 0 && len(xs) == len(ys) && len(xs) > degree {
-		p := Interpolate(xs[:degree+1], ys[:degree+1])
+		p := ReconFor(xs[:degree+1]).InterpolateInto(dst, ys[:degree+1])
 		bad := 0
 		for i := range xs {
 			if p.Eval(xs[i]) != ys[i] {

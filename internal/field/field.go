@@ -23,7 +23,30 @@ type Elem uint64
 
 // Reduce maps an arbitrary uint64 into canonical range. It accepts any
 // input because Byzantine messages may carry out-of-range values.
-func Reduce(v uint64) Elem { return Elem(v % P) }
+//
+// Because P is the Mersenne prime 2^31-1, reduction needs no division:
+// writing v = hi*2^31 + lo, we have v ≡ hi + lo (mod P) since 2^31 ≡ 1.
+// Two folds bring any uint64 below 2P, and one conditional subtraction
+// canonicalizes (it also maps the non-canonical residue P itself to 0).
+func Reduce(v uint64) Elem {
+	v = (v & P) + (v >> 31) // < 2^33 + 2^31
+	v = (v & P) + (v >> 31) // < P + 5
+	if v >= P {
+		v -= P
+	}
+	return Elem(v)
+}
+
+// reduceWide canonicalizes an accumulator known to be < 2^62 (any product
+// of canonical elements, or a partially folded lazy sum). The name
+// records the precondition at call sites; the folding itself handles any
+// uint64, so it simply delegates.
+func reduceWide(v uint64) Elem { return Reduce(v) }
+
+// fold performs one Mersenne folding step without canonicalizing. For
+// v < 2^63 the result is < 2^33 and congruent to v mod P; hot loops keep
+// accumulators in this relaxed range and canonicalize once at the end.
+func fold(v uint64) uint64 { return (v & P) + (v >> 31) }
 
 // Add returns a + b mod P.
 func Add(a, b Elem) Elem {
@@ -50,9 +73,41 @@ func Neg(a Elem) Elem {
 	return Elem(P) - a
 }
 
-// Mul returns a * b mod P. Safe: operands are < 2^31 so the product fits
-// in 62 bits.
-func Mul(a, b Elem) Elem { return Elem(uint64(a) * uint64(b) % P) }
+// Mul returns a * b mod P. Operands must be canonical (< P, guaranteed by
+// construction everywhere outside deserialization, which goes through
+// Reduce); the product then fits in 62 bits and two branchless Mersenne
+// folds replace the hardware division. See mulRef for the division-based
+// oracle the differential tests compare against.
+func Mul(a, b Elem) Elem { return reduceWide(uint64(a) * uint64(b)) }
+
+// mulRef is the division-based reference implementation of Mul, kept as
+// the oracle for differential tests of the Mersenne folding fast path.
+func mulRef(a, b Elem) Elem { return Elem(uint64(a) * uint64(b) % P) }
+
+// MulAdd returns acc + a*b mod P in one partially-folded step: the product
+// (< 2^62) plus a canonical acc (< 2^31) stays below 2^63, so one fold and
+// a final canonicalization suffice. This is the scalar building block of
+// the Horner and Lagrange inner loops.
+func MulAdd(acc, a, b Elem) Elem {
+	return reduceWide(uint64(acc) + uint64(a)*uint64(b))
+}
+
+// Dot returns the inner product sum_i a[i]*b[i] mod P with lazy reduction:
+// one fold per term keeps the accumulator under 2^33 (so adding the next
+// 62-bit product cannot overflow), and a single canonicalization finishes.
+// It panics if the slices differ in length. With cached Lagrange weights
+// (see Recon) this makes secret reconstruction an allocation-free O(n)
+// pass.
+func Dot(a, b []Elem) Elem {
+	if len(a) != len(b) {
+		panic("field: dot length mismatch")
+	}
+	var acc uint64
+	for i := range a {
+		acc = fold(acc + uint64(a[i])*uint64(b[i]))
+	}
+	return reduceWide(acc)
+}
 
 // Pow returns a^e mod P by square-and-multiply.
 func Pow(a Elem, e uint64) Elem {

@@ -18,13 +18,17 @@ func RandomPoly(rng *rand.Rand, degree int, secret Elem) Poly {
 	return p
 }
 
-// Eval evaluates p at x by Horner's rule.
+// Eval evaluates p at x by Horner's rule with lazy Mersenne reduction:
+// the accumulator is kept in the folded (<2^32) range — multiplying it by
+// a canonical x stays under 2^63, so two folds per step replace the
+// division and canonicalization happens once at the end.
 func (p Poly) Eval(x Elem) Elem {
-	var acc Elem
+	var acc uint64
+	xx := uint64(x)
 	for i := len(p) - 1; i >= 0; i-- {
-		acc = Add(Mul(acc, x), p[i])
+		acc = fold(fold(acc*xx + uint64(p[i])))
 	}
-	return acc
+	return reduceWide(acc)
 }
 
 // Degree returns the degree of p, treating trailing zero coefficients as
@@ -52,7 +56,23 @@ func (p Poly) Clone() Poly {
 // through the given points, by Lagrange interpolation. xs must be distinct
 // and len(xs) == len(ys); it panics otherwise, as callers construct the
 // point sets locally.
+//
+// The work happens in the Recon fast path: Lagrange basis coefficients
+// are precomputed per x-set (cached process-wide for the share-index sets
+// the coin pipeline uses) and denominators are batch-inverted, so the
+// per-call cost is one O(k^2) mul-add sweep. interpolateRef below is the
+// original implementation, kept as the differential-test oracle.
 func Interpolate(xs, ys []Elem) Poly {
+	if len(xs) != len(ys) {
+		panic("field: interpolate length mismatch")
+	}
+	return ReconFor(xs).Interpolate(ys)
+}
+
+// interpolateRef is the allocation-heavy reference Lagrange interpolation
+// the fast path replaced; differential tests pit Interpolate and Recon
+// against it.
+func interpolateRef(xs, ys []Elem) Poly {
 	if len(xs) != len(ys) {
 		panic("field: interpolate length mismatch")
 	}

@@ -1,0 +1,193 @@
+package field
+
+import "sync"
+
+// This file implements the reconstruction fast path: precomputed Lagrange
+// data for a fixed interpolation point-set. The coin pipeline always
+// interpolates through share points x = 1..n (or an n-f..n sized subset of
+// them when Byzantine nodes withhold shares), so the Lagrange weights —
+// which depend only on the x-coordinates — are computed once per subset
+// and shared process-wide by shamir.Reconstruct, DecodeFast and the GVSS
+// echo/recover rounds. Secret recovery (evaluation of the interpolant at
+// x = 0) then collapses to a single O(k) inner product with zero
+// allocations, the identity 'sum_i y_i * L_i(0)' from the standard
+// Lagrange expansion (Aspnes, arXiv:2001.04235 §"Secret sharing").
+
+// reconCacheMaxX is the largest x-coordinate representable in the cache's
+// subset bitmask. Point sets containing larger (or zero, or duplicate)
+// coordinates are still handled, just without caching.
+const reconCacheMaxX = 64
+
+// reconCacheMaxEntries bounds the process-wide cache so adversarially
+// chosen share subsets cannot grow it without limit; beyond the bound,
+// new subsets compute uncached Recons.
+const reconCacheMaxEntries = 4096
+
+var reconCache struct {
+	sync.RWMutex
+	m map[uint64]*Recon
+}
+
+// Recon holds the precomputed Lagrange data for one fixed set of distinct
+// interpolation x-coordinates: the weights L_i(0) for constant-term
+// (secret) recovery and the full coefficient vectors of the Lagrange basis
+// polynomials L_i for coefficient-form interpolation. Recons are immutable
+// after construction and safe for concurrent use.
+type Recon struct {
+	xs []Elem
+	// w0[i] = L_i(0): the interpolant's value at 0 is Dot(w0, ys).
+	w0 []Elem
+	// basis is row-major k×k: basis[i*k+d] is the coefficient of x^d in
+	// L_i(x), so interpolation is result[d] = sum_i ys[i]*basis[i*k+d].
+	basis []Elem
+}
+
+// ReconFor returns the Recon for the given x-coordinates, serving it from
+// the process-wide cache when the set is cacheable (distinct values in
+// [1, 64], ascending order — the shape every share subset in this
+// repository has). Uncacheable sets get a freshly computed Recon, so
+// callers never need a fallback path. Duplicate x values panic (inside
+// BatchInv), matching Interpolate's contract.
+func ReconFor(xs []Elem) *Recon {
+	mask := uint64(0)
+	cacheable := true
+	prev := Elem(0)
+	for _, x := range xs {
+		if x <= prev || x > reconCacheMaxX {
+			cacheable = false
+			break
+		}
+		mask |= 1 << (x - 1)
+		prev = x
+	}
+	if !cacheable {
+		return newRecon(xs)
+	}
+	reconCache.RLock()
+	r := reconCache.m[mask]
+	reconCache.RUnlock()
+	if r != nil {
+		return r
+	}
+	r = newRecon(xs)
+	reconCache.Lock()
+	if existing := reconCache.m[mask]; existing != nil {
+		r = existing
+	} else if len(reconCache.m) < reconCacheMaxEntries {
+		if reconCache.m == nil {
+			reconCache.m = make(map[uint64]*Recon)
+		}
+		reconCache.m[mask] = r
+	}
+	reconCache.Unlock()
+	return r
+}
+
+// newRecon computes Lagrange data for xs in O(k^2) multiplications with a
+// single batched inversion of the k denominators.
+func newRecon(xs []Elem) *Recon {
+	k := len(xs)
+	r := &Recon{
+		xs:    append([]Elem(nil), xs...),
+		w0:    make([]Elem, k),
+		basis: make([]Elem, k*k),
+	}
+	if k == 0 {
+		return r
+	}
+	// Master polynomial M(x) = prod_j (x - x_j), degree k.
+	master := make(Poly, k+1)
+	master[0] = 1
+	deg := 0
+	for _, x := range xs {
+		// Multiply by (x - x_j) in place, high coefficient first.
+		deg++
+		master[deg] = master[deg-1]
+		for d := deg - 1; d > 0; d-- {
+			master[d] = Sub(master[d-1], Mul(master[d], x))
+		}
+		master[0] = Mul(master[0], Neg(x))
+	}
+	// Denominators d_i = prod_{j!=i} (x_i - x_j) = M'(x_i), batch-inverted.
+	den := make([]Elem, k)
+	for i, xi := range xs {
+		d := Elem(1)
+		for j, xj := range xs {
+			if j != i {
+				d = Mul(d, Sub(xi, xj))
+			}
+		}
+		den[i] = d
+	}
+	BatchInv(den, nil)
+	// L_i = (M / (x - x_i)) * den_i^-1 by synthetic division of M.
+	for i, xi := range xs {
+		row := r.basis[i*k : i*k+k]
+		carry := master[k] // quotient coefficient of x^{k-1}
+		for d := k - 1; d >= 0; d-- {
+			row[d] = carry
+			carry = MulAdd(master[d], carry, xi)
+		}
+		inv := den[i]
+		for d := range row {
+			row[d] = Mul(row[d], inv)
+		}
+		r.w0[i] = row[0]
+	}
+	return r
+}
+
+// K returns the number of interpolation points.
+func (r *Recon) K() int { return len(r.xs) }
+
+// SecretAt0 returns the value at x = 0 of the unique degree-<k polynomial
+// through (xs, ys): the Shamir secret when xs are share indices. It is a
+// single allocation-free inner product against the cached weights.
+func (r *Recon) SecretAt0(ys []Elem) Elem { return Dot(r.w0, ys) }
+
+// InterpolateInto writes the coefficients of the interpolant through
+// (xs, ys) into dst (reallocating only when dst is too small) and returns
+// the trimmed polynomial. ys must have length K().
+func (r *Recon) InterpolateInto(dst Poly, ys []Elem) Poly {
+	k := len(r.xs)
+	if len(ys) != k {
+		panic("field: interpolate length mismatch")
+	}
+	if cap(dst) < k {
+		dst = make(Poly, k)
+	}
+	dst = dst[:k]
+	for d := range dst {
+		dst[d] = 0
+	}
+	// Accumulate in the relaxed (<2^33) folded range directly inside dst:
+	// each step adds a 62-bit product to a <2^33 accumulator, staying
+	// below 2^63, then folds once.
+	for i := 0; i < k; i++ {
+		y := uint64(ys[i])
+		if y == 0 {
+			continue
+		}
+		row := r.basis[i*k : i*k+k]
+		for d, c := range row {
+			dst[d] = Elem(fold(uint64(dst[d]) + y*uint64(c)))
+		}
+	}
+	for d := range dst {
+		dst[d] = reduceWide(uint64(dst[d]))
+	}
+	return dst.trim()
+}
+
+// Interpolate is InterpolateInto with a fresh destination.
+func (r *Recon) Interpolate(ys []Elem) Poly { return r.InterpolateInto(nil, ys) }
+
+// EvalAt0 returns the value at x = 0 of the interpolant through (xs, ys),
+// using the process-wide weight cache. It is the zero-allocation
+// replacement for Interpolate(xs, ys).Eval(0).
+func EvalAt0(xs, ys []Elem) Elem {
+	if len(xs) != len(ys) {
+		panic("field: interpolate length mismatch")
+	}
+	return ReconFor(xs).SecretAt0(ys)
+}

@@ -112,15 +112,24 @@ type Instance struct {
 	dealt []*shamir.Bivariate
 
 	// rows[d][t] is my (possibly fixed) row for dealing (d,t); nil when
-	// missing or invalid. rowOK mirrors it after the echo round's
-	// validation.
-	rows  [][]field.Poly
-	rowOK [][]bool
+	// missing or invalid. Delivered rows are copied into slots of the flat
+	// rowData backing; rows fixed from echoes point at their own decode
+	// result instead. rowOK mirrors validity after the echo round.
+	rows    [][]field.Poly
+	rowData []field.Elem // n*n slots of f+1 coefficients each
+	rowOK   [][]bool
 
 	grades [][]uint8 // [dealer][target], valid after DeliverVote
 
 	recovered [][]field.Elem // valid after DeliverRecover where recOK
 	recOK     [][]bool
+
+	// Reusable scratch for the echo and recover rounds' per-dealing point
+	// collection and happy-path decoding; one instance processes n^2
+	// dealings per round, so these buffers turn the hot loops
+	// allocation-free.
+	xsScratch, ysScratch []field.Elem
+	polyScratch          field.Poly
 }
 
 // New creates the per-node state for one session and draws this node's
@@ -133,11 +142,50 @@ func New(env proto.Env, rng *rand.Rand) *Instance {
 		ins.dealt[t] = shamir.NewBivariate(rng, f, field.Reduce(rng.Uint64()))
 	}
 	ins.rows = matrixPoly(n)
+	ins.rowData = make([]field.Elem, n*n*(f+1))
 	ins.rowOK = matrixBool(n)
 	ins.grades = matrixU8(n)
 	ins.recovered = matrixElem(n)
 	ins.recOK = matrixBool(n)
+	ins.xsScratch = make([]field.Elem, 0, n)
+	ins.ysScratch = make([]field.Elem, 0, n)
+	ins.polyScratch = make(field.Poly, f+1)
 	return ins
+}
+
+// rowSlot returns the flat-backing slot for dealing (d,t), full-capacity
+// so a copied row cannot bleed into its neighbor.
+func (ins *Instance) rowSlot(d, t int) field.Poly {
+	w := ins.env.F + 1
+	base := (d*ins.env.N + t) * w
+	return field.Poly(ins.rowData[base : base+w : base+w])
+}
+
+// Reset re-initializes the instance for a fresh dealing session, reusing
+// every backing allocation; it reports false (leaving the instance
+// untouched) when the environment shape differs, in which case the caller
+// must construct a new instance. Fresh dealer secrets are drawn from rng
+// with the same consumption pattern as New, so a recycled session is
+// indistinguishable from a newly constructed one under a fixed seed.
+func (ins *Instance) Reset(env proto.Env, rng *rand.Rand) bool {
+	if ins.env.N != env.N || ins.env.F != env.F {
+		return false
+	}
+	ins.env = env
+	n := env.N
+	for t := 0; t < n; t++ {
+		ins.dealt[t].Randomize(rng, field.Reduce(rng.Uint64()))
+	}
+	for d := 0; d < n; d++ {
+		for t := 0; t < n; t++ {
+			ins.rows[d][t] = nil
+			ins.rowOK[d][t] = false
+			ins.grades[d][t] = GradeNone
+			ins.recovered[d][t] = 0
+			ins.recOK[d][t] = false
+		}
+	}
+	return true
 }
 
 // DealtSecret returns the secret this node dealt for the given target.
@@ -147,14 +195,18 @@ func (ins *Instance) DealtSecret(target int) field.Elem {
 }
 
 // ComposeShare produces round 1: this node, as dealer, sends each node its
-// row polynomials for all n target secrets.
+// row polynomials for all n target secrets. Each message's n rows are
+// sliced out of one flat backing array (2 allocations per destination
+// instead of n+1).
 func (ins *Instance) ComposeShare() []proto.Send {
-	n := ins.env.N
+	n, f := ins.env.N, ins.env.F
+	w := f + 1
 	sends := make([]proto.Send, 0, n)
 	for i := 0; i < n; i++ {
+		flat := make([]field.Elem, n*w)
 		rows := make([]field.Poly, n)
 		for t := 0; t < n; t++ {
-			rows[t] = ins.dealt[t].Row(field.Elem(i + 1))
+			rows[t] = ins.dealt[t].RowInto(field.Poly(flat[t*w:(t+1)*w:(t+1)*w]), field.Elem(i+1))
 		}
 		sends = append(sends, proto.Send{To: i, Msg: ShareMsg{Rows: rows}})
 	}
@@ -181,23 +233,28 @@ func (ins *Instance) DeliverShare(inbox []proto.Recv) {
 			continue
 		}
 		for t := 0; t < n; t++ {
-			ins.rows[r.From][t] = m.Rows[t].Clone()
+			slot := ins.rowSlot(r.From, t)
+			copy(slot, m.Rows[t])
+			ins.rows[r.From][t] = slot
 		}
 	}
 }
 
 // ComposeEcho produces round 2: cross-check points of my rows, one message
-// per destination node.
+// per destination node. Each message's n×n matrices are sliced out of
+// flat backing arrays (4 allocations per destination instead of 2n+2).
 func (ins *Instance) ComposeEcho() []proto.Send {
 	n := ins.env.N
 	sends := make([]proto.Send, 0, n)
 	for j := 0; j < n; j++ {
+		valsFlat := make([]field.Elem, n*n)
+		hasFlat := make([]bool, n*n)
 		vals := make([][]field.Elem, n)
 		has := make([][]bool, n)
 		x := field.Elem(j + 1)
 		for d := 0; d < n; d++ {
-			vals[d] = make([]field.Elem, n)
-			has[d] = make([]bool, n)
+			vals[d] = valsFlat[d*n : (d+1)*n : (d+1)*n]
+			has[d] = hasFlat[d*n : (d+1)*n : (d+1)*n]
 			for t := 0; t < n; t++ {
 				if row := ins.rows[d][t]; row != nil {
 					vals[d][t] = row.Eval(x)
@@ -232,8 +289,8 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 	}
 	for d := 0; d < n; d++ {
 		for t := 0; t < n; t++ {
-			xs := make([]field.Elem, 0, n)
-			ys := make([]field.Elem, 0, n)
+			xs := ins.xsScratch[:0]
+			ys := ins.ysScratch[:0]
 			for w := 0; w < n; w++ {
 				if echo[w] == nil || !echoHas[w][d][t] {
 					continue
@@ -247,6 +304,8 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 				continue
 			}
 			// Row missing or inconsistent: try to fix it from the echoes.
+			// The fixed row is retained across rounds, so this (rare,
+			// Byzantine-only) path uses the allocating DecodeFast.
 			if len(xs) < quorum {
 				continue
 			}
@@ -265,9 +324,10 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 // ComposeVote produces the round-3 broadcast of per-dealing validity.
 func (ins *Instance) ComposeVote() []proto.Send {
 	n := ins.env.N
+	flat := make([]bool, n*n)
 	ok := make([][]bool, n)
 	for d := 0; d < n; d++ {
-		ok[d] = make([]bool, n)
+		ok[d] = flat[d*n : (d+1)*n : (d+1)*n]
 		copy(ok[d], ins.rowOK[d])
 	}
 	return []proto.Send{{To: proto.Broadcast, Msg: VoteMsg{OK: ok}}}
@@ -277,9 +337,10 @@ func (ins *Instance) ComposeVote() []proto.Send {
 func (ins *Instance) DeliverVote(inbox []proto.Recv) {
 	n, f := ins.env.N, ins.env.F
 	quorum := ins.env.Quorum()
+	countsFlat := make([]int, n*n)
 	counts := make([][]int, n)
 	for d := range counts {
-		counts[d] = make([]int, n)
+		counts[d] = countsFlat[d*n : (d+1)*n : (d+1)*n]
 	}
 	seen := make([]bool, n)
 	for _, r := range inbox {
@@ -324,11 +385,13 @@ func (ins *Instance) Grade(dealer, target int) uint8 {
 // g_{d,t,me}(0) for every dealing I hold a validated row for.
 func (ins *Instance) ComposeRecover() []proto.Send {
 	n := ins.env.N
+	sharesFlat := make([]field.Elem, n*n)
+	hasFlat := make([]bool, n*n)
 	shares := make([][]field.Elem, n)
 	has := make([][]bool, n)
 	for d := 0; d < n; d++ {
-		shares[d] = make([]field.Elem, n)
-		has[d] = make([]bool, n)
+		shares[d] = sharesFlat[d*n : (d+1)*n : (d+1)*n]
+		has[d] = hasFlat[d*n : (d+1)*n : (d+1)*n]
 		for t := 0; t < n; t++ {
 			if ins.rowOK[d][t] {
 				shares[d][t] = ins.rows[d][t].Eval(0)
@@ -357,8 +420,8 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 	}
 	for d := 0; d < n; d++ {
 		for t := 0; t < n; t++ {
-			xs := make([]field.Elem, 0, n)
-			ys := make([]field.Elem, 0, n)
+			xs := ins.xsScratch[:0]
+			ys := ins.ysScratch[:0]
 			for w := 0; w < n; w++ {
 				if shares[w] == nil || !has[w][d][t] {
 					continue
@@ -369,7 +432,9 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 			if len(xs) < 2*f+1 {
 				continue // cannot tolerate f errors with fewer points
 			}
-			poly, err := field.DecodeFast(xs, ys, f, f)
+			// The decoded polynomial is only read for its constant term,
+			// so the happy path reuses the instance scratch buffer.
+			poly, err := field.DecodeFastInto(ins.polyScratch, xs, ys, f, f)
 			if err != nil {
 				continue
 			}
@@ -433,34 +498,42 @@ func boolMatrixValid(m [][]bool, n int) bool {
 	return true
 }
 
+// The matrix constructors slice n rows out of one flat backing array:
+// two allocations per matrix instead of n+1 (a fresh Instance builds five
+// of them every beat on every node).
+
 func matrixPoly(n int) [][]field.Poly {
+	flat := make([]field.Poly, n*n)
 	m := make([][]field.Poly, n)
 	for i := range m {
-		m[i] = make([]field.Poly, n)
+		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
 	return m
 }
 
 func matrixBool(n int) [][]bool {
+	flat := make([]bool, n*n)
 	m := make([][]bool, n)
 	for i := range m {
-		m[i] = make([]bool, n)
+		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
 	return m
 }
 
 func matrixU8(n int) [][]uint8 {
+	flat := make([]uint8, n*n)
 	m := make([][]uint8, n)
 	for i := range m {
-		m[i] = make([]uint8, n)
+		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
 	return m
 }
 
 func matrixElem(n int) [][]field.Elem {
+	flat := make([]field.Elem, n*n)
 	m := make([][]field.Elem, n)
 	for i := range m {
-		m[i] = make([]field.Elem, n)
+		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
 	return m
 }

@@ -19,14 +19,34 @@ type Envelope struct {
 // Kind implements Message.
 func (e Envelope) Kind() string { return "env" }
 
-// WrapSends wraps every message in sends with the given child tag.
+// AsEnvelope reports whether m is an envelope, accepting both the value
+// form (hand-built in tests and by adversaries) and the pointer form
+// (produced by WrapSends, which boxes one backing array instead of one
+// heap copy per message). All envelope consumers must go through this
+// helper.
+func AsEnvelope(m Message) (Envelope, bool) {
+	switch v := m.(type) {
+	case Envelope:
+		return v, true
+	case *Envelope:
+		return *v, true
+	}
+	return Envelope{}, false
+}
+
+// WrapSends wraps every message in sends with the given child tag. The
+// envelopes are sliced out of one backing array, so wrapping costs two
+// allocations regardless of fan-out; recipients must unwrap with
+// AsEnvelope.
 func WrapSends(child uint8, sends []Send) []Send {
 	if len(sends) == 0 {
 		return nil
 	}
+	envs := make([]Envelope, len(sends))
 	out := make([]Send, len(sends))
 	for i, s := range sends {
-		out[i] = Send{To: s.To, Msg: Envelope{Child: child, Inner: s.Msg}}
+		envs[i] = Envelope{Child: child, Inner: s.Msg}
+		out[i] = Send{To: s.To, Msg: &envs[i]}
 	}
 	return out
 }
@@ -35,14 +55,31 @@ func WrapSends(child uint8, sends []Send) []Send {
 // children [0, numChildren). Messages that are not envelopes or carry an
 // out-of-range child tag are dropped: only Byzantine nodes produce them,
 // and dropping is the safe interpretation.
+//
+// Two passes keep it at three allocations: a counting pass sizes one flat
+// backing array, and the routing pass partitions it into per-child
+// windows (full-capacity slices, so a child's inbox cannot grow into its
+// neighbor's).
 func SplitInbox(inbox []Recv, numChildren int) [][]Recv {
 	out := make([][]Recv, numChildren)
+	counts := make([]int, numChildren)
+	total := 0
 	for _, r := range inbox {
-		env, okEnv := r.Msg.(Envelope)
-		if !okEnv || int(env.Child) >= numChildren {
-			continue
+		if env, ok := AsEnvelope(r.Msg); ok && int(env.Child) < numChildren {
+			counts[env.Child]++
+			total++
 		}
-		out[env.Child] = append(out[env.Child], Recv{From: r.From, Msg: env.Inner})
+	}
+	flat := make([]Recv, total)
+	off := 0
+	for c, cnt := range counts {
+		out[c] = flat[off : off : off+cnt]
+		off += cnt
+	}
+	for _, r := range inbox {
+		if env, ok := AsEnvelope(r.Msg); ok && int(env.Child) < numChildren {
+			out[env.Child] = append(out[env.Child], Recv{From: r.From, Msg: env.Inner})
+		}
 	}
 	return out
 }

@@ -56,6 +56,10 @@ type Protocol interface {
 	// always calls Compose before Deliver within one beat.
 	Compose(beat uint64) []Send
 	// Deliver processes every message sent at this beat and updates state.
+	// The inbox slice is only valid for the duration of the call — the
+	// engine reuses its backing array across beats — so implementations
+	// must not retain it (retaining the Message values themselves is
+	// fine; messages are never pooled).
 	Deliver(beat uint64, inbox []Recv)
 }
 

@@ -19,7 +19,7 @@ func TestWrapSendsPreservesDestinations(t *testing.T) {
 		t.Fatalf("len = %d", len(out))
 	}
 	for i, s := range out {
-		env, ok := s.Msg.(Envelope)
+		env, ok := AsEnvelope(s.Msg)
 		if !ok || env.Child != 7 {
 			t.Fatalf("send %d not wrapped with child 7: %#v", i, s.Msg)
 		}

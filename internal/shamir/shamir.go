@@ -9,6 +9,7 @@ package shamir
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"ssbyzclock/internal/field"
 )
@@ -29,20 +30,28 @@ func Share(rng *rand.Rand, secret field.Elem, f, n int) []field.Elem {
 // (index, value) pairs, where index is the 0-based share index. It errors
 // on duplicate or insufficient points. It performs no error correction;
 // use Robust for Byzantine inputs.
+//
+// The secret is evaluated directly at x = 0 through the cached Lagrange
+// weights (field.EvalAt0) instead of building the full coefficient
+// polynomial first. Taking the f+1 lowest indices (rather than Go's
+// random map order) both hits the weight cache and makes the chosen
+// subset deterministic.
 func Reconstruct(points map[int]field.Elem, f int) (field.Elem, error) {
 	if len(points) < f+1 {
 		return 0, fmt.Errorf("shamir: need %d shares, have %d", f+1, len(points))
 	}
-	xs := make([]field.Elem, 0, f+1)
-	ys := make([]field.Elem, 0, f+1)
-	for idx, v := range points {
-		if len(xs) == f+1 {
-			break
-		}
-		xs = append(xs, field.Elem(idx+1))
-		ys = append(ys, v)
+	idxs := make([]int, 0, len(points))
+	for idx := range points {
+		idxs = append(idxs, idx)
 	}
-	return field.Interpolate(xs, ys).Eval(0), nil
+	sort.Ints(idxs)
+	xs := make([]field.Elem, f+1)
+	ys := make([]field.Elem, f+1)
+	for i, idx := range idxs[:f+1] {
+		xs[i] = field.Elem(idx + 1)
+		ys[i] = points[idx]
+	}
+	return field.EvalAt0(xs, ys), nil
 }
 
 // Robust recovers the secret from shares of which at most maxErrors are
@@ -72,10 +81,26 @@ type Bivariate struct {
 // NewBivariate returns a uniformly random symmetric bivariate polynomial of
 // degree f hiding the given secret.
 func NewBivariate(rng *rand.Rand, f int, secret field.Elem) *Bivariate {
+	// One flat backing array instead of f+1 row allocations: bivariates
+	// are constructed n-per-node on every beat of the coin pipeline.
+	flat := make([]field.Elem, (f+1)*(f+1))
 	c := make([][]field.Elem, f+1)
 	for i := range c {
-		c[i] = make([]field.Elem, f+1)
+		c[i] = flat[i*(f+1) : (i+1)*(f+1) : (i+1)*(f+1)]
 	}
+	b := &Bivariate{Deg: f, C: c}
+	b.Randomize(rng, secret)
+	return b
+}
+
+// Randomize refills b with fresh uniform coefficients hiding the given
+// secret, reusing the backing storage: the coin pipeline recycles
+// bivariates instead of reallocating n of them per node per beat. The RNG
+// consumption pattern is identical to NewBivariate's, so recycled and
+// freshly constructed sessions draw the same deterministic stream.
+func (b *Bivariate) Randomize(rng *rand.Rand, secret field.Elem) {
+	f := b.Deg
+	c := b.C
 	c[0][0] = secret
 	for i := 0; i <= f; i++ {
 		for j := i; j <= f; j++ {
@@ -87,24 +112,24 @@ func NewBivariate(rng *rand.Rand, f int, secret field.Elem) *Bivariate {
 			c[j][i] = v
 		}
 	}
-	return &Bivariate{Deg: f, C: c}
 }
 
 // Row returns g_i(x) = S(x, i) for 1-based evaluation point i, the share
 // polynomial handed to node i-1.
 func (b *Bivariate) Row(i field.Elem) field.Poly {
-	row := make(field.Poly, b.Deg+1)
+	return b.RowInto(make(field.Poly, b.Deg+1), i)
+}
+
+// RowInto writes g_i(x) = S(x, i) into dst, which must have length
+// Deg+1; it returns dst. The share round composes n^2 rows per node per
+// beat, so callers slice them out of one flat backing array.
+func (b *Bivariate) RowInto(dst field.Poly, i field.Elem) field.Poly {
 	for xi := 0; xi <= b.Deg; xi++ {
-		// Coefficient of x^xi is sum_j C[xi][j] * i^j.
-		var acc field.Elem
-		ip := field.Elem(1)
-		for j := 0; j <= b.Deg; j++ {
-			acc = field.Add(acc, field.Mul(b.C[xi][j], ip))
-			ip = field.Mul(ip, i)
-		}
-		row[xi] = acc
+		// Coefficient of x^xi is sum_j C[xi][j] * i^j, a Horner evaluation
+		// of the row-coefficient vector at i.
+		dst[xi] = field.Poly(b.C[xi]).Eval(i)
 	}
-	return row
+	return dst
 }
 
 // Secret returns S(0,0).

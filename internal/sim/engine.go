@@ -58,6 +58,15 @@ type Engine struct {
 	scrambleRng *rand.Rand
 	phantoms    []proto.Recv
 
+	// Per-beat scratch, reused across Steps so the lockstep loop is
+	// allocation-free at steady state. Safe because Compose results are
+	// consumed within the beat and Deliver must not retain its inbox
+	// slice (see proto.Protocol).
+	composed     [][]proto.Send
+	visible      []adversary.Intercept
+	inboxes      [][]proto.Recv
+	defaultSends []adversary.Sends
+
 	// Metrics, cumulative across beats. Broadcast counts as N messages.
 	HonestMsgs uint64
 	FaultyMsgs uint64
@@ -148,14 +157,19 @@ func (e *Engine) HonestIDs() []int {
 	return out
 }
 
-// Step executes one beat: compose, adversary, deliver.
+// Step executes one beat: compose, adversary, deliver. The per-beat
+// slices live on the engine and are reused, so a steady-state beat
+// allocates only what the protocols themselves allocate.
 func (e *Engine) Step() {
 	n := e.cfg.N
 	beat := e.beat
 
 	// Phase 1: every node (honest and the faulty nodes' honest copies)
 	// composes its messages.
-	composed := make([][]proto.Send, n)
+	if e.composed == nil {
+		e.composed = make([][]proto.Send, n)
+	}
+	composed := e.composed
 	for i := 0; i < n; i++ {
 		composed[i] = e.nodes[i].Compose(beat)
 	}
@@ -163,7 +177,7 @@ func (e *Engine) Step() {
 	// Phase 2: the rushing adversary sees honest traffic addressed to
 	// faulty nodes (private channels: honest-to-honest unicast is
 	// invisible) and decides the faulty nodes' actual messages.
-	var visible []adversary.Intercept
+	visible := e.visible[:0]
 	for i := 0; i < n; i++ {
 		if e.isBad[i] {
 			continue
@@ -178,7 +192,11 @@ func (e *Engine) Step() {
 			}
 		}
 	}
-	defaultSends := make([]adversary.Sends, len(e.faulty))
+	e.visible = visible
+	if e.defaultSends == nil {
+		e.defaultSends = make([]adversary.Sends, len(e.faulty))
+	}
+	defaultSends := e.defaultSends
 	for k, id := range e.faulty {
 		defaultSends[k] = adversary.Sends{From: id, Out: composed[id]}
 	}
@@ -187,7 +205,13 @@ func (e *Engine) Step() {
 	// Phase 3: deliver. Inboxes receive honest sends plus the adversary's
 	// chosen sends; the faulty nodes' protocol copies also receive
 	// everything, keeping their state plausible.
-	inboxes := make([][]proto.Recv, n)
+	if e.inboxes == nil {
+		e.inboxes = make([][]proto.Recv, n)
+	}
+	inboxes := e.inboxes
+	for i := range inboxes {
+		inboxes[i] = inboxes[i][:0]
+	}
 	if len(e.phantoms) > 0 {
 		for i := 0; i < n; i++ {
 			if !e.isBad[i] {

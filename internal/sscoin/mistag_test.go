@@ -24,7 +24,7 @@ func (a misTagger) Act(_ uint64, composed []adversary.Sends, _ []adversary.Inter
 	for _, s := range composed {
 		shifted := make([]proto.Send, 0, len(s.Out))
 		for _, snd := range s.Out {
-			env, ok := snd.Msg.(proto.Envelope)
+			env, ok := proto.AsEnvelope(snd.Msg)
 			if !ok {
 				shifted = append(shifted, snd)
 				continue
@@ -96,7 +96,7 @@ func (a tagBlaster) Act(_ uint64, composed []adversary.Sends, _ []adversary.Inte
 	for _, s := range composed {
 		mangled := make([]proto.Send, 0, len(s.Out))
 		for _, snd := range s.Out {
-			if env, ok := snd.Msg.(proto.Envelope); ok {
+			if env, ok := proto.AsEnvelope(snd.Msg); ok {
 				mangled = append(mangled, proto.Send{
 					To:  snd.To,
 					Msg: proto.Envelope{Child: 200 + env.Child, Inner: env.Inner},

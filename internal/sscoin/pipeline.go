@@ -67,7 +67,9 @@ func (p *Pipeline) Compose(beat uint64) []proto.Send {
 
 // Deliver implements proto.Protocol: route messages to instances by age,
 // capture the oldest instance's output as this beat's bit, then shift the
-// pipeline and admit a fresh instance.
+// pipeline and admit a fresh instance. When the factory supports
+// recycling, the retiring oldest instance is re-initialized in place as
+// the fresh one instead of being left to the garbage collector.
 func (p *Pipeline) Deliver(beat uint64, inbox []proto.Recv) {
 	depth := len(p.slots)
 	// Child tag 0 is unused (ages are 1-based); SplitInbox covers 0..depth.
@@ -75,9 +77,14 @@ func (p *Pipeline) Deliver(beat uint64, inbox []proto.Recv) {
 	for i, slot := range p.slots {
 		slot.Deliver(i+1, boxes[i+1])
 	}
-	p.bit = p.slots[depth-1].Output()
+	oldest := p.slots[depth-1]
+	p.bit = oldest.Output()
 	copy(p.slots[1:], p.slots[:depth-1])
-	p.slots[0] = p.factory.New(p.env, beat)
+	if r, ok := p.factory.(coin.Recycler); ok {
+		p.slots[0] = r.Renew(oldest, p.env, beat)
+	} else {
+		p.slots[0] = p.factory.New(p.env, beat)
+	}
 }
 
 // Bit implements proto.BitReader: the random bit emitted at the most

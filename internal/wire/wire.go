@@ -73,6 +73,9 @@ func encodeTo(b *[]byte, m proto.Message, depth int) error {
 	case proto.Envelope:
 		*b = append(*b, tagEnvelope, v.Child)
 		return encodeTo(b, v.Inner, depth+1)
+	case *proto.Envelope:
+		*b = append(*b, tagEnvelope, v.Child)
+		return encodeTo(b, v.Inner, depth+1)
 	case gvss.ShareMsg:
 		*b = append(*b, tagShare)
 		putUvarint(b, uint64(len(v.Rows)))

@@ -77,6 +77,15 @@ func TestRoundTripGVSSRandom(t *testing.T) {
 	}
 }
 
+// canonEnvelopes rewrites pointer-form envelopes (at any nesting depth)
+// into the value form the codec decodes to.
+func canonEnvelopes(m proto.Message) proto.Message {
+	if env, ok := proto.AsEnvelope(m); ok {
+		return proto.Envelope{Child: env.Child, Inner: canonEnvelopes(env.Inner)}
+	}
+	return m
+}
+
 func TestRoundTripWholeProtocolTraffic(t *testing.T) {
 	// Everything a live ss-Byz-Clock-Sync node actually sends must make
 	// it through the codec unchanged.
@@ -94,7 +103,10 @@ func TestRoundTripWholeProtocolTraffic(t *testing.T) {
 			if err != nil {
 				t.Fatalf("beat %d: decode: %v", beat, err)
 			}
-			if !reflect.DeepEqual(m, s.Msg) {
+			// Compose may box envelopes as pointers (proto.WrapSends);
+			// the codec always decodes the value form, so compare the
+			// canonical value representation.
+			if !reflect.DeepEqual(m, canonEnvelopes(s.Msg)) {
 				t.Fatalf("beat %d: mismatch for %s", beat, s.Msg.Kind())
 			}
 			inbox = append(inbox, proto.Recv{From: 0, Msg: m})

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run the per-beat cost benchmark (the simulator's throughput metric) and
+# record it as BENCH_beat.json so the perf trajectory is comparable across
+# PRs. Extra args are passed to `go test` (e.g. -benchtime=100x for a CI
+# smoke run, -benchtime=2s -count=5 for a stable local measurement).
+#
+#   ./scripts/bench.sh                 # default benchtime
+#   ./scripts/bench.sh -benchtime=100x # CI smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+go test -run=NONE -bench=BenchmarkBeat -benchmem "$@" . | go run ./cmd/benchjson > BENCH_beat.json
+echo "wrote BENCH_beat.json" >&2
