@@ -275,7 +275,9 @@ func BenchmarkSection61_DWAdapted(b *testing.B) {
 }
 
 // BenchmarkBeat isolates the cost of a single beat of the full stack at
-// several cluster sizes (throughput of the simulator itself).
+// several cluster sizes (throughput of the simulator itself). Workers is
+// left at the default (GOMAXPROCS), so this is the number a user gets
+// out of the box on the machine at hand.
 func BenchmarkBeat(b *testing.B) {
 	for _, cse := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}, {16, 5}} {
 		b.Run(fmt.Sprintf("ClockSyncFM/n=%d", cse.n), func(b *testing.B) {
@@ -287,5 +289,26 @@ func BenchmarkBeat(b *testing.B) {
 				e.Step()
 			}
 		})
+	}
+}
+
+// BenchmarkBeatWorkers is the worker-count scaling series for the
+// parallel beat scheduler (PERF.md's methodology section): the same
+// full-stack beat at explicit worker counts. On a machine with fewer
+// cores than workers the extra workers are pure scheduling overhead, so
+// the series doubles as a measurement of that overhead's bound.
+func BenchmarkBeatWorkers(b *testing.B) {
+	for _, cse := range []struct{ n, f int }{{16, 5}, {32, 10}} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("ClockSyncFM/n=%d/workers=%d", cse.n, workers), func(b *testing.B) {
+				e := sim.New(sim.Config{N: cse.n, F: cse.f, Seed: 1, Workers: workers},
+					core.NewClockSyncProtocol(64, coin.FMFactory{}))
+				e.Run(8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+			})
+		}
 	}
 }

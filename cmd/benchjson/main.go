@@ -5,11 +5,17 @@
 // Usage:
 //
 //	go test -run=NONE -bench=BenchmarkBeat -benchmem . | go run ./cmd/benchjson > BENCH_beat.json
+//
+// Gate mode compares two recorded runs and fails (exit 1) when any
+// benchmark present in both regressed by more than the threshold:
+//
+//	go run ./cmd/benchjson -gate old.json new.json [-threshold 15]
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -28,6 +34,16 @@ type Result struct {
 }
 
 func main() {
+	gate := flag.Bool("gate", false, "compare two JSON files: -gate old.json new.json")
+	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
+	flag.Parse()
+	if *gate {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runGate(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -79,4 +95,64 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runGate loads two recorded runs and reports per-benchmark deltas;
+// returns 1 when any benchmark present in both regressed beyond the
+// threshold. Benchmarks present in only one file are reported but never
+// fail the gate (new or removed cases are legitimate).
+func runGate(oldPath, newPath string, thresholdPct float64) int {
+	load := func(path string) (map[string]Result, []Result, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		var rs []Result
+		if err := json.Unmarshal(data, &rs); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]Result, len(rs))
+		for _, r := range rs {
+			m[r.Name] = r
+		}
+		return m, rs, nil
+	}
+	oldM, _, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	_, newList, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	failed := false
+	seen := make(map[string]bool, len(newList))
+	for _, nr := range newList {
+		seen[nr.Name] = true
+		or, ok := oldM[nr.Name]
+		if !ok || or.NsPerOp <= 0 {
+			fmt.Printf("NEW      %-45s %14.0f ns/op\n", nr.Name, nr.NsPerOp)
+			continue
+		}
+		deltaPct := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		status := "ok"
+		if deltaPct > thresholdPct {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-9s%-45s %14.0f -> %14.0f ns/op  (%+.1f%%)\n",
+			status, nr.Name, or.NsPerOp, nr.NsPerOp, deltaPct)
+	}
+	for name := range oldM {
+		if !seen[name] {
+			fmt.Printf("REMOVED  %-45s (present in baseline only)\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.1f%% threshold\n", thresholdPct)
+		return 1
+	}
+	return 0
 }

@@ -66,7 +66,11 @@ type Intercept struct {
 // implementations must not retain them (retaining the Message values
 // themselves is fine; messages are never pooled). An adversary that
 // records traffic across beats (e.g. Replayer) must copy the entries it
-// keeps.
+// keeps. Adversaries always run sequentially on the engine's goroutine,
+// but the Messages they emit (or forward) may be delivered to several
+// nodes concurrently afterwards, so an adversary must never mutate a
+// Message it has already sent or observed — build fresh messages
+// instead (see proto.Protocol's cross-goroutine contract).
 type Adversary interface {
 	Act(beat uint64, composed []Sends, visible []Intercept) []Sends
 }

@@ -36,6 +36,8 @@ type DolevWelchCommon struct {
 	pipe  *sscoin.Pipeline
 	buf   uint64 // sliding window of common bits
 	clock uint64
+
+	splitter proto.InboxSplitter
 }
 
 var (
@@ -68,7 +70,7 @@ func (d *DolevWelchCommon) Compose(beat uint64) []proto.Send {
 
 // Deliver implements proto.Protocol.
 func (d *DolevWelchCommon) Deliver(beat uint64, inbox []proto.Recv) {
-	boxes := proto.SplitInbox(inbox, dwcChildren)
+	boxes := d.splitter.Split(inbox, dwcChildren)
 	d.pipe.Deliver(beat, boxes[dwcChildCoin])
 	d.buf = d.buf<<1 | uint64(d.pipe.Bit()&1)
 

@@ -33,9 +33,10 @@ func (FMFactory) Rounds() int { return FMRounds }
 // New implements Factory.
 func (FMFactory) New(env proto.Env, _ uint64) Flipper {
 	return &fmFlipper{
-		env:     env,
-		session: gvss.New(env, env.Rng),
-		accepts: make([][]uint16, env.N),
+		env:         env,
+		session:     gvss.New(env, env.Rng),
+		accepts:     make([][]uint16, env.N),
+		acceptsFlat: make([]uint16, env.N*env.N),
 	}
 }
 
@@ -78,8 +79,12 @@ type fmFlipper struct {
 	env     proto.Env
 	session *gvss.Instance
 	accepts [][]uint16 // [node] accept set, nil if none/invalid received
-	out     byte
-	done    bool
+	// acceptsFlat backs the accept sets (n slots of up to n dealers each),
+	// recycled with the flipper so steady-state accept delivery does not
+	// allocate.
+	acceptsFlat []uint16
+	out         byte
+	done        bool
 }
 
 // Rounds implements Flipper.
@@ -133,7 +138,8 @@ func (c *fmFlipper) deliverAccept(inbox []proto.Recv) {
 		if !ok || r.From < 0 || r.From >= n || c.accepts[r.From] != nil {
 			continue
 		}
-		set := dedupSet(m.Set, n)
+		from := r.From
+		set := dedupSetInto(c.acceptsFlat[from*n:from*n:(from+1)*n], m.Set, n)
 		if len(set) < c.env.Quorum() {
 			// An accept set smaller than n-f is impossible for an honest
 			// node (all n-f honest dealers' dealings reach grade high), so
@@ -201,7 +207,13 @@ func (c *fmFlipper) Output() byte {
 // dropping out-of-range dealers. Cluster sizes up to 64 dedup via a
 // bitmask; only larger (hypothetical) clusters pay for a map.
 func dedupSet(in []uint16, n int) []uint16 {
-	out := make([]uint16, 0, len(in))
+	return dedupSetInto(make([]uint16, 0, n), in, n)
+}
+
+// dedupSetInto is dedupSet appending into caller-owned storage; the
+// deduplicated output holds at most n entries, so capacity n always
+// suffices and the hot caller passes a recycled full-capacity slot.
+func dedupSetInto(out []uint16, in []uint16, n int) []uint16 {
 	if n <= 64 {
 		var seen uint64
 		for _, d := range in {

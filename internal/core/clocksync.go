@@ -59,6 +59,12 @@ type ClockSync struct {
 	// phaseOK is false while A is unconverged at this node.
 	phase   uint64
 	phaseOK bool
+
+	// Per-beat scratch: the retired tally is recycled for the next beat's
+	// counting, and the dedup bitmaps are reused across beats.
+	spare                tally
+	splitter             proto.InboxSplitter
+	seenFC, seenP, seenB []bool
 }
 
 var (
@@ -150,7 +156,7 @@ func (c *ClockSync) Compose(beat uint64) []proto.Send {
 // Deliver implements proto.Protocol: step A and the coin, apply Block 3.d
 // when in phase 3, and record this beat's tally for the next beat.
 func (c *ClockSync) Deliver(beat uint64, inbox []proto.Recv) {
-	boxes := proto.SplitInbox(inbox, clockSyncKids)
+	boxes := c.splitter.Split(inbox, clockSyncKids)
 	c.a.Deliver(beat, boxes[clockSyncChildA])
 	c.pipe.Deliver(beat, boxes[clockSyncChildCoin])
 
@@ -175,11 +181,27 @@ func (c *ClockSync) Deliver(beat uint64, inbox []proto.Recv) {
 		}
 	}
 
-	// Record this beat's ClockSync traffic for the next beat's phase.
-	next := tally{fullClock: map[uint64]int{}, propose: map[uint64]int{}}
-	seenFC := make([]bool, c.env.N)
-	seenP := make([]bool, c.env.N)
-	seenB := make([]bool, c.env.N)
+	// Record this beat's ClockSync traffic for the next beat's phase,
+	// recycling the tally retired two beats ago (a scrambled or zero-value
+	// spare gets fresh maps).
+	next := c.spare
+	if next.fullClock == nil || next.propose == nil {
+		next = tally{fullClock: map[uint64]int{}, propose: map[uint64]int{}}
+	}
+	clear(next.fullClock)
+	clear(next.propose)
+	next.bits = [2]int{}
+	if c.seenFC == nil {
+		c.seenFC = make([]bool, c.env.N)
+		c.seenP = make([]bool, c.env.N)
+		c.seenB = make([]bool, c.env.N)
+	}
+	seenFC, seenP, seenB := c.seenFC, c.seenP, c.seenB
+	for i := range seenFC {
+		seenFC[i] = false
+		seenP[i] = false
+		seenB[i] = false
+	}
 	for _, r := range boxes[clockSyncChildMsg] {
 		if r.From < 0 || r.From >= c.env.N {
 			continue
@@ -204,6 +226,7 @@ func (c *ClockSync) Deliver(beat uint64, inbox []proto.Recv) {
 			}
 		}
 	}
+	c.spare = c.prev
 	c.prev = next
 }
 

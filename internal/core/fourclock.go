@@ -26,7 +26,8 @@ type FourClock struct {
 	// stepA2 records the Compose-time decision "clock(A1) = 0" so
 	// Deliver applies the same beat's choice. It is per-beat scratch, not
 	// protocol state: a transient fault corrupting it perturbs one beat.
-	stepA2 bool
+	stepA2   bool
+	splitter proto.InboxSplitter
 }
 
 var (
@@ -64,7 +65,7 @@ func (c *FourClock) Compose(beat uint64) []proto.Send {
 // Deliver implements proto.Protocol: Figure 3 lines 1-2 (receive halves).
 // Line 3's output composition is performed lazily by Clock.
 func (c *FourClock) Deliver(beat uint64, inbox []proto.Recv) {
-	boxes := proto.SplitInbox(inbox, fourClockKids)
+	boxes := c.splitter.Split(inbox, fourClockKids)
 	if c.stepA2 {
 		c.a2.Deliver(beat, boxes[fourClockChildA2])
 	}

@@ -32,7 +32,8 @@ type PowerClock struct {
 	m      uint64 // modulus of this level, a power of two >= 2
 	a1     clockProto
 	a2     *TwoClock
-	stepA2 bool
+	stepA2   bool
+	splitter proto.InboxSplitter
 }
 
 var (
@@ -88,7 +89,7 @@ func (pc *PowerClock) Deliver(beat uint64, inbox []proto.Recv) {
 		pc.a2.Deliver(beat, inbox)
 		return
 	}
-	boxes := proto.SplitInbox(inbox, fourClockKids)
+	boxes := pc.splitter.Split(inbox, fourClockKids)
 	if pc.stepA2 {
 		pc.a2.Deliver(beat, boxes[fourClockChildA2])
 	}

@@ -43,6 +43,9 @@ type TwoClock struct {
 	variant Variant
 	pipe    *sscoin.Pipeline
 	clock   uint8 // 0, 1, Bot; a transient fault may leave garbage
+
+	splitter proto.InboxSplitter
+	seen     []bool // per-beat dedup scratch
 }
 
 var (
@@ -87,7 +90,7 @@ func (c *TwoClock) Compose(beat uint64) []proto.Send {
 
 // Deliver implements proto.Protocol: Figure 2 lines 2-6.
 func (c *TwoClock) Deliver(beat uint64, inbox []proto.Recv) {
-	boxes := proto.SplitInbox(inbox, twoClockChildren)
+	boxes := c.splitter.Split(inbox, twoClockChildren)
 	c.pipe.Deliver(beat, boxes[twoClockChildCoin])
 	rand := c.pipe.Bit()
 
@@ -95,7 +98,13 @@ func (c *TwoClock) Deliver(beat uint64, inbox []proto.Recv) {
 	// rand (line 3). In the PreRand variant senders already substituted
 	// a bit, so ⊥ messages are Byzantine noise and are dropped.
 	var count [2]int
-	seen := make([]bool, c.env.N)
+	if c.seen == nil {
+		c.seen = make([]bool, c.env.N)
+	}
+	seen := c.seen
+	for i := range seen {
+		seen[i] = false
+	}
 	for _, r := range boxes[twoClockChildMsg] {
 		m, ok := r.Msg.(TwoClockMsg)
 		if !ok || r.From < 0 || r.From >= c.env.N || seen[r.From] {

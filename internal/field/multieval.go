@@ -1,0 +1,253 @@
+package field
+
+import "sync"
+
+// This file implements batched polynomial evaluation at a fixed point
+// set: one power table shared by every evaluation, with the accumulation
+// loop ordered so the per-point accumulators are independent (the CPU can
+// overlap the multiplies, unlike Horner's serial dependency chain). The
+// GVSS echo round evaluates each of its n² row polynomials at all n share
+// points every beat — n³ evaluations that previously went through n
+// independent Poly.Eval calls and dominated the post-PR-1 profile.
+
+// multiEvalCache caches the tables for the point sets 1..n the coin
+// pipeline uses, keyed by (n, deg). Tables are immutable once published.
+var multiEvalCache struct {
+	sync.RWMutex
+	m map[[2]int]*MultiEval
+}
+
+// MultiEval evaluates polynomials of degree <= deg at a fixed ordered
+// point set in one pass per polynomial. It is immutable after
+// construction and safe for concurrent use by any number of goroutines;
+// callers supply the destination (and any scratch) buffers.
+type MultiEval struct {
+	n, deg int
+	// pows[i*(deg+1)+k] = xs[i]^k: one contiguous power row per point, so
+	// a single-point evaluation is a register-accumulated dot product
+	// whose multiplies are independent of the (serial) fold chain —
+	// unlike Horner, where every multiply sits on the accumulator's
+	// critical path.
+	pows []Elem
+	// powsT[k*n+i] = xs[i]^k, the transposed layout the 4-wide EvalInto
+	// kernel streams: four points' powers of x^k are adjacent, and the
+	// four accumulator chains are independent, so the CPU overlaps their
+	// latencies.
+	powsT []Elem
+}
+
+// NewMultiEval builds the table for the given points and maximum degree.
+// deg must be >= 0.
+func NewMultiEval(xs []Elem, deg int) *MultiEval {
+	n := len(xs)
+	m := &MultiEval{n: n, deg: deg}
+	m.pows = make([]Elem, n*(deg+1))
+	m.powsT = make([]Elem, (deg+1)*n)
+	for i, x := range xs {
+		p := Elem(1)
+		for k := 0; k <= deg; k++ {
+			m.pows[i*(deg+1)+k] = p
+			m.powsT[k*n+i] = p
+			p = Mul(p, x)
+		}
+	}
+	return m
+}
+
+// MultiEvalFor returns the (cached, shared) table for the share points
+// 1..n and degree bound deg — the shape every GVSS session uses.
+func MultiEvalFor(n, deg int) *MultiEval {
+	key := [2]int{n, deg}
+	multiEvalCache.RLock()
+	m := multiEvalCache.m[key]
+	multiEvalCache.RUnlock()
+	if m != nil {
+		return m
+	}
+	xs := make([]Elem, n)
+	for i := range xs {
+		xs[i] = Elem(i + 1)
+	}
+	m = NewMultiEval(xs, deg)
+	multiEvalCache.Lock()
+	if existing := multiEvalCache.m[key]; existing != nil {
+		m = existing
+	} else {
+		if multiEvalCache.m == nil {
+			multiEvalCache.m = make(map[[2]int]*MultiEval)
+		}
+		multiEvalCache.m[key] = m
+	}
+	multiEvalCache.Unlock()
+	return m
+}
+
+// N returns the number of evaluation points.
+func (m *MultiEval) N() int { return m.n }
+
+// EvalInto writes p(xs[i]) into dst[i] for every point; dst must have
+// length >= N() and p degree <= the table's bound. Concurrent callers
+// with distinct dst never interfere.
+//
+// Points are processed four at a time with independent accumulators (one
+// fold per term each; acc < 2^33 plus a 62-bit product stays below 2^63),
+// so the fold chains of the four points overlap instead of serializing.
+func (m *MultiEval) EvalInto(dst []Elem, p Poly) {
+	if len(p) > m.deg+1 {
+		panic("field: MultiEval degree exceeded")
+	}
+	evalColumns(dst[:m.n], p, m.powsT, m.n)
+}
+
+// evalColumns computes dst[j] = sum_k coeffs[k] * tab[k*n+j] for j in
+// [0, n) — the shared inner kernel of batched evaluation: tab holds one
+// n-wide column per coefficient, four output accumulators run per step
+// so their fold chains overlap instead of serializing, and coefficients
+// are consumed in pairs with one fold per pair: each product is at most
+// (P-1)² = 2^62 - 2^33 + 4, so two products plus a folded (< 2^33)
+// accumulator stay below 2^63, the folding precondition.
+func evalColumns(dst []Elem, coeffs []Elem, tab []Elem, n int) {
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		var a0, a1, a2, a3 uint64
+		k := 0
+		for ; k+2 <= len(coeffs); k += 2 {
+			c0, c1 := uint64(coeffs[k]), uint64(coeffs[k+1])
+			col0 := tab[k*n+j : k*n+j+4 : k*n+j+4]
+			col1 := tab[(k+1)*n+j : (k+1)*n+j+4 : (k+1)*n+j+4]
+			a0 = fold(a0 + c0*uint64(col0[0]) + c1*uint64(col1[0]))
+			a1 = fold(a1 + c0*uint64(col0[1]) + c1*uint64(col1[1]))
+			a2 = fold(a2 + c0*uint64(col0[2]) + c1*uint64(col1[2]))
+			a3 = fold(a3 + c0*uint64(col0[3]) + c1*uint64(col1[3]))
+		}
+		if k < len(coeffs) {
+			cc := uint64(coeffs[k])
+			col := tab[k*n+j : k*n+j+4 : k*n+j+4]
+			a0 = fold(a0 + cc*uint64(col[0]))
+			a1 = fold(a1 + cc*uint64(col[1]))
+			a2 = fold(a2 + cc*uint64(col[2]))
+			a3 = fold(a3 + cc*uint64(col[3]))
+		}
+		dst[j] = reduceWide(a0)
+		dst[j+1] = reduceWide(a1)
+		dst[j+2] = reduceWide(a2)
+		dst[j+3] = reduceWide(a3)
+	}
+	for ; j < n; j++ {
+		var acc uint64
+		k := 0
+		for ; k+2 <= len(coeffs); k += 2 {
+			acc = fold(acc + uint64(coeffs[k])*uint64(tab[k*n+j]) + uint64(coeffs[k+1])*uint64(tab[(k+1)*n+j]))
+		}
+		if k < len(coeffs) {
+			acc = fold(acc + uint64(coeffs[k])*uint64(tab[k*n+j]))
+		}
+		dst[j] = reduceWide(acc)
+	}
+}
+
+// At evaluates p at point index i (0-based) through the row power table:
+// a single lazy-reduced dot product.
+func (m *MultiEval) At(p Poly, i int) Elem {
+	row := m.pows[i*(m.deg+1) : i*(m.deg+1)+len(p)]
+	return Dot(p, row)
+}
+
+// SecretDecoder decodes a batch of Reed–Solomon share vectors whose
+// present-point sets are almost always identical (the GVSS recover round:
+// one sender set, n² dealings), returning only the interpolant's value at
+// 0. It fuses DecodeFast's happy path through two cached tables for the
+// memoized point set S = xs[:degree+1]:
+//
+//   - vtT[i*N+j] = L_i^S(x_j), the Lagrange basis evaluated at every
+//     table point, column-major so one pass of the shared 4-wide kernel
+//     yields the candidate interpolant's value at every point — no
+//     coefficient interpolation at all;
+//   - the Recon's w0 weights, so the accepted secret is Dot(w0, ys[:k]).
+//
+// The exact Lagrange identities make both tables bit-equivalent to
+// interpolating and evaluating (validated by the differential test
+// against DecodeFast). The fallback under too many errors is the full
+// Berlekamp–Welch Decode, unchanged. The zero value is not usable; bind
+// with NewSecretDecoder. Not safe for concurrent use — hold one per node.
+type SecretDecoder struct {
+	me  *MultiEval
+	k   int
+	xs  []Elem
+	r   *Recon
+	vtT []Elem
+	ev  []Elem
+}
+
+// NewSecretDecoder returns a decoder verifying against m's point set.
+func NewSecretDecoder(m *MultiEval) *SecretDecoder {
+	return &SecretDecoder{me: m, ev: make([]Elem, m.n)}
+}
+
+// ensure rebuilds the tables when the interpolation set changes.
+func (sd *SecretDecoder) ensure(xs []Elem) {
+	k := len(xs)
+	if sd.r != nil && sd.k == k {
+		same := true
+		for i := range xs {
+			if sd.xs[i] != xs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	sd.k = k
+	sd.xs = append(sd.xs[:0], xs...)
+	sd.r = ReconFor(xs)
+	n := sd.me.n
+	if cap(sd.vtT) < n*k {
+		sd.vtT = make([]Elem, n*k)
+	}
+	sd.vtT = sd.vtT[:n*k]
+	for i := 0; i < k; i++ {
+		// Row i of vtT is the basis polynomial L_i evaluated at every
+		// table point.
+		basis := Poly(sd.r.basis[i*k : (i+1)*k])
+		for j := 0; j < n; j++ {
+			sd.vtT[i*n+j] = sd.me.At(basis, j)
+		}
+	}
+}
+
+// DecodeAt0 returns the value at x = 0 of the degree-<=degree polynomial
+// through (xs, ys), tolerating up to maxErrors wrong points; it errors
+// exactly when DecodeFast(xs, ys, degree, maxErrors) errors. Every x in
+// xs must be a coordinate of the bound table (a value in [1, N()]).
+func (sd *SecretDecoder) DecodeAt0(xs, ys []Elem, degree, maxErrors int) (Elem, error) {
+	// Cap at the information-theoretic bound, exactly as DecodeFastInto.
+	if cap := (len(xs) - degree - 1) / 2; maxErrors > cap {
+		maxErrors = cap
+	}
+	if degree >= 0 && maxErrors >= 0 && len(xs) == len(ys) && len(xs) > degree {
+		k := degree + 1
+		sd.ensure(xs[:k])
+		// One kernel pass gives the candidate interpolant's value at every
+		// table point: p(x_j) = sum_i ys[i] * L_i(x_j).
+		evalColumns(sd.ev, ys[:k], sd.vtT, sd.me.n)
+		bad := 0
+		for i := range xs {
+			if sd.ev[xs[i]-1] != ys[i] {
+				bad++
+				if bad > maxErrors {
+					break
+				}
+			}
+		}
+		if bad <= maxErrors {
+			return sd.r.SecretAt0(ys[:k]), nil
+		}
+	}
+	p, err := Decode(xs, ys, degree, maxErrors)
+	if err != nil {
+		return 0, err
+	}
+	return p.Eval(0), nil
+}

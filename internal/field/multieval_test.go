@@ -1,0 +1,108 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMultiEvalMatchesEval pits the batched table evaluation against the
+// scalar Horner oracle over random polynomials and degrees.
+func TestMultiEvalMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 4, 7, 16, 33} {
+		for deg := 0; deg <= 8; deg++ {
+			me := MultiEvalFor(n, deg)
+			if me.N() != n {
+				t.Fatalf("N() = %d, want %d", me.N(), n)
+			}
+			for trial := 0; trial < 20; trial++ {
+				p := RandomPoly(rng, rng.Intn(deg+1), Elem(rng.Uint64()%P))
+				dst := make([]Elem, n)
+				me.EvalInto(dst, p)
+				for i := 0; i < n; i++ {
+					x := Elem(i + 1)
+					if want := p.Eval(x); dst[i] != want {
+						t.Fatalf("n=%d deg=%d: EvalInto[%d] = %v, want %v", n, deg, i, dst[i], want)
+					}
+					if got := me.At(p, i); got != p.Eval(x) {
+						t.Fatalf("n=%d deg=%d: At(%d) = %v, want %v", n, deg, i, got, p.Eval(x))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiEvalArbitraryPoints covers tables over point sets other than
+// 1..n (NewMultiEval is generic even though the coin pipeline only uses
+// the canonical share points).
+func TestMultiEvalArbitraryPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := []Elem{3, 17, 900, Elem(P - 1), 0}
+	me := NewMultiEval(xs, 5)
+	for trial := 0; trial < 50; trial++ {
+		p := RandomPoly(rng, rng.Intn(6), Elem(rng.Uint64()%P))
+		dst := make([]Elem, len(xs))
+		me.EvalInto(dst, p)
+		for i, x := range xs {
+			if want := p.Eval(x); dst[i] != want {
+				t.Fatalf("EvalInto at %v = %v, want %v", x, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestMultiEvalForCaches verifies the process-wide table cache returns
+// the same immutable table for repeated lookups.
+func TestMultiEvalForCaches(t *testing.T) {
+	a := MultiEvalFor(9, 3)
+	b := MultiEvalFor(9, 3)
+	if a != b {
+		t.Fatal("cache returned distinct tables for the same key")
+	}
+	if c := MultiEvalFor(9, 4); c == a {
+		t.Fatal("cache conflated distinct degree bounds")
+	}
+}
+
+// TestSecretDecoderMatchesDecodeFast pits the fused secret decoder
+// against DecodeFast + Eval(0) under random corruption and varying
+// present-point subsets (exercising the table rebuild path).
+func TestSecretDecoderMatchesDecodeFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 500; trial++ {
+		n := 4 + rng.Intn(13)
+		f := (n - 1) / 3
+		sd := NewSecretDecoder(MultiEvalFor(n, f))
+		for batch := 0; batch < 3; batch++ {
+			p := RandomPoly(rng, f, Elem(rng.Uint64()%P))
+			present := make([]int, 0, n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(5) > 0 {
+					present = append(present, i)
+				}
+			}
+			if len(present) < 2*f+1 {
+				continue
+			}
+			xs := make([]Elem, len(present))
+			ys := make([]Elem, len(present))
+			for i, idx := range present {
+				xs[i] = Elem(idx + 1)
+				ys[i] = p.Eval(xs[i])
+			}
+			for k := rng.Intn(f + 2); k > 0; k-- {
+				ys[rng.Intn(len(ys))] = Elem(rng.Uint64() % P)
+			}
+			got, gotErr := sd.DecodeAt0(xs, ys, f, f)
+			want, wantErr := DecodeFast(xs, ys, f, f)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("error mismatch: %v vs %v", gotErr, wantErr)
+			}
+			if gotErr == nil && got != want.Eval(0) {
+				t.Fatalf("secret mismatch: %v vs %v", got, want.Eval(0))
+			}
+		}
+	}
+}
+

@@ -39,6 +39,7 @@ package gvss
 
 import (
 	"math/rand"
+	"sync"
 
 	"ssbyzclock/internal/field"
 	"ssbyzclock/internal/proto"
@@ -114,15 +115,41 @@ type Instance struct {
 	// rows[d][t] is my (possibly fixed) row for dealing (d,t); nil when
 	// missing or invalid. Delivered rows are copied into slots of the flat
 	// rowData backing; rows fixed from echoes point at their own decode
-	// result instead. rowOK mirrors validity after the echo round.
-	rows    [][]field.Poly
-	rowData []field.Elem // n*n slots of f+1 coefficients each
-	rowOK   [][]bool
+	// result instead. rowOK mirrors validity after the echo round. The
+	// *Flat aliases are the matrices' backing arrays, kept so Reset clears
+	// with a few linear passes instead of n² double-indexed stores.
+	rows      [][]field.Poly
+	rowsFlat  []field.Poly
+	rowData   []field.Elem // n*n slots of f+1 coefficients each
+	rowOK     [][]bool
+	rowOKFlat []bool
 
 	grades [][]uint8 // [dealer][target], valid after DeliverVote
 
-	recovered [][]field.Elem // valid after DeliverRecover where recOK
-	recOK     [][]bool
+	recovered     [][]field.Elem // valid after DeliverRecover where recOK
+	recoveredFlat []field.Elem
+	recOK         [][]bool
+	recOKFlat     []bool
+
+	// me is the shared batch-evaluation table for the session's share
+	// points 1..n: every row evaluation in the share, echo and recover
+	// rounds goes through it in one pass per row instead of n independent
+	// Poly.Eval calls. The table is immutable and shared process-wide.
+	me *field.MultiEval
+
+	// echoVals caches the compose-echo evaluations row_{d,t}(j+1) laid
+	// out [(d*n+t)*n + j]. ComposeEcho fills it; DeliverEcho — which runs
+	// later the same beat and needs exactly these values to count echo
+	// agreement — reads it instead of re-evaluating, halving the echo
+	// round's evaluation work, then releases it. The n³ buffers are
+	// checked out of a process-wide pool only for that compose→deliver
+	// window, so a pipeline full of instances does not pin one per slot.
+	// Entries for dealings without a row are stale and guarded by
+	// rows[d][t] != nil (stale pool contents are therefore never read);
+	// echoCached gates the whole cache so a Deliver without a matching
+	// Compose falls back to fresh evaluation.
+	echoVals   []field.Elem
+	echoCached bool
 
 	// Reusable scratch for the echo and recover rounds' per-dealing point
 	// collection and happy-path decoding; one instance processes n^2
@@ -130,6 +157,29 @@ type Instance struct {
 	// allocation-free.
 	xsScratch, ysScratch []field.Elem
 	polyScratch          field.Poly
+	ev                   []field.Elem // n-point batch-eval scratch
+
+	// Per-sender matrix pointers and vote tallies, reused across the
+	// deliver rounds (cleared per call) so steady-state delivery does not
+	// allocate.
+	echoM, recM [][][]field.Elem
+	echoH, recH [][][]bool
+	voteCounts  []int
+	voteRows    [][]int
+	voteSeen    []bool
+	// rowPtrE/rowPtrB hold the per-sender row slices of the current
+	// dealer while scanning, and secDec fuses the recover round's
+	// repeated-sender-set decodes through cached basis tables.
+	rowPtrE   [][]field.Elem
+	rowPtrB   [][]bool
+	senderIdx []int
+	secDec    *field.SecretDecoder
+	allTrue   []bool // n² of true, for the all-held echo fast path
+
+	// Per-destination flat pointers used while scattering batched
+	// evaluations into outgoing messages.
+	dstElem [][]field.Elem
+	dstBool [][]bool
 }
 
 // New creates the per-node state for one session and draws this node's
@@ -141,15 +191,33 @@ func New(env proto.Env, rng *rand.Rand) *Instance {
 	for t := 0; t < n; t++ {
 		ins.dealt[t] = shamir.NewBivariate(rng, f, field.Reduce(rng.Uint64()))
 	}
-	ins.rows = matrixPoly(n)
+	ins.rows, ins.rowsFlat = matrixPoly(n)
 	ins.rowData = make([]field.Elem, n*n*(f+1))
-	ins.rowOK = matrixBool(n)
+	ins.rowOK, ins.rowOKFlat = matrixBool(n)
 	ins.grades = matrixU8(n)
-	ins.recovered = matrixElem(n)
-	ins.recOK = matrixBool(n)
+	ins.recovered, ins.recoveredFlat = matrixElem(n)
+	ins.recOK, ins.recOKFlat = matrixBool(n)
+	ins.me = field.MultiEvalFor(n, f)
+	ins.secDec = field.NewSecretDecoder(ins.me)
 	ins.xsScratch = make([]field.Elem, 0, n)
 	ins.ysScratch = make([]field.Elem, 0, n)
 	ins.polyScratch = make(field.Poly, f+1)
+	ins.ev = make([]field.Elem, n)
+	ins.echoM = make([][][]field.Elem, n)
+	ins.echoH = make([][][]bool, n)
+	ins.recM = make([][][]field.Elem, n)
+	ins.recH = make([][][]bool, n)
+	ins.voteCounts = make([]int, n*n)
+	ins.voteRows = make([][]int, n)
+	for d := range ins.voteRows {
+		ins.voteRows[d] = ins.voteCounts[d*n : (d+1)*n : (d+1)*n]
+	}
+	ins.voteSeen = make([]bool, n)
+	ins.dstElem = make([][]field.Elem, n)
+	ins.dstBool = make([][]bool, n)
+	ins.rowPtrE = make([][]field.Elem, n)
+	ins.rowPtrB = make([][]bool, n)
+	ins.senderIdx = make([]int, 0, n)
 	return ins
 }
 
@@ -176,15 +244,23 @@ func (ins *Instance) Reset(env proto.Env, rng *rand.Rand) bool {
 	for t := 0; t < n; t++ {
 		ins.dealt[t].Randomize(rng, field.Reduce(rng.Uint64()))
 	}
+	for i := range ins.rowsFlat {
+		ins.rowsFlat[i] = nil
+	}
+	for i := range ins.rowOKFlat {
+		ins.rowOKFlat[i] = false
+		ins.recOKFlat[i] = false
+	}
 	for d := 0; d < n; d++ {
-		for t := 0; t < n; t++ {
-			ins.rows[d][t] = nil
-			ins.rowOK[d][t] = false
-			ins.grades[d][t] = GradeNone
-			ins.recovered[d][t] = 0
-			ins.recOK[d][t] = false
+		g := ins.grades[d]
+		for t := range g {
+			g[t] = GradeNone
 		}
 	}
+	for i := range ins.recoveredFlat {
+		ins.recoveredFlat[i] = 0
+	}
+	ins.echoCached = false
 	return true
 }
 
@@ -197,18 +273,41 @@ func (ins *Instance) DealtSecret(target int) field.Elem {
 // ComposeShare produces round 1: this node, as dealer, sends each node its
 // row polynomials for all n target secrets. Each message's n rows are
 // sliced out of one flat backing array (2 allocations per destination
-// instead of n+1).
+// instead of n+1), and the rows themselves are computed batched: the
+// coefficient of x^k in destination i's row for target t is the row
+// coefficient vector C_t[k] evaluated at i+1, so one MultiEval pass per
+// (t, k) fills that coefficient for all n destinations at once.
 func (ins *Instance) ComposeShare() []proto.Send {
 	n, f := ins.env.N, ins.env.F
 	w := f + 1
+	ev := ins.ev
+	flats := ins.dstElem
+	// One element block and one row-header block for all n messages: the
+	// destinations' payloads have identical lifetimes, so slicing them out
+	// of shared backing cuts the round from ~3n allocations to 3.
+	elems := make([]field.Elem, n*n*w)
+	rowHdrs := make([]field.Poly, n*n)
 	sends := make([]proto.Send, 0, n)
 	for i := 0; i < n; i++ {
-		flat := make([]field.Elem, n*w)
-		rows := make([]field.Poly, n)
+		flat := elems[i*n*w : (i+1)*n*w : (i+1)*n*w]
+		rows := rowHdrs[i*n : (i+1)*n : (i+1)*n]
 		for t := 0; t < n; t++ {
-			rows[t] = ins.dealt[t].RowInto(field.Poly(flat[t*w:(t+1)*w:(t+1)*w]), field.Elem(i+1))
+			rows[t] = field.Poly(flat[t*w : (t+1)*w : (t+1)*w])
 		}
+		flats[i] = flat
 		sends = append(sends, proto.Send{To: i, Msg: ShareMsg{Rows: rows}})
+	}
+	for t := 0; t < n; t++ {
+		c := ins.dealt[t].C
+		for k := 0; k < w; k++ {
+			ins.me.EvalInto(ev, field.Poly(c[k]))
+			for i := 0; i < n; i++ {
+				flats[i][t*w+k] = ev[i]
+			}
+		}
+	}
+	for i := range flats {
+		flats[i] = nil // the backing arrays now belong to the messages
 	}
 	return sends
 }
@@ -217,25 +316,56 @@ func (ins *Instance) ComposeShare() []proto.Send {
 // sent a well-formed share message.
 func (ins *Instance) DeliverShare(inbox []proto.Recv) {
 	n, f := ins.env.N, ins.env.F
+	seen := ins.voteSeen // per-call sender dedup scratch, free this round
+	for i := range seen {
+		seen[i] = false
+	}
 	for _, r := range inbox {
 		m, ok := r.Msg.(ShareMsg)
 		if !ok || r.From < 0 || r.From >= n || len(m.Rows) != n {
 			continue
 		}
+		if seen[r.From] {
+			// A (Byzantine) duplicate may not clobber already-installed
+			// rows with a half-copied invalid message, so it pays for the
+			// separate validation pass the common path fuses away.
+			valid := true
+			for _, row := range m.Rows {
+				if len(row) != f+1 || !elemsValid(row) {
+					valid = false
+					break
+				}
+			}
+			if !valid {
+				continue
+			}
+			for t := 0; t < n; t++ {
+				slot := ins.rowSlot(r.From, t)
+				copy(slot, m.Rows[t])
+				ins.rows[r.From][t] = slot
+			}
+			continue
+		}
+		seen[r.From] = true
+		// First message from this sender: validate and copy in one pass
+		// over the (cache-cold) payload; an invalid row found mid-way
+		// uninstalls the whole dealer again, so the observable behavior
+		// matches validate-then-copy.
 		valid := true
-		for _, row := range m.Rows {
+		for t := 0; t < n; t++ {
+			row := m.Rows[t]
 			if len(row) != f+1 || !elemsValid(row) {
 				valid = false
 				break
 			}
+			slot := ins.rowSlot(r.From, t)
+			copy(slot, row)
+			ins.rows[r.From][t] = slot
 		}
 		if !valid {
-			continue
-		}
-		for t := 0; t < n; t++ {
-			slot := ins.rowSlot(r.From, t)
-			copy(slot, m.Rows[t])
-			ins.rows[r.From][t] = slot
+			for t := 0; t < n; t++ {
+				ins.rows[r.From][t] = nil
+			}
 		}
 	}
 }
@@ -243,27 +373,94 @@ func (ins *Instance) DeliverShare(inbox []proto.Recv) {
 // ComposeEcho produces round 2: cross-check points of my rows, one message
 // per destination node. Each message's n×n matrices are sliced out of
 // flat backing arrays (4 allocations per destination instead of 2n+2).
+// Each held row is evaluated at all n destinations in one MultiEval pass,
+// directly into the instance's echoVals cache, which DeliverEcho reuses
+// for agreement counting later the same beat.
 func (ins *Instance) ComposeEcho() []proto.Send {
 	n := ins.env.N
+	if ins.echoVals == nil {
+		ins.echoVals = getEchoVals(n * n * n)
+	}
+	valsFlats := ins.dstElem
+	hasFlats := ins.dstBool
+	// Shared backing blocks for all n messages (see ComposeShare).
+	elems := make([]field.Elem, n*n*n)
+	bools := make([]bool, n*n*n)
+	valHdrs := make([][]field.Elem, n*n)
+	hasHdrs := make([][]bool, n*n)
 	sends := make([]proto.Send, 0, n)
 	for j := 0; j < n; j++ {
-		valsFlat := make([]field.Elem, n*n)
-		hasFlat := make([]bool, n*n)
-		vals := make([][]field.Elem, n)
-		has := make([][]bool, n)
-		x := field.Elem(j + 1)
+		valsFlat := elems[j*n*n : (j+1)*n*n : (j+1)*n*n]
+		hasFlat := bools[j*n*n : (j+1)*n*n : (j+1)*n*n]
+		vals := valHdrs[j*n : (j+1)*n : (j+1)*n]
+		has := hasHdrs[j*n : (j+1)*n : (j+1)*n]
 		for d := 0; d < n; d++ {
 			vals[d] = valsFlat[d*n : (d+1)*n : (d+1)*n]
 			has[d] = hasFlat[d*n : (d+1)*n : (d+1)*n]
-			for t := 0; t < n; t++ {
-				if row := ins.rows[d][t]; row != nil {
-					vals[d][t] = row.Eval(x)
-					has[d][t] = true
+		}
+		valsFlats[j] = valsFlat
+		hasFlats[j] = hasFlat
+		sends = append(sends, proto.Send{To: j, Msg: EchoMsg{Vals: vals, Has: has}})
+	}
+	// Pass 1: evaluate every held row at all n points, streaming into the
+	// contiguous echoVals cache (DeliverEcho reads it back later this
+	// beat).
+	held := 0
+	for d := 0; d < n; d++ {
+		for t := 0; t < n; t++ {
+			row := ins.rows[d][t]
+			if row == nil {
+				continue
+			}
+			ins.me.EvalInto(ins.echoVals[(d*n+t)*n:(d*n+t+1)*n], row)
+			held++
+		}
+	}
+	// Pass 2: scatter into the per-destination payloads. With every row
+	// held (the steady state), this is a cache-blocked transpose of
+	// echoVals plus a memset of the has bits; per-dealing scattering —
+	// which cycles the full n³ destination footprint through L1 once per
+	// dealing — only runs for the sparse shapes missing dealers cause.
+	if held == n*n {
+		if ins.allTrue == nil {
+			ins.allTrue = make([]bool, n*n)
+			for i := range ins.allTrue {
+				ins.allTrue[i] = true
+			}
+		}
+		const tile = 64
+		for base := 0; base < n*n; base += tile {
+			end := base + tile
+			if end > n*n {
+				end = n * n
+			}
+			for j := 0; j < n; j++ {
+				dst := valsFlats[j]
+				for idx := base; idx < end; idx++ {
+					dst[idx] = ins.echoVals[idx*n+j]
 				}
 			}
 		}
-		sends = append(sends, proto.Send{To: j, Msg: EchoMsg{Vals: vals, Has: has}})
+		for j := 0; j < n; j++ {
+			copy(hasFlats[j], ins.allTrue)
+		}
+	} else {
+		for idx := 0; idx < n*n; idx++ {
+			if ins.rows[idx/n][idx%n] == nil {
+				continue
+			}
+			slot := ins.echoVals[idx*n : (idx+1)*n]
+			for j := 0; j < n; j++ {
+				valsFlats[j][idx] = slot[j]
+				hasFlats[j][idx] = true
+			}
+		}
 	}
+	for j := range valsFlats {
+		valsFlats[j] = nil
+		hasFlats[j] = nil
+	}
+	ins.echoCached = true
 	return sends
 }
 
@@ -276,8 +473,12 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 	n, f := ins.env.N, ins.env.F
 	quorum := ins.env.Quorum()
 	// echo[w] is sender w's matrix, nil if absent/malformed.
-	echo := make([][][]field.Elem, n)
-	echoHas := make([][][]bool, n)
+	echo := ins.echoM
+	echoHas := ins.echoH
+	for w := 0; w < n; w++ {
+		echo[w] = nil
+		echoHas[w] = nil
+	}
 	for _, r := range inbox {
 		m, ok := r.Msg.(EchoMsg)
 		if !ok || r.From < 0 || r.From >= n ||
@@ -287,25 +488,72 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 		echo[r.From] = m.Vals
 		echoHas[r.From] = m.Has
 	}
+	cached := ins.echoCached
+	ins.echoCached = false
+	defer func() {
+		// The compose-time evaluations are dead after this round; hand
+		// the buffer back for the next instance entering its echo round.
+		putEchoVals(ins.echoVals)
+		ins.echoVals = nil
+	}()
+	// Hoist the present-sender list once, and per dealer the senders' row
+	// slices, so the inner scans index flat rows instead of chasing three
+	// levels of slice headers (and skip absent senders entirely).
+	senders := ins.senderIdx[:0]
+	for w := 0; w < n; w++ {
+		if echo[w] != nil {
+			senders = append(senders, w)
+		}
+	}
+	ins.senderIdx = senders
+	evRow := ins.rowPtrE
+	hasRow := ins.rowPtrB
 	for d := 0; d < n; d++ {
+		for i, w := range senders {
+			evRow[i] = echo[w][d]
+			hasRow[i] = echoHas[w][d]
+		}
 		for t := 0; t < n; t++ {
+			row := ins.rows[d][t]
+			if row != nil {
+				// My row's value at every echoer's point: ComposeEcho
+				// already evaluated exactly these this beat, so the common
+				// path is a lookup (and needs no point collection at all);
+				// without a matching compose, evaluate fresh.
+				var rowVals []field.Elem
+				if cached {
+					rowVals = ins.echoVals[(d*n+t)*n : (d*n+t+1)*n]
+				} else {
+					ins.me.EvalInto(ins.ev, row)
+					rowVals = ins.ev
+				}
+				agree := 0
+				for i, w := range senders {
+					if hasRow[i][t] && rowVals[w] == evRow[i][t] {
+						agree++
+						if agree >= quorum {
+							break
+						}
+					}
+				}
+				if agree >= quorum {
+					ins.rowOK[d][t] = true
+					continue
+				}
+			}
+			// Row missing or inconsistent: collect the echo points and try
+			// to fix it from them. The fixed row is retained across
+			// rounds, so this (rare, Byzantine-only) path uses the
+			// allocating DecodeFast.
 			xs := ins.xsScratch[:0]
 			ys := ins.ysScratch[:0]
-			for w := 0; w < n; w++ {
-				if echo[w] == nil || !echoHas[w][d][t] {
+			for i, w := range senders {
+				if !hasRow[i][t] {
 					continue
 				}
 				xs = append(xs, field.Elem(w+1))
-				ys = append(ys, echo[w][d][t])
+				ys = append(ys, evRow[i][t])
 			}
-			row := ins.rows[d][t]
-			if row != nil && agreeCount(row, xs, ys) >= quorum {
-				ins.rowOK[d][t] = true
-				continue
-			}
-			// Row missing or inconsistent: try to fix it from the echoes.
-			// The fixed row is retained across rounds, so this (rare,
-			// Byzantine-only) path uses the allocating DecodeFast.
 			if len(xs) < quorum {
 				continue
 			}
@@ -337,12 +585,14 @@ func (ins *Instance) ComposeVote() []proto.Send {
 func (ins *Instance) DeliverVote(inbox []proto.Recv) {
 	n, f := ins.env.N, ins.env.F
 	quorum := ins.env.Quorum()
-	countsFlat := make([]int, n*n)
-	counts := make([][]int, n)
-	for d := range counts {
-		counts[d] = countsFlat[d*n : (d+1)*n : (d+1)*n]
+	counts := ins.voteRows
+	for i := range ins.voteCounts {
+		ins.voteCounts[i] = 0
 	}
-	seen := make([]bool, n)
+	seen := ins.voteSeen
+	for i := range seen {
+		seen[i] = false
+	}
 	for _, r := range inbox {
 		m, ok := r.Msg.(VoteMsg)
 		if !ok || r.From < 0 || r.From >= n || seen[r.From] || !boolMatrixValid(m.OK, n) {
@@ -350,9 +600,11 @@ func (ins *Instance) DeliverVote(inbox []proto.Recv) {
 		}
 		seen[r.From] = true
 		for d := 0; d < n; d++ {
-			for t := 0; t < n; t++ {
-				if m.OK[d][t] {
-					counts[d][t]++
+			okRow := m.OK[d]
+			cnt := counts[d]
+			for t, ok := range okRow {
+				if ok {
+					cnt[t]++
 				}
 			}
 		}
@@ -394,7 +646,12 @@ func (ins *Instance) ComposeRecover() []proto.Send {
 		has[d] = hasFlat[d*n : (d+1)*n : (d+1)*n]
 		for t := 0; t < n; t++ {
 			if ins.rowOK[d][t] {
-				shares[d][t] = ins.rows[d][t].Eval(0)
+				// g(0) is the constant coefficient; rows are canonical
+				// (validated on delivery or decoded), so no Horner pass is
+				// needed. Fixed rows may be trimmed to the zero polynomial.
+				if row := ins.rows[d][t]; len(row) > 0 {
+					shares[d][t] = row[0]
+				}
 				has[d][t] = true
 			}
 		}
@@ -407,8 +664,12 @@ func (ins *Instance) ComposeRecover() []proto.Send {
 // unrecovered; the coin layer substitutes a deterministic default.
 func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 	n, f := ins.env.N, ins.env.F
-	shares := make([][][]field.Elem, n) // [sender][d][t]
-	has := make([][][]bool, n)
+	shares := ins.recM // [sender][d][t]
+	has := ins.recH
+	for w := 0; w < n; w++ {
+		shares[w] = nil
+		has[w] = nil
+	}
 	for _, r := range inbox {
 		m, ok := r.Msg.(RecoverMsg)
 		if !ok || r.From < 0 || r.From >= n ||
@@ -418,27 +679,87 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 		shares[r.From] = m.Shares
 		has[r.From] = m.HasRow
 	}
+	// Hoist the present-sender list; when additionally every present
+	// sender claims a share for every dealing (the steady state — checked
+	// with one linear sweep per sender), the per-dealing point set is
+	// constant and the gather loop drops its per-point branches.
+	senders := ins.senderIdx[:0]
+	allHas := true
+	for w := 0; w < n; w++ {
+		if shares[w] == nil {
+			continue
+		}
+		senders = append(senders, w)
+		for _, hr := range has[w] {
+			for _, b := range hr {
+				if !b {
+					allHas = false
+					break
+				}
+			}
+			if !allHas {
+				break
+			}
+		}
+	}
+	ins.senderIdx = senders
+	evRow := ins.rowPtrE
+	hasRow := ins.rowPtrB
+	if allHas && len(senders) >= 2*f+1 {
+		m := len(senders)
+		xs := ins.xsScratch[:m]
+		for i, w := range senders {
+			xs[i] = field.Elem(w + 1)
+		}
+		ys := ins.ysScratch[:m]
+		for d := 0; d < n; d++ {
+			for i, w := range senders {
+				evRow[i] = shares[w][d]
+			}
+			for t := 0; t < n; t++ {
+				for i := 0; i < m; i++ {
+					ys[i] = evRow[i][t]
+				}
+				v, err := ins.secDec.DecodeAt0(xs, ys, f, f)
+				if err != nil {
+					continue
+				}
+				ins.recovered[d][t] = v
+				ins.recOK[d][t] = true
+			}
+		}
+		return
+	}
 	for d := 0; d < n; d++ {
+		for w := 0; w < n; w++ {
+			if shares[w] == nil {
+				evRow[w], hasRow[w] = nil, nil
+			} else {
+				evRow[w], hasRow[w] = shares[w][d], has[w][d]
+			}
+		}
 		for t := 0; t < n; t++ {
 			xs := ins.xsScratch[:0]
 			ys := ins.ysScratch[:0]
 			for w := 0; w < n; w++ {
-				if shares[w] == nil || !has[w][d][t] {
+				if evRow[w] == nil || !hasRow[w][t] {
 					continue
 				}
 				xs = append(xs, field.Elem(w+1))
-				ys = append(ys, shares[w][d][t])
+				ys = append(ys, evRow[w][t])
 			}
 			if len(xs) < 2*f+1 {
 				continue // cannot tolerate f errors with fewer points
 			}
-			// The decoded polynomial is only read for its constant term,
-			// so the happy path reuses the instance scratch buffer.
-			poly, err := field.DecodeFastInto(ins.polyScratch, xs, ys, f, f)
+			// Only the constant term is needed, and the present-sender
+			// set repeats across the n² dealings, so the fused decoder's
+			// cached basis-evaluation tables turn the common case into a
+			// handful of short dot products.
+			v, err := ins.secDec.DecodeAt0(xs, ys, f, f)
 			if err != nil {
 				continue
 			}
-			ins.recovered[d][t] = poly.Eval(0)
+			ins.recovered[d][t] = v
 			ins.recOK[d][t] = true
 		}
 	}
@@ -465,13 +786,22 @@ func agreeCount(p field.Poly, xs, ys []field.Elem) int {
 	return c
 }
 
+// elemsValid reports whether every element is canonical (< P). The scan
+// is branchless because it runs over every delivered matrix entry (n⁴
+// elements per echo round) and honest traffic never trips it. Two
+// accumulators make it sound for the full uint64 range: `hi` catches any
+// value with a bit at or above 2^31 (all invalid values except P
+// itself — P = 2^31−1 is the only non-canonical value below 2^31), and
+// `borrow` underflows on P (the subtraction also wraps for huge values,
+// but those are already caught by hi).
 func elemsValid(es []field.Elem) bool {
+	const max = uint64(field.P - 1)
+	var hi, borrow uint64
 	for _, e := range es {
-		if !e.Valid() {
-			return false
-		}
+		hi |= uint64(e)
+		borrow |= max - uint64(e)
 	}
-	return true
+	return hi>>31 == 0 && borrow>>63 == 0
 }
 
 func matrixValid(m [][]field.Elem, n int) bool {
@@ -498,26 +828,45 @@ func boolMatrixValid(m [][]bool, n int) bool {
 	return true
 }
 
+// echoValsPool recycles the n³ echo-evaluation buffers across instances
+// and sessions; a buffer is only live from an instance's ComposeEcho to
+// the end of its DeliverEcho the same beat, so the pool's working set is
+// a handful of buffers per node rather than one per pipeline slot.
+var echoValsPool sync.Pool
+
+func getEchoVals(size int) []field.Elem {
+	if v, ok := echoValsPool.Get().([]field.Elem); ok && cap(v) >= size {
+		return v[:size]
+	}
+	return make([]field.Elem, size)
+}
+
+func putEchoVals(v []field.Elem) {
+	if v != nil {
+		echoValsPool.Put(v)
+	}
+}
+
 // The matrix constructors slice n rows out of one flat backing array:
 // two allocations per matrix instead of n+1 (a fresh Instance builds five
 // of them every beat on every node).
 
-func matrixPoly(n int) [][]field.Poly {
+func matrixPoly(n int) ([][]field.Poly, []field.Poly) {
 	flat := make([]field.Poly, n*n)
 	m := make([][]field.Poly, n)
 	for i := range m {
 		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
-	return m
+	return m, flat
 }
 
-func matrixBool(n int) [][]bool {
+func matrixBool(n int) ([][]bool, []bool) {
 	flat := make([]bool, n*n)
 	m := make([][]bool, n)
 	for i := range m {
 		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
-	return m
+	return m, flat
 }
 
 func matrixU8(n int) [][]uint8 {
@@ -529,11 +878,11 @@ func matrixU8(n int) [][]uint8 {
 	return m
 }
 
-func matrixElem(n int) [][]field.Elem {
+func matrixElem(n int) ([][]field.Elem, []field.Elem) {
 	flat := make([]field.Elem, n*n)
 	m := make([][]field.Elem, n)
 	for i := range m {
 		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
-	return m
+	return m, flat
 }

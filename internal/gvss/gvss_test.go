@@ -365,3 +365,28 @@ func BenchmarkFullSessionN7(b *testing.B) {
 		h.run(nil)
 	}
 }
+
+// TestElemsValidAdversarial pins the branchless canonical-range scan
+// against the full uint64 range, including the wrap-around values a
+// Byzantine in-memory sender can place in a message (the sim engine does
+// not route adversary messages through wire.Decode's Reduce).
+func TestElemsValidAdversarial(t *testing.T) {
+	ok := func(es ...field.Elem) bool { return elemsValid(es) }
+	if !ok(0, 1, field.Elem(field.P-1)) {
+		t.Fatal("canonical values rejected")
+	}
+	for _, bad := range []uint64{
+		field.P,                  // the one non-canonical value below 2^31
+		field.P + 1,              //
+		1 << 31,                  //
+		1 << 62,                  //
+		1<<63 + field.P,          // wraps the naive borrow check
+		1<<63 + field.P - 2,      //
+		^uint64(0),               // all ones
+		^uint64(0) - field.P + 1, //
+	} {
+		if ok(1, field.Elem(bad), 2) {
+			t.Fatalf("non-canonical value %d accepted", bad)
+		}
+	}
+}

@@ -61,8 +61,35 @@ func WrapSends(child uint8, sends []Send) []Send {
 // windows (full-capacity slices, so a child's inbox cannot grow into its
 // neighbor's).
 func SplitInbox(inbox []Recv, numChildren int) [][]Recv {
-	out := make([][]Recv, numChildren)
-	counts := make([]int, numChildren)
+	var s InboxSplitter
+	return s.Split(inbox, numChildren)
+}
+
+// InboxSplitter is SplitInbox with reusable backing buffers: a parent
+// protocol that splits an inbox every beat holds one and amortizes the
+// three allocations away. The returned inboxes (and the Recv entries
+// behind them) are valid only until the next Split call, which is exactly
+// the lifetime the Protocol.Deliver contract grants an inbox; splitters
+// must not be shared across protocol instances that may run on different
+// goroutines (each node holds its own).
+type InboxSplitter struct {
+	out    [][]Recv
+	counts []int
+	flat   []Recv
+}
+
+// Split routes enveloped messages into per-child inboxes covering
+// children [0, numChildren); see SplitInbox.
+func (s *InboxSplitter) Split(inbox []Recv, numChildren int) [][]Recv {
+	if cap(s.out) < numChildren {
+		s.out = make([][]Recv, numChildren)
+		s.counts = make([]int, numChildren)
+	}
+	out := s.out[:numChildren]
+	counts := s.counts[:numChildren]
+	for c := range counts {
+		counts[c] = 0
+	}
 	total := 0
 	for _, r := range inbox {
 		if env, ok := AsEnvelope(r.Msg); ok && int(env.Child) < numChildren {
@@ -70,7 +97,10 @@ func SplitInbox(inbox []Recv, numChildren int) [][]Recv {
 			total++
 		}
 	}
-	flat := make([]Recv, total)
+	if cap(s.flat) < total {
+		s.flat = make([]Recv, total)
+	}
+	flat := s.flat[:total]
 	off := 0
 	for c, cnt := range counts {
 		out[c] = flat[off : off : off+cnt]

@@ -50,6 +50,15 @@ type Recv struct {
 // Implementations must tolerate arbitrary inbox contents (Byzantine
 // senders) and, for self-stabilizing protocols, arbitrary internal state
 // (see Scrambler).
+//
+// Cross-goroutine contract: drivers (the parallel lockstep engine and the
+// goroutine runtime) may call Compose on all nodes concurrently, and
+// likewise Deliver, with a barrier between the two phases; a single
+// node's calls are never concurrent with each other. A Message delivered
+// to several nodes is shared between their concurrent Deliver calls, so
+// implementations must treat received Message contents as immutable —
+// never write into a delivered message's slices — and must not mutate
+// any state shared across nodes from Compose or Deliver.
 type Protocol interface {
 	// Compose returns the messages this node sends at the given beat.
 	// It must not mutate state observable by Deliver ordering: the engine
@@ -59,7 +68,8 @@ type Protocol interface {
 	// The inbox slice is only valid for the duration of the call — the
 	// engine reuses its backing array across beats — so implementations
 	// must not retain it (retaining the Message values themselves is
-	// fine; messages are never pooled).
+	// fine; messages are never pooled, but see Protocol's cross-goroutine
+	// contract: received Message contents are shared and immutable).
 	Deliver(beat uint64, inbox []Recv)
 }
 

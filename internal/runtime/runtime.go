@@ -66,10 +66,12 @@ func (s Snapshot) SyncedHonest(f int) (uint64, bool) {
 	return v, true
 }
 
-// envelopeBytes is one encoded message in flight.
+// envelopeBytes is one encoded message in flight: an offset window into
+// the cluster's transport arena (offsets, not slices, because the arena
+// may reallocate while messages are still being appended).
 type envelopeBytes struct {
-	from, to int
-	data     []byte
+	from, to   int
+	start, end int
 }
 
 type nodeCmd struct {
@@ -102,6 +104,13 @@ type Cluster struct {
 	beat   uint64
 	wg     sync.WaitGroup
 	closed bool
+
+	// Per-beat transport scratch, reused across Steps: every message is
+	// wire-encoded by appending into one arena (decoding copies all data
+	// out into fresh Go values, so nothing retains arena bytes past the
+	// beat).
+	arena  []byte
+	flight []envelopeBytes
 }
 
 // New builds and starts the cluster goroutines.
@@ -200,21 +209,28 @@ func (c *Cluster) Step() (Snapshot, error) {
 		composed[i] = (<-nd.reply).sends
 	}
 
-	// Serialize everything onto the in-process wire. Unencodable
-	// messages are a programming error worth surfacing, not dropping.
-	var flight []envelopeBytes
+	// Serialize everything onto the in-process wire, appending into the
+	// reused transport arena (a broadcast is encoded once and its window
+	// shared by all recipients). Unencodable messages are a programming
+	// error worth surfacing, not dropping.
+	c.arena = c.arena[:0]
+	flight := c.flight[:0]
 	encodeOut := func(from int, sends []proto.Send) error {
 		for _, s := range sends {
-			data, err := wire.Encode(s.Msg)
+			start := len(c.arena)
+			var err error
+			c.arena, err = wire.AppendTo(c.arena, s.Msg)
 			if err != nil {
+				c.arena = c.arena[:start]
 				return fmt.Errorf("runtime: node %d: %w", from, err)
 			}
+			end := len(c.arena)
 			if s.To == proto.Broadcast {
 				for to := 0; to < n; to++ {
-					flight = append(flight, envelopeBytes{from: from, to: to, data: data})
+					flight = append(flight, envelopeBytes{from: from, to: to, start: start, end: end})
 				}
 			} else if s.To >= 0 && s.To < n {
-				flight = append(flight, envelopeBytes{from: from, to: s.To, data: data})
+				flight = append(flight, envelopeBytes{from: from, to: s.To, start: start, end: end})
 			}
 		}
 		return nil
@@ -230,7 +246,7 @@ func (c *Cluster) Step() (Snapshot, error) {
 	var visible []adversary.Intercept
 	for _, eb := range flight {
 		if eb.to >= n-c.cfg.F {
-			if m, err := wire.Decode(eb.data); err == nil {
+			if m, err := wire.Decode(c.arena[eb.start:eb.end]); err == nil {
 				visible = append(visible, adversary.Intercept{From: eb.from, To: eb.to, Msg: m})
 			}
 		}
@@ -252,12 +268,13 @@ func (c *Cluster) Step() (Snapshot, error) {
 	// an adversary could produce them) and hand over the inboxes.
 	inboxes := make([][]proto.Recv, n)
 	for _, eb := range flight {
-		m, err := wire.Decode(eb.data)
+		m, err := wire.Decode(c.arena[eb.start:eb.end])
 		if err != nil {
 			continue
 		}
 		inboxes[eb.to] = append(inboxes[eb.to], proto.Recv{From: eb.from, Msg: m})
 	}
+	c.flight = flight[:0]
 	for i, nd := range c.nodes {
 		nd.cmds <- nodeCmd{kind: 'd', beat: beat, inbox: inboxes[i]}
 	}

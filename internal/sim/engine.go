@@ -42,6 +42,14 @@ type Config struct {
 	// CountBytes additionally tallies the wire-encoded size of every
 	// honest message into HonestBytes (slower; used by experiment E8).
 	CountBytes bool
+	// Workers is the number of goroutines the per-node-independent
+	// phases (Compose, Deliver, byte accounting) fan out over. 0 selects
+	// GOMAXPROCS; 1 runs fully inline. Every worker count replays
+	// byte-identically from the same seed: work assignment is
+	// deterministic, phase outputs go to per-node slots, and the
+	// adversary, metrics and inbox merge run sequentially between the
+	// parallel phases.
+	Workers int
 }
 
 // Engine simulates one cluster. Create with New, then call Step (or Run)
@@ -54,6 +62,7 @@ type Engine struct {
 	adv    adversary.Adversary
 	advCtx *adversary.Context
 	beat   uint64
+	sched  *Scheduler
 
 	scrambleRng *rand.Rand
 	phantoms    []proto.Recv
@@ -66,6 +75,7 @@ type Engine struct {
 	visible      []adversary.Intercept
 	inboxes      [][]proto.Recv
 	defaultSends []adversary.Sends
+	byteCounts   []uint64
 
 	// Metrics, cumulative across beats. Broadcast counts as N messages.
 	HonestMsgs uint64
@@ -113,6 +123,7 @@ func New(cfg Config, factory NodeFactory) *Engine {
 	} else {
 		e.adv = adversary.Passive{}
 	}
+	e.sched = NewScheduler(cfg.Workers)
 	e.scrambleRng = rngFor(cfg.Seed, 1<<33)
 	if cfg.ScrambleStart {
 		e.ScrambleHonest()
@@ -157,32 +168,50 @@ func (e *Engine) HonestIDs() []int {
 	return out
 }
 
-// Step executes one beat: compose, adversary, deliver. The per-beat
-// slices live on the engine and are reused, so a steady-state beat
-// allocates only what the protocols themselves allocate.
+// Step executes one beat as three explicit phases. Compose and Deliver
+// are per-node independent (the paper's beat system exchanges all of a
+// round's messages between them), so both fan out over the scheduler's
+// workers; the rushing adversary, the metrics and the inbox merge run
+// sequentially in between, which keeps any worker count byte-identical
+// to the sequential engine. The per-beat slices live on the engine and
+// are reused, so a steady-state beat allocates only what the protocols
+// themselves allocate.
 func (e *Engine) Step() {
-	n := e.cfg.N
 	beat := e.beat
+	e.composePhase(beat)
+	faultySends := e.interceptPhase(beat)
+	e.mergeInboxes(faultySends)
+	if e.cfg.CountBytes {
+		e.countBytes()
+	}
+	e.deliverPhase(beat)
+	e.beat++
+}
 
-	// Phase 1: every node (honest and the faulty nodes' honest copies)
-	// composes its messages.
+// composePhase: every node (honest and the faulty nodes' honest copies)
+// composes its messages, in parallel across nodes.
+func (e *Engine) composePhase(beat uint64) {
 	if e.composed == nil {
-		e.composed = make([][]proto.Send, n)
+		e.composed = make([][]proto.Send, e.cfg.N)
 	}
 	composed := e.composed
-	for i := 0; i < n; i++ {
+	e.sched.ForEach(e.cfg.N, func(_ *WorkerScratch, i int) {
 		composed[i] = e.nodes[i].Compose(beat)
-	}
+	})
+}
 
-	// Phase 2: the rushing adversary sees honest traffic addressed to
-	// faulty nodes (private channels: honest-to-honest unicast is
-	// invisible) and decides the faulty nodes' actual messages.
+// interceptPhase: the rushing adversary sees honest traffic addressed to
+// faulty nodes (private channels: honest-to-honest unicast is invisible)
+// and decides the faulty nodes' actual messages. Adversaries are
+// stateful and run on the engine's goroutine.
+func (e *Engine) interceptPhase(beat uint64) []adversary.Sends {
+	n := e.cfg.N
 	visible := e.visible[:0]
 	for i := 0; i < n; i++ {
 		if e.isBad[i] {
 			continue
 		}
-		for _, s := range composed[i] {
+		for _, s := range e.composed[i] {
 			if s.To == proto.Broadcast {
 				for _, bad := range e.faulty {
 					visible = append(visible, adversary.Intercept{From: i, To: bad, Msg: s.Msg})
@@ -198,13 +227,18 @@ func (e *Engine) Step() {
 	}
 	defaultSends := e.defaultSends
 	for k, id := range e.faulty {
-		defaultSends[k] = adversary.Sends{From: id, Out: composed[id]}
+		defaultSends[k] = adversary.Sends{From: id, Out: e.composed[id]}
 	}
-	faultySends := e.adv.Act(beat, defaultSends, visible)
+	return e.adv.Act(beat, defaultSends, visible)
+}
 
-	// Phase 3: deliver. Inboxes receive honest sends plus the adversary's
-	// chosen sends; the faulty nodes' protocol copies also receive
-	// everything, keeping their state plausible.
+// mergeInboxes deterministically builds every node's inbox — phantoms,
+// then honest sends in node order, then the adversary's sends in
+// returned order — and tallies the message metrics. Malformed
+// destinations (negative non-broadcast or >= n) are dropped without
+// delivery or tally, whether honest or adversarial.
+func (e *Engine) mergeInboxes(faultySends []adversary.Sends) {
+	n := e.cfg.N
 	if e.inboxes == nil {
 		e.inboxes = make([][]proto.Recv, n)
 	}
@@ -224,13 +258,6 @@ func (e *Engine) Step() {
 		inboxes[to] = append(inboxes[to], proto.Recv{From: from, Msg: m})
 	}
 	fanout := func(from int, s proto.Send, honest bool) {
-		if honest && e.cfg.CountBytes {
-			mult := uint64(1)
-			if s.To == proto.Broadcast {
-				mult = uint64(n)
-			}
-			e.HonestBytes += mult * uint64(wire.Size(s.Msg))
-		}
 		count := uint64(1)
 		if s.To == proto.Broadcast {
 			count = uint64(n)
@@ -252,7 +279,7 @@ func (e *Engine) Step() {
 		if e.isBad[i] {
 			continue
 		}
-		for _, s := range composed[i] {
+		for _, s := range e.composed[i] {
 			fanout(i, s, true)
 		}
 	}
@@ -264,10 +291,56 @@ func (e *Engine) Step() {
 			fanout(fs.From, s, false)
 		}
 	}
-	for i := 0; i < n; i++ {
-		e.nodes[i].Deliver(beat, inboxes[i])
+}
+
+// countBytes tallies the wire size of delivered honest traffic into
+// HonestBytes (experiment E8). Encoding is the expensive part, so it
+// fans out over nodes with per-worker append buffers; the per-node
+// subtotals are summed in index order so the cumulative metric is
+// deterministic. Dropped sends (malformed destinations) are not
+// tallied, matching mergeInboxes.
+func (e *Engine) countBytes() {
+	n := e.cfg.N
+	if e.byteCounts == nil {
+		e.byteCounts = make([]uint64, n)
 	}
-	e.beat++
+	counts := e.byteCounts
+	e.sched.ForEach(n, func(ws *WorkerScratch, i int) {
+		counts[i] = 0
+		if e.isBad[i] {
+			return
+		}
+		var sum uint64
+		for _, s := range e.composed[i] {
+			mult := uint64(1)
+			if s.To == proto.Broadcast {
+				mult = uint64(n)
+			} else if s.To < 0 || s.To >= n {
+				continue // dropped, never delivered
+			}
+			buf, err := wire.AppendTo(ws.Buf[:0], s.Msg)
+			ws.Buf = buf[:0]
+			if err != nil {
+				continue // unregistered types count as size 0, as before
+			}
+			sum += mult * uint64(len(buf))
+		}
+		counts[i] = sum
+	})
+	for _, c := range counts {
+		e.HonestBytes += c
+	}
+}
+
+// deliverPhase: every node consumes its inbox, in parallel across nodes.
+// Inboxes may share Message values (broadcasts); the proto.Protocol
+// contract makes received messages immutable, so concurrent reads are
+// safe.
+func (e *Engine) deliverPhase(beat uint64) {
+	inboxes := e.inboxes
+	e.sched.ForEach(e.cfg.N, func(_ *WorkerScratch, i int) {
+		e.nodes[i].Deliver(beat, inboxes[i])
+	})
 }
 
 // Run executes the given number of beats.

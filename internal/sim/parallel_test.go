@@ -1,0 +1,314 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/gvss"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/sim"
+)
+
+// runTrace executes an engine for the given beats and returns the
+// per-beat honest clock snapshots plus the final metrics.
+type trace struct {
+	clocks  [][]uint64
+	oks     [][]bool
+	honest  uint64
+	faulty  uint64
+	hbytes  uint64
+	rawBeat uint64
+}
+
+func runTrace(cfg sim.Config, factory sim.NodeFactory, beats int) trace {
+	e := sim.New(cfg, factory)
+	var tr trace
+	for i := 0; i < beats; i++ {
+		e.Step()
+		st := sim.ReadClocks(e)
+		tr.clocks = append(tr.clocks, append([]uint64(nil), st.Values...))
+		tr.oks = append(tr.oks, append([]bool(nil), st.OK...))
+	}
+	tr.honest, tr.faulty, tr.hbytes = e.HonestMsgs, e.FaultyMsgs, e.HonestBytes
+	tr.rawBeat = e.Beat()
+	return tr
+}
+
+// TestWorkerCountDeterminism is the core contract of the parallel
+// scheduler: for every adversary in the suite and several seeds, a run
+// at Workers=1 (fully inline, the sequential engine) and at Workers=8
+// must produce identical clock trajectories and identical cumulative
+// metrics, byte for byte.
+func TestWorkerCountDeterminism(t *testing.T) {
+	advs := []struct {
+		name string
+		mk   func(*adversary.Context) adversary.Adversary
+	}{
+		{"passive", nil},
+		{"silent", func(*adversary.Context) adversary.Adversary { return adversary.Silent{} }},
+		{"delayer", func(ctx *adversary.Context) adversary.Adversary {
+			return &adversary.Delayer{Ctx: ctx, Drop: 0.3}
+		}},
+		{"replayer", func(ctx *adversary.Context) adversary.Adversary {
+			return &adversary.Replayer{Ctx: ctx}
+		}},
+		{"clocksplitter", func(ctx *adversary.Context) adversary.Adversary {
+			return &adversary.ClockSplitter{Ctx: ctx}
+		}},
+		{"gradesplitter", func(ctx *adversary.Context) adversary.Adversary {
+			return &adversary.GradeSplitter{Ctx: ctx}
+		}},
+	}
+	for _, ad := range advs {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", ad.name, seed), func(t *testing.T) {
+				cfg := sim.Config{
+					N: 7, F: 2, Seed: seed, NewAdversary: ad.mk,
+					ScrambleStart: true, CountBytes: true,
+				}
+				factory := core.NewClockSyncProtocol(16, coin.FMFactory{})
+				cfg.Workers = 1
+				seq := runTrace(cfg, factory, 30)
+				cfg.Workers = 8
+				par := runTrace(cfg, factory, 30)
+				if !reflect.DeepEqual(seq.clocks, par.clocks) || !reflect.DeepEqual(seq.oks, par.oks) {
+					t.Fatal("clock trajectories diverged between Workers=1 and Workers=8")
+				}
+				if seq.honest != par.honest || seq.faulty != par.faulty || seq.hbytes != par.hbytes {
+					t.Fatalf("metrics diverged: seq={%d %d %d} par={%d %d %d}",
+						seq.honest, seq.faulty, seq.hbytes, par.honest, par.faulty, par.hbytes)
+				}
+				if seq.rawBeat != par.rawBeat {
+					t.Fatalf("beat counters diverged: %d vs %d", seq.rawBeat, par.rawBeat)
+				}
+			})
+		}
+	}
+}
+
+// gvssProto drives one gvss.Instance through its four rounds as a
+// proto.Protocol so the engine (and its worker pool) can run full GVSS
+// sessions; beats past the fourth are idle.
+type gvssProto struct {
+	ins  *gvss.Instance
+	self proto.Env
+}
+
+func newGVSSFactory() sim.NodeFactory {
+	return func(env proto.Env) proto.Protocol {
+		return &gvssProto{ins: gvss.New(env, env.Rng), self: env}
+	}
+}
+
+func (g *gvssProto) Compose(beat uint64) []proto.Send {
+	switch beat {
+	case 0:
+		return g.ins.ComposeShare()
+	case 1:
+		return g.ins.ComposeEcho()
+	case 2:
+		return g.ins.ComposeVote()
+	case 3:
+		return g.ins.ComposeRecover()
+	}
+	return nil
+}
+
+func (g *gvssProto) Deliver(beat uint64, inbox []proto.Recv) {
+	switch beat {
+	case 0:
+		g.ins.DeliverShare(inbox)
+	case 1:
+		g.ins.DeliverEcho(inbox)
+	case 2:
+		g.ins.DeliverVote(inbox)
+	case 3:
+		g.ins.DeliverRecover(inbox)
+	}
+}
+
+// TestWorkerCountDeterminismGVSS runs full GVSS sessions under the
+// adversary suite at both worker counts and compares every honest node's
+// grade and recovery for every dealing.
+func TestWorkerCountDeterminismGVSS(t *testing.T) {
+	advs := []struct {
+		name string
+		mk   func(*adversary.Context) adversary.Adversary
+	}{
+		{"passive", nil},
+		{"silent", func(*adversary.Context) adversary.Adversary { return adversary.Silent{} }},
+		{"delayer", func(ctx *adversary.Context) adversary.Adversary {
+			return &adversary.Delayer{Ctx: ctx, Drop: 0.4}
+		}},
+		{"sharecorruptor", func(ctx *adversary.Context) adversary.Adversary {
+			return &adversary.ShareCorruptor{Ctx: ctx}
+		}},
+		{"recovercorruptor", func(ctx *adversary.Context) adversary.Adversary {
+			return &adversary.RecoverCorruptor{Ctx: ctx}
+		}},
+	}
+	const n, f = 7, 2
+	snapshot := func(workers int, mk func(*adversary.Context) adversary.Adversary, seed int64) ([][]uint8, [][]uint64) {
+		e := sim.New(sim.Config{N: n, F: f, Seed: seed, NewAdversary: mk, Workers: workers},
+			newGVSSFactory())
+		e.Run(gvss.Rounds)
+		var grades [][]uint8
+		var recs [][]uint64
+		for _, id := range e.HonestIDs() {
+			ins := e.Node(id).(*gvssProto).ins
+			gr := make([]uint8, 0, n*n)
+			rc := make([]uint64, 0, n*n)
+			for d := 0; d < n; d++ {
+				for tg := 0; tg < n; tg++ {
+					gr = append(gr, ins.Grade(d, tg))
+					v, ok := ins.Recovered(d, tg)
+					if !ok {
+						v = 1 << 40
+					}
+					rc = append(rc, uint64(v))
+				}
+			}
+			grades = append(grades, gr)
+			recs = append(recs, rc)
+		}
+		return grades, recs
+	}
+	for _, ad := range advs {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", ad.name, seed), func(t *testing.T) {
+				g1, r1 := snapshot(1, ad.mk, seed)
+				g8, r8 := snapshot(8, ad.mk, seed)
+				if !reflect.DeepEqual(g1, g8) {
+					t.Fatal("GVSS grades diverged between Workers=1 and Workers=8")
+				}
+				if !reflect.DeepEqual(r1, r8) {
+					t.Fatal("GVSS recoveries diverged between Workers=1 and Workers=8")
+				}
+			})
+		}
+	}
+}
+
+// outOfRangeAdv sends to destinations outside [0, n) — including
+// negative values that are not proto.Broadcast — plus one legitimate
+// broadcast per beat, from every faulty node.
+type outOfRangeAdv struct {
+	ctx *adversary.Context
+}
+
+func (a outOfRangeAdv) Act(_ uint64, composed []adversary.Sends, _ []adversary.Intercept) []adversary.Sends {
+	out := make([]adversary.Sends, 0, len(composed))
+	for _, s := range composed {
+		out = append(out, adversary.Sends{From: s.From, Out: []proto.Send{
+			{To: a.ctx.N, Msg: core.BitMsg{B: 1}},      // one past the end
+			{To: a.ctx.N + 7, Msg: core.BitMsg{B: 1}},  // far out of range
+			{To: -2, Msg: core.BitMsg{B: 1}},           // negative, not Broadcast
+			{To: -1000000, Msg: core.BitMsg{B: 1}},     // very negative
+			{To: proto.Broadcast, Msg: core.BitMsg{B: 1}}, // the only deliverable send
+		}})
+	}
+	return out
+}
+
+// countingProto records how many messages it received; Compose sends
+// nothing.
+type countingProto struct {
+	n        int
+	received int
+}
+
+func (p *countingProto) Compose(uint64) []proto.Send { return nil }
+func (p *countingProto) Deliver(_ uint64, inbox []proto.Recv) {
+	p.received += len(inbox)
+}
+
+// TestMalformedAdversarySendsDropped is the regression test for the
+// out-of-range audit: only the broadcast may be delivered or counted,
+// identically in sequential and parallel modes.
+func TestMalformedAdversarySendsDropped(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		cfg := sim.Config{
+			N: 4, F: 1, Seed: 1, Workers: workers, CountBytes: true,
+			NewAdversary: func(ctx *adversary.Context) adversary.Adversary {
+				return outOfRangeAdv{ctx: ctx}
+			},
+		}
+		e := sim.New(cfg, func(env proto.Env) proto.Protocol {
+			return &countingProto{n: env.N}
+		})
+		const beats = 10
+		e.Run(beats)
+		// Only the broadcast is delivered: 4 copies per beat.
+		if want := uint64(4 * beats); e.FaultyMsgs != want {
+			t.Fatalf("workers=%d: FaultyMsgs = %d, want %d (out-of-range sends must not count)",
+				workers, e.FaultyMsgs, want)
+		}
+		if e.HonestMsgs != 0 {
+			t.Fatalf("workers=%d: HonestMsgs = %d, want 0", workers, e.HonestMsgs)
+		}
+		for i := 0; i < 4; i++ {
+			p := e.Node(i).(*countingProto)
+			if p.received != beats {
+				t.Fatalf("workers=%d: node %d received %d messages, want %d",
+					workers, i, p.received, beats)
+			}
+		}
+	}
+}
+
+// badDestProto is an honest protocol that emits an out-of-range unicast
+// besides nothing else — its traffic must neither be delivered nor
+// tallied into HonestMsgs/HonestBytes.
+type badDestProto struct {
+	n int
+}
+
+func (p *badDestProto) Compose(uint64) []proto.Send {
+	return []proto.Send{{To: p.n + 3, Msg: core.BitMsg{B: 1}}}
+}
+func (p *badDestProto) Deliver(uint64, []proto.Recv) {}
+
+// TestDroppedHonestSendsNotTallied pins the bounds fix: the sequential
+// engine used to add the wire size of an out-of-range honest send to
+// HonestBytes even though the message was dropped.
+func TestDroppedHonestSendsNotTallied(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		e := sim.New(sim.Config{N: 4, F: 0, Seed: 1, Workers: workers, CountBytes: true},
+			func(env proto.Env) proto.Protocol { return &badDestProto{n: env.N} })
+		e.Run(5)
+		if e.HonestMsgs != 0 || e.HonestBytes != 0 {
+			t.Fatalf("workers=%d: dropped sends tallied: msgs=%d bytes=%d",
+				workers, e.HonestMsgs, e.HonestBytes)
+		}
+	}
+}
+
+// TestSchedulerCoversAllIndices exercises the scheduler directly across
+// worker/size combinations, including sizes below, equal to and above
+// the worker count.
+func TestSchedulerCoversAllIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, workers := range []int{0, 1, 2, 3, 8, 16} {
+		s := sim.NewScheduler(workers)
+		if s.Workers() < 1 {
+			t.Fatalf("workers=%d resolved to %d", workers, s.Workers())
+		}
+		for trial := 0; trial < 20; trial++ {
+			n := rng.Intn(40)
+			hits := make([]int32, n)
+			s.ForEach(n, func(_ *sim.WorkerScratch, i int) {
+				hits[i]++ // per-index slot: no two workers share an index
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}

@@ -30,6 +30,12 @@ type Pipeline struct {
 	// about to emit its output.
 	slots []coin.Flipper
 	bit   byte
+
+	// Per-beat scratch: the compose output buffer (its contents are
+	// consumed within the beat per the engine contract) and the inbox
+	// splitter.
+	sends    []proto.Send
+	splitter proto.InboxSplitter
 }
 
 var (
@@ -57,11 +63,12 @@ func (p *Pipeline) Rounds() int { return p.factory.Rounds() }
 // Compose implements proto.Protocol: every instance sends its
 // current-round messages, wrapped in an envelope carrying its age.
 func (p *Pipeline) Compose(beat uint64) []proto.Send {
-	var out []proto.Send
+	out := p.sends[:0]
 	for i, slot := range p.slots {
 		age := uint8(i + 1)
 		out = append(out, proto.WrapSends(age, slot.Compose(i+1))...)
 	}
+	p.sends = out
 	return out
 }
 
@@ -72,8 +79,8 @@ func (p *Pipeline) Compose(beat uint64) []proto.Send {
 // the fresh one instead of being left to the garbage collector.
 func (p *Pipeline) Deliver(beat uint64, inbox []proto.Recv) {
 	depth := len(p.slots)
-	// Child tag 0 is unused (ages are 1-based); SplitInbox covers 0..depth.
-	boxes := proto.SplitInbox(inbox, depth+1)
+	// Child tag 0 is unused (ages are 1-based); the split covers 0..depth.
+	boxes := p.splitter.Split(inbox, depth+1)
 	for i, slot := range p.slots {
 		slot.Deliver(i+1, boxes[i+1])
 	}

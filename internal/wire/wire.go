@@ -47,16 +47,29 @@ const (
 	maxSliceElements      = 1 << 20
 )
 
-// Encode serializes a message. It errors on unregistered concrete types.
+// Encode serializes a message into a fresh buffer. It errors on
+// unregistered concrete types.
 func Encode(m proto.Message) ([]byte, error) {
-	var b []byte
-	if err := encodeTo(&b, m, 0); err != nil {
-		return nil, err
+	return AppendTo(nil, m)
+}
+
+// AppendTo appends m's encoding to buf and returns the extended slice
+// (which may alias buf's backing array, like append). Hot paths — the
+// engine's byte accounting, the goroutine runtime's transport arena —
+// pass a recycled buffer and encode without allocating; on error the
+// returned slice carries whatever prefix was written and must be
+// discarded by the caller.
+func AppendTo(buf []byte, m proto.Message) ([]byte, error) {
+	err := encodeTo(&buf, m, 0)
+	if err != nil {
+		return buf, err
 	}
-	return b, nil
+	return buf, nil
 }
 
 // Size returns the encoded size in bytes, or 0 for unregistered types.
+// Hot byte-accounting paths (the engine's CountBytes phase) use AppendTo
+// with their own recycled buffers instead.
 func Size(m proto.Message) int {
 	b, err := Encode(m)
 	if err != nil {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -236,6 +237,65 @@ func BenchmarkDecodeEcho(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Decode(buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestAppendToMatchesEncode verifies the pooled append API produces the
+// same bytes as Encode, after an arbitrary prefix, reusing the buffer.
+func TestAppendToMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	msgs := []proto.Message{
+		gvss.EchoMsg{Vals: randMatrix(rng, 5), Has: randBools(rng, 5)},
+		core.FullClockMsg{V: 123456},
+		proto.Envelope{Child: 3, Inner: core.BitMsg{B: 1}},
+	}
+	buf := []byte("prefix")
+	for _, m := range msgs {
+		want, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AppendTo(buf, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:len(buf)], buf) {
+			t.Fatal("AppendTo clobbered the prefix")
+		}
+		if !bytes.Equal(got[len(buf):], want) {
+			t.Fatalf("AppendTo bytes differ from Encode for %T", m)
+		}
+		// Sequential appends into one arena must stay self-consistent.
+		buf = got
+	}
+}
+
+// TestAppendToUnregistered confirms the error path leaves the caller
+// able to roll back to its previous length.
+func TestAppendToUnregistered(t *testing.T) {
+	type fake struct{ proto.Message }
+	buf := []byte{1, 2, 3}
+	got, err := AppendTo(buf, fake{})
+	if err == nil {
+		t.Fatal("expected error for unregistered type")
+	}
+	if !bytes.Equal(got[:3], []byte{1, 2, 3}) {
+		t.Fatal("prefix corrupted on error")
+	}
+}
+
+// TestSizeMatchesEncode checks Size agrees with Encode across messages.
+func TestSizeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		m := gvss.VoteMsg{OK: randBools(rng, 1+rng.Intn(8))}
+		want, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Size(m); got != len(want) {
+			t.Fatalf("Size = %d, want %d", got, len(want))
 		}
 	}
 }

@@ -6,7 +6,34 @@
 #
 #   ./scripts/bench.sh                 # default benchtime
 #   ./scripts/bench.sh -benchtime=100x # CI smoke
+#
+# Regression gate: after recording, the fresh run is compared against the
+# committed BENCH_beat.json (the previous PR's recorded run). A >15%
+# ns/op regression prints a warning locally and fails the script when
+# BENCH_GATE=1 (the CI workflow sets it). Tune the threshold with
+# BENCH_GATE_THRESHOLD=<percent>.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+baseline=""
+baseline_tmp="$(mktemp)"
+trap 'rm -f "$baseline_tmp"' EXIT
+if git show HEAD:BENCH_beat.json >"$baseline_tmp" 2>/dev/null; then
+  baseline="$baseline_tmp"
+fi
+
 go test -run=NONE -bench=BenchmarkBeat -benchmem "$@" . | go run ./cmd/benchjson > BENCH_beat.json
 echo "wrote BENCH_beat.json" >&2
+
+if [[ -n "$baseline" ]]; then
+  threshold="${BENCH_GATE_THRESHOLD:-15}"
+  if ! go run ./cmd/benchjson -gate -threshold "$threshold" "$baseline" BENCH_beat.json; then
+    if [[ "${BENCH_GATE:-0}" == "1" ]]; then
+      echo "bench gate: regression beyond ${threshold}% vs committed BENCH_beat.json" >&2
+      exit 1
+    fi
+    echo "bench gate: regression beyond ${threshold}% (warning only; set BENCH_GATE=1 to enforce)" >&2
+  fi
+else
+  echo "bench gate: no committed BENCH_beat.json baseline; skipping comparison" >&2
+fi
