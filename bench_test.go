@@ -278,11 +278,29 @@ func BenchmarkSection61_DWAdapted(b *testing.B) {
 // several cluster sizes (throughput of the simulator itself). Workers is
 // left at the default (GOMAXPROCS), so this is the number a user gets
 // out of the box on the machine at hand.
+//
+// The ClockSyncFM series pins the shared coin pipeline of Remark 4.1 —
+// the default layout since PR 3 — so its trajectory in BENCH_beat.json
+// records the shared-pipeline win and gates regressions on it
+// regardless of the SSBYZ_COIN_LAYOUT environment; the ClockSyncFMPaper
+// series keeps the paper layout's per-instance pipelines measurable
+// forever.
 func BenchmarkBeat(b *testing.B) {
 	for _, cse := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}, {16, 5}} {
 		b.Run(fmt.Sprintf("ClockSyncFM/n=%d", cse.n), func(b *testing.B) {
 			e := sim.New(sim.Config{N: cse.n, F: cse.f, Seed: 1},
-				core.NewClockSyncProtocol(64, coin.FMFactory{}))
+				core.NewClockSyncProtocolLayout(64, coin.FMFactory{}, core.LayoutShared))
+			e.Run(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+	for _, cse := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}, {16, 5}} {
+		b.Run(fmt.Sprintf("ClockSyncFMPaper/n=%d", cse.n), func(b *testing.B) {
+			e := sim.New(sim.Config{N: cse.n, F: cse.f, Seed: 1},
+				core.NewClockSyncProtocolLayout(64, coin.FMFactory{}, core.LayoutPaper))
 			e.Run(8)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -302,7 +320,7 @@ func BenchmarkBeatWorkers(b *testing.B) {
 		for _, workers := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("ClockSyncFM/n=%d/workers=%d", cse.n, workers), func(b *testing.B) {
 				e := sim.New(sim.Config{N: cse.n, F: cse.f, Seed: 1, Workers: workers},
-					core.NewClockSyncProtocol(64, coin.FMFactory{}))
+					core.NewClockSyncProtocolLayout(64, coin.FMFactory{}, core.LayoutShared))
 				e.Run(8)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	clocksim [-n 7] [-f 2] [-k 16] [-proto clocksync] [-coin fm]
-//	         [-adv silent] [-beats 120] [-seed 1] [-scramble-at 60]
-//	         [-quiet]
+//	         [-layout shared] [-adv silent] [-beats 120] [-seed 1]
+//	         [-scramble-at 60] [-quiet]
 package main
 
 import (
@@ -33,6 +33,7 @@ func run() int {
 		k          = flag.Uint64("k", 16, "clock modulus")
 		protoName  = flag.String("proto", "clocksync", "protocol: clocksync | twoclock | fourclock | dolevwelch | phaseking | naive")
 		coinName   = flag.String("coin", "fm", "coin: fm | rabin | local")
+		layoutName = flag.String("layout", core.DefaultLayout().String(), "coin layout: shared (one pipeline per node, Remark 4.1) | paper (one per consumer)")
 		advName    = flag.String("adv", "silent", "adversary: passive | silent | splitter | gradesplitter | delayer | replayer")
 		beats      = flag.Int("beats", 120, "beats to run")
 		seed       = flag.Int64("seed", 1, "run seed")
@@ -41,7 +42,12 @@ func run() int {
 	)
 	flag.Parse()
 
-	factory, kk, err := protocolFactory(*protoName, *coinName, *k, *seed)
+	layout, err := core.ParseLayout(*layoutName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	factory, kk, err := protocolFactory(*protoName, *coinName, *k, *seed, layout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -56,8 +62,8 @@ func run() int {
 		NewAdversary: adv, ScrambleStart: true,
 	}, factory)
 
-	fmt.Printf("proto=%s coin=%s n=%d f=%d k=%d adversary=%s seed=%d\n\n",
-		*protoName, *coinName, *n, *f, kk, *advName, *seed)
+	fmt.Printf("proto=%s coin=%s layout=%s n=%d f=%d k=%d adversary=%s seed=%d\n\n",
+		*protoName, *coinName, layout, *n, *f, kk, *advName, *seed)
 
 	syncedBeats, firstSync := 0, -1
 	var prev uint64
@@ -104,7 +110,7 @@ func run() int {
 	return 0
 }
 
-func protocolFactory(name, coinName string, k uint64, seed int64) (sim.NodeFactory, uint64, error) {
+func protocolFactory(name, coinName string, k uint64, seed int64, l core.Layout) (sim.NodeFactory, uint64, error) {
 	var cf coin.Factory
 	switch coinName {
 	case "fm":
@@ -118,11 +124,11 @@ func protocolFactory(name, coinName string, k uint64, seed int64) (sim.NodeFacto
 	}
 	switch name {
 	case "clocksync":
-		return core.NewClockSyncProtocol(k, cf), k, nil
+		return core.NewClockSyncProtocolLayout(k, cf, l), k, nil
 	case "twoclock":
-		return core.NewTwoClockProtocol(cf), 2, nil
+		return core.NewTwoClockProtocolLayout(cf, l), 2, nil
 	case "fourclock":
-		return core.NewFourClockProtocol(cf), 4, nil
+		return core.NewFourClockProtocolLayout(cf, l), 4, nil
 	case "dolevwelch":
 		return baseline.NewDolevWelchProtocol(k), k, nil
 	case "phaseking":

@@ -18,6 +18,13 @@
 //   - Local: an independent per-node coin — deliberately *not* a common
 //     coin. It is the randomness model of the Dolev–Welch baseline and of
 //     the E9 ablation showing why a common coin is essential.
+//
+// The package also defines the coin-distribution architecture the clock
+// stack is wired through: Feed (a consumer's view of a coin source),
+// Supply (hands feeds to consumers), and SharedPipeline — Remark 4.1's
+// layout, multiplexing ONE ss-Byz-Coin-Flip pipeline per node among all
+// of a stack's consumers via salted per-consumer derivation. See
+// shared.go for the design notes and the consumer-handle contract.
 package coin
 
 import (
@@ -46,6 +53,24 @@ type Flipper interface {
 type Factory interface {
 	Rounds() int
 	New(env proto.Env, beat uint64) Flipper
+}
+
+// WordFlipper is optionally implemented by flippers whose output carries
+// more than one bit of common randomness — the FM coin's leader ticket,
+// the Rabin beacon's tape word. OutputWord must agree across honest
+// nodes whenever the protocol's underlying result fully agrees (the FM
+// coin's elected leader and ticket; constant probability per
+// Definition 2.6), must be unpredictable to the adversary on the same
+// schedule as Output, and (like Output) must return a deterministic
+// default before the final round. On beats where only Output agrees —
+// e.g. two leaders' tickets coincidentally sharing parity — the words
+// (hence derived consumer bits) may disagree; that costs a constant
+// slice of the coin's agreement probability, never its p0/p1 floor.
+// The shared pipeline (SharedPipeline) uses the word to derive
+// independent per-consumer bits; flippers without it fall back to
+// single-bit derivation.
+type WordFlipper interface {
+	OutputWord() uint64
 }
 
 // Recycler is optionally implemented by factories whose instances can be

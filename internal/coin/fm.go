@@ -54,6 +54,7 @@ func (f FMFactory) Renew(old Flipper, env proto.Env, beat uint64) Flipper {
 		c.accepts[i] = nil
 	}
 	c.out = 0
+	c.word = 0
 	c.done = false
 	return c
 }
@@ -84,6 +85,7 @@ type fmFlipper struct {
 	// allocate.
 	acceptsFlat []uint16
 	out         byte
+	word        uint64
 	done        bool
 }
 
@@ -189,8 +191,14 @@ func (c *fmFlipper) computeOutput() {
 	}
 	if best.node >= 0 {
 		c.out = byte(best.val & 1)
+		// The widened output for shared-pipeline derivation: the leader's
+		// full ticket, mixed so its ~31 bits spread over the word. Agrees
+		// across honest observers exactly when the elected leader (and
+		// hence the parity bit) does.
+		c.word = splitmix64(uint64(best.val))
 	} else {
 		c.out = 0
+		c.word = 0
 	}
 	c.done = true
 }
@@ -201,6 +209,14 @@ func (c *fmFlipper) Output() byte {
 		return 0
 	}
 	return c.out
+}
+
+// OutputWord implements WordFlipper: the mixed leader ticket.
+func (c *fmFlipper) OutputWord() uint64 {
+	if !c.done {
+		return 0
+	}
+	return c.word
 }
 
 // dedupSet validates, deduplicates and sorts a claimed accept set,

@@ -23,11 +23,11 @@ func (RabinFactory) Rounds() int { return 1 }
 
 // New implements Factory.
 func (fa RabinFactory) New(_ proto.Env, beat uint64) Flipper {
-	return &rabinFlipper{bit: byte(splitmix64(uint64(fa.Seed)^splitmix64(beat)) & 1)}
+	return &rabinFlipper{word: splitmix64(uint64(fa.Seed) ^ splitmix64(beat))}
 }
 
 type rabinFlipper struct {
-	bit  byte
+	word uint64
 	done bool
 }
 
@@ -38,7 +38,16 @@ func (c *rabinFlipper) Output() byte {
 	if !c.done {
 		return 0
 	}
-	return c.bit
+	return byte(c.word & 1)
+}
+
+// OutputWord implements WordFlipper: the full 64-bit tape word behind
+// the beacon bit, shared by all nodes of the run.
+func (c *rabinFlipper) OutputWord() uint64 {
+	if !c.done {
+		return 0
+	}
+	return c.word
 }
 
 // LocalFactory is an independent per-node coin: every node flips its own
@@ -52,11 +61,11 @@ func (LocalFactory) Rounds() int { return 1 }
 
 // New implements Factory.
 func (LocalFactory) New(env proto.Env, _ uint64) Flipper {
-	return &localFlipper{bit: byte(env.Rng.Intn(2))}
+	return &localFlipper{word: env.Rng.Uint64()}
 }
 
 type localFlipper struct {
-	bit  byte
+	word uint64
 	done bool
 }
 
@@ -67,5 +76,14 @@ func (c *localFlipper) Output() byte {
 	if !c.done {
 		return 0
 	}
-	return c.bit
+	return byte(c.word & 1)
+}
+
+// OutputWord implements WordFlipper. The word is per-node independent —
+// like the bit, it is deliberately not common.
+func (c *localFlipper) OutputWord() uint64 {
+	if !c.done {
+		return 0
+	}
+	return c.word
 }

@@ -5,7 +5,6 @@ import (
 
 	"ssbyzclock/internal/coin"
 	"ssbyzclock/internal/proto"
-	"ssbyzclock/internal/sscoin"
 )
 
 // Envelope child tags of ClockSync.
@@ -36,10 +35,15 @@ type tally struct {
 // broadcast/propose/vote exchange whose fallback is the common coin
 // (Rabin-style randomized agreement).
 type ClockSync struct {
-	env  proto.Env
-	k    uint64
-	a    *FourClock
-	pipe *sscoin.Pipeline
+	env proto.Env
+	k   uint64
+	a   *FourClock
+	// pipe feeds phase 3's rand: an own ss-Byz-Coin-Flip pipeline under
+	// LayoutPaper, a derived handle onto the shared pipeline otherwise.
+	pipe coin.Feed
+	// shared is the node's single coin pipeline when this stack runs
+	// LayoutShared (Remark 4.1); ClockSync is the stack root and owns it.
+	shared *coin.SharedPipeline
 
 	fullClock uint64
 	save      uint64
@@ -74,7 +78,7 @@ var (
 )
 
 // NewClockSync constructs ss-Byz-Clock-Sync for modulus k >= 1 over the
-// given coin factory.
+// given coin factory, under DefaultLayout.
 func NewClockSync(env proto.Env, k uint64, factory coin.Factory) *ClockSync {
 	return NewClockSyncStale(env, k, factory, false)
 }
@@ -82,16 +86,27 @@ func NewClockSync(env proto.Env, k uint64, factory coin.Factory) *ClockSync {
 // NewClockSyncStale additionally selects the stale-rand ablation variant
 // (see the stale field); production users always want stale=false.
 func NewClockSyncStale(env proto.Env, k uint64, factory coin.Factory, stale bool) *ClockSync {
+	return NewClockSyncLayout(env, k, factory, stale, DefaultLayout())
+}
+
+// NewClockSyncLayout additionally pins the coin layout. Under
+// LayoutShared the stack's three coin consumers — the embedded 4-clock's
+// A1 and A2 and this protocol's phase-3 rand — share one pipeline owned
+// here (Remark 4.1); under LayoutPaper each runs its own, as in Figure 4.
+func NewClockSyncLayout(env proto.Env, k uint64, factory coin.Factory, stale bool, l Layout) *ClockSync {
 	if k == 0 {
 		k = 1
 	}
-	return &ClockSync{
-		env:   env,
-		k:     k,
-		a:     NewFourClock(env, factory),
-		pipe:  sscoin.New(env, factory),
-		stale: stale,
+	supply, sp := newSupply(env, factory, l)
+	c := &ClockSync{
+		env:    env,
+		k:      k,
+		shared: sp,
+		stale:  stale,
 	}
+	c.a = newFourClock(env, supply, "cs/4clock")
+	c.pipe = supply.Feed(env, "cs")
+	return c
 }
 
 // Compose implements proto.Protocol: one beat of A and of the coin
@@ -100,6 +115,7 @@ func NewClockSyncStale(env proto.Env, k uint64, factory coin.Factory, stale bool
 func (c *ClockSync) Compose(beat uint64) []proto.Send {
 	out := proto.WrapSends(clockSyncChildA, c.a.Compose(beat))
 	out = append(out, proto.WrapSends(clockSyncChildCoin, c.pipe.Compose(beat))...)
+	out = append(out, composeShared(c.shared, beat)...)
 
 	c.phase, c.phaseOK = c.a.Clock()
 	c.staleBit = c.pipe.Bit() // the previous beat's (already public) bit
@@ -154,9 +170,12 @@ func (c *ClockSync) Compose(beat uint64) []proto.Send {
 }
 
 // Deliver implements proto.Protocol: step A and the coin, apply Block 3.d
-// when in phase 3, and record this beat's tally for the next beat.
+// when in phase 3, and record this beat's tally for the next beat. Under
+// LayoutShared the shared pipeline is delivered before any consumer, so
+// the rand consumed below — and by A's 2-clocks — is the bit produced
+// this beat (the freshness Lemma 8 depends on).
 func (c *ClockSync) Deliver(beat uint64, inbox []proto.Recv) {
-	boxes := c.splitter.Split(inbox, clockSyncKids)
+	boxes := deliverShared(&c.splitter, c.shared, clockSyncKids, beat, inbox)
 	c.a.Deliver(beat, boxes[clockSyncChildA])
 	c.pipe.Deliver(beat, boxes[clockSyncChildCoin])
 
@@ -255,6 +274,9 @@ func (c *ClockSync) ConvergenceBound() int { return c.a.ConvergenceBound() }
 func (c *ClockSync) Scramble(rng *rand.Rand) {
 	c.a.Scramble(rng)
 	c.pipe.Scramble(rng)
+	if c.shared != nil {
+		c.shared.Scramble(rng)
+	}
 	c.fullClock = rng.Uint64()
 	c.save = rng.Uint64()
 	c.phase = rng.Uint64() % 8
@@ -267,9 +289,18 @@ func (c *ClockSync) Scramble(rng *rand.Rand) {
 }
 
 // NewTwoClockProtocol, NewFourClockProtocol and NewClockSyncProtocol are
-// sim.NodeFactory adapters used by tests, benchmarks and the CLIs.
+// sim.NodeFactory adapters used by tests, benchmarks and the CLIs; they
+// run DefaultLayout. The *ProtocolLayout variants pin the layout, which
+// the differential harness and the E8 complexity tests need.
 func NewTwoClockProtocol(factory coin.Factory) func(proto.Env) proto.Protocol {
 	return func(env proto.Env) proto.Protocol { return NewTwoClock(env, factory) }
+}
+
+// NewTwoClockProtocolLayout adapts NewTwoClockLayout to a node factory.
+func NewTwoClockProtocolLayout(factory coin.Factory, l Layout) func(proto.Env) proto.Protocol {
+	return func(env proto.Env) proto.Protocol {
+		return NewTwoClockLayout(env, factory, VariantCorrect, l)
+	}
 }
 
 // NewFourClockProtocol adapts NewFourClock to a node factory.
@@ -277,7 +308,19 @@ func NewFourClockProtocol(factory coin.Factory) func(proto.Env) proto.Protocol {
 	return func(env proto.Env) proto.Protocol { return NewFourClock(env, factory) }
 }
 
+// NewFourClockProtocolLayout adapts NewFourClockLayout to a node factory.
+func NewFourClockProtocolLayout(factory coin.Factory, l Layout) func(proto.Env) proto.Protocol {
+	return func(env proto.Env) proto.Protocol { return NewFourClockLayout(env, factory, l) }
+}
+
 // NewClockSyncProtocol adapts NewClockSync to a node factory.
 func NewClockSyncProtocol(k uint64, factory coin.Factory) func(proto.Env) proto.Protocol {
 	return func(env proto.Env) proto.Protocol { return NewClockSync(env, k, factory) }
+}
+
+// NewClockSyncProtocolLayout adapts NewClockSyncLayout to a node factory.
+func NewClockSyncProtocolLayout(k uint64, factory coin.Factory, l Layout) func(proto.Env) proto.Protocol {
+	return func(env proto.Env) proto.Protocol {
+		return NewClockSyncLayout(env, k, factory, false, l)
+	}
 }

@@ -23,6 +23,9 @@ type FourClock struct {
 	env proto.Env
 	a1  *TwoClock
 	a2  *TwoClock
+	// shared is non-nil when this instance is a stack root that owns the
+	// node's shared coin pipeline (LayoutShared, standalone 4-clock).
+	shared *coin.SharedPipeline
 	// stepA2 records the Compose-time decision "clock(A1) = 0" so
 	// Deliver applies the same beat's choice. It is per-beat scratch, not
 	// protocol state: a transient fault corrupting it perturbs one beat.
@@ -36,14 +39,30 @@ var (
 	_ proto.Scrambler   = (*FourClock)(nil)
 )
 
-// NewFourClock constructs ss-Byz-4-Clock; each embedded 2-clock gets its
-// own coin pipeline from the factory (Remark 4.1 notes a shared pipeline
-// would work and save a constant factor; we keep the paper's layout).
+// NewFourClock constructs ss-Byz-4-Clock under DefaultLayout. Under
+// LayoutShared both embedded 2-clocks read derived bits from one shared
+// coin pipeline (Remark 4.1, the constant-factor saving the paper
+// points out); under LayoutPaper each gets its own pipeline from the
+// factory, the literal layout of Figure 3.
 func NewFourClock(env proto.Env, factory coin.Factory) *FourClock {
+	return NewFourClockLayout(env, factory, DefaultLayout())
+}
+
+// NewFourClockLayout additionally pins the coin layout.
+func NewFourClockLayout(env proto.Env, factory coin.Factory, l Layout) *FourClock {
+	supply, sp := newSupply(env, factory, l)
+	c := newFourClock(env, supply, "4clock")
+	c.shared = sp
+	return c
+}
+
+// newFourClock wires a 4-clock's two 2-clocks as consumers of the given
+// coin supply, labelled under prefix.
+func newFourClock(env proto.Env, supply coin.Supply, prefix string) *FourClock {
 	return &FourClock{
 		env: env,
-		a1:  NewTwoClock(env, factory),
-		a2:  NewTwoClock(env, factory),
+		a1:  newTwoClock(env, supply, VariantCorrect, prefix+"/a1"),
+		a2:  newTwoClock(env, supply, VariantCorrect, prefix+"/a2"),
 	}
 }
 
@@ -59,13 +78,15 @@ func (c *FourClock) Compose(beat uint64) []proto.Send {
 	if c.stepA2 {
 		out = append(out, proto.WrapSends(fourClockChildA2, c.a2.Compose(beat))...)
 	}
-	return out
+	return append(out, composeShared(c.shared, beat)...)
 }
 
 // Deliver implements proto.Protocol: Figure 3 lines 1-2 (receive halves).
-// Line 3's output composition is performed lazily by Clock.
+// Line 3's output composition is performed lazily by Clock. An owned
+// shared pipeline is delivered first so both 2-clocks consume the bit
+// produced this beat.
 func (c *FourClock) Deliver(beat uint64, inbox []proto.Recv) {
-	boxes := c.splitter.Split(inbox, fourClockKids)
+	boxes := deliverShared(&c.splitter, c.shared, fourClockKids, beat, inbox)
 	if c.stepA2 {
 		c.a2.Deliver(beat, boxes[fourClockChildA2])
 	}
@@ -96,5 +117,8 @@ func (c *FourClock) ConvergenceBound() int {
 func (c *FourClock) Scramble(rng *rand.Rand) {
 	c.a1.Scramble(rng)
 	c.a2.Scramble(rng)
+	if c.shared != nil {
+		c.shared.Scramble(rng)
+	}
 	c.stepA2 = rng.Intn(2) == 0
 }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/sscoin"
+)
+
+// Layout selects how a clock stack wires its consumers to ss-Byz-Coin-
+// Flip pipelines. Both layouts stay supported forever: the paper layout
+// is the literal transcription of Figures 2-4, the shared layout is
+// Remark 4.1's optimization, and the differential harness
+// (shared_vs_paper_test.go) holds them equivalent under the full
+// adversary suite.
+type Layout uint8
+
+const (
+	// LayoutShared (the default) runs ONE ss-Byz-Coin-Flip pipeline per
+	// node, owned by the stack's root protocol; every consumer (the
+	// clock-sync phase machinery, the 4-clock's A1/A2 2-clocks, each
+	// power-clock level) reads a per-consumer bit derived from the shared
+	// per-beat output (Remark 4.1; see coin.SharedPipeline). For the full
+	// clock-sync stack this cuts the dominant GVSS cost and the coin
+	// message complexity to a third.
+	LayoutShared Layout = iota
+	// LayoutPaper runs one pipeline per consumer — three per node for the
+	// full stack — exactly as in the paper's figures.
+	LayoutPaper
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case LayoutShared:
+		return "shared"
+	case LayoutPaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("layout(%d)", uint8(l))
+	}
+}
+
+// ParseLayout maps the names accepted by the SSBYZ_COIN_LAYOUT
+// environment variable and CLI flags.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "", "shared":
+		return LayoutShared, nil
+	case "paper":
+		return LayoutPaper, nil
+	default:
+		return LayoutShared, fmt.Errorf("core: unknown coin layout %q (want shared or paper)", s)
+	}
+}
+
+// defaultLayout reads SSBYZ_COIN_LAYOUT once. CI runs the tier-1 suite
+// under both values; unknown values fall back to shared so a typo cannot
+// silently disable the layout under test (tests asserting a layout pass
+// it explicitly).
+var defaultLayout = sync.OnceValue(func() Layout {
+	l, err := ParseLayout(os.Getenv("SSBYZ_COIN_LAYOUT"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err, "- using shared")
+	}
+	return l
+})
+
+// DefaultLayout is the layout used by constructors that do not take one:
+// LayoutShared, unless the SSBYZ_COIN_LAYOUT environment variable says
+// "paper".
+func DefaultLayout() Layout { return defaultLayout() }
+
+// newSupply builds the coin wiring for a stack root: the paper layout's
+// per-instance supply, or a shared pipeline (returned separately so the
+// root can own — compose, deliver, scramble — it).
+func newSupply(env proto.Env, factory coin.Factory, l Layout) (coin.Supply, *coin.SharedPipeline) {
+	if l == LayoutPaper {
+		return sscoin.PerInstance(factory), nil
+	}
+	sp := coin.NewSharedPipeline(sscoin.New(env, factory))
+	return sp, sp
+}
+
+// composeShared wraps the shared pipeline's beat traffic under the
+// reserved root-level envelope tag; nil when this protocol is not the
+// stack's owner (paper layout, or an embedded instance).
+func composeShared(sp *coin.SharedPipeline, beat uint64) []proto.Send {
+	if sp == nil {
+		return nil
+	}
+	return proto.WrapSends(proto.SharedCoinChild, sp.Compose(beat))
+}
+
+// deliverShared is the root-side receive half shared by every stack
+// root: split the inbox into the root's own child boxes — widened to
+// cover the reserved shared-coin tag when this root owns the pipeline —
+// and deliver the shared pipeline BEFORE any consumer, so the bits
+// consumers read during their own Deliver are the ones produced this
+// beat (the freshness Lemma 8 and Remark 3.1 require).
+func deliverShared(splitter *proto.InboxSplitter, sp *coin.SharedPipeline, ownKids int, beat uint64, inbox []proto.Recv) [][]proto.Recv {
+	kids := ownKids
+	if sp != nil {
+		kids = int(proto.SharedCoinChild) + 1
+	}
+	boxes := splitter.Split(inbox, kids)
+	if sp != nil {
+		sp.Deliver(beat, boxes[proto.SharedCoinChild])
+	}
+	return boxes
+}

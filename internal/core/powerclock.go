@@ -28,10 +28,13 @@ type clockProto interface {
 // Experiment E11 measures exactly that against ss-Byz-Clock-Sync, which
 // is the paper's replacement (Figure 4, constant overhead).
 type PowerClock struct {
-	env    proto.Env
-	m      uint64 // modulus of this level, a power of two >= 2
-	a1     clockProto
-	a2     *TwoClock
+	env proto.Env
+	m   uint64 // modulus of this level, a power of two >= 2
+	a1  clockProto
+	a2  *TwoClock
+	// shared is non-nil on the top-level instance when the stack runs
+	// LayoutShared: one coin pipeline serves every level's 2-clock.
+	shared   *coin.SharedPipeline
 	stepA2   bool
 	splitter proto.InboxSplitter
 }
@@ -43,21 +46,44 @@ var (
 )
 
 // NewPowerClock builds the recursive construction for modulus m, which
-// must be a power of two >= 2. Each level gets its own coin pipelines
-// from the factory.
+// must be a power of two >= 2, under DefaultLayout. Under LayoutShared
+// every level's 2-clock reads a derived bit from one shared pipeline —
+// which removes the construction's log k *coin* overhead but not its
+// fundamental flaw, the k/2-beat top-level flip; under LayoutPaper each
+// level gets its own pipelines from the factory.
 func NewPowerClock(env proto.Env, m uint64, factory coin.Factory) (*PowerClock, error) {
+	return NewPowerClockLayout(env, m, factory, DefaultLayout())
+}
+
+// NewPowerClockLayout additionally pins the coin layout.
+func NewPowerClockLayout(env proto.Env, m uint64, factory coin.Factory, l Layout) (*PowerClock, error) {
 	if m < 2 || m&(m-1) != 0 {
 		return nil, fmt.Errorf("core: power-clock modulus %d is not a power of two >= 2", m)
 	}
-	pc := &PowerClock{env: env, m: m, a2: NewTwoClock(env, factory)}
+	supply, sp := newSupply(env, factory, l)
+	pc, err := newPowerClock(env, m, supply)
+	if err != nil {
+		return nil, err
+	}
+	pc.shared = sp
+	return pc, nil
+}
+
+// newPowerClock wires one level (and, recursively, the levels below it)
+// as consumers of the given coin supply.
+func newPowerClock(env proto.Env, m uint64, supply coin.Supply) (*PowerClock, error) {
+	if m < 2 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("core: power-clock modulus %d is not a power of two >= 2", m)
+	}
+	pc := &PowerClock{env: env, m: m, a2: newTwoClock(env, supply, VariantCorrect, fmt.Sprintf("power/m%d/a2", m))}
 	switch {
 	case m == 2:
 		// Degenerate level: a bare 2-clock (a1 unused).
 		pc.a1 = nil
 	case m == 4:
-		pc.a1 = NewTwoClock(env, factory)
+		pc.a1 = newTwoClock(env, supply, VariantCorrect, "power/m4/a1")
 	default:
-		inner, err := NewPowerClock(env, m/2, factory)
+		inner, err := newPowerClock(env, m/2, supply)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +98,11 @@ func NewPowerClock(env proto.Env, m uint64, factory coin.Factory) (*PowerClock, 
 // 2-clock and the guard is clock(A1) = 1, matching FourClock).
 func (pc *PowerClock) Compose(beat uint64) []proto.Send {
 	if pc.m == 2 {
-		return pc.a2.Compose(beat)
+		// The degenerate level forwards A2's sends unwrapped; an owned
+		// shared pipeline still rides the reserved root-level tag, which
+		// A2's own splitter drops as out of range.
+		out := pc.a2.Compose(beat)
+		return append(out, composeShared(pc.shared, beat)...)
 	}
 	out := proto.WrapSends(fourClockChildA1, pc.a1.Compose(beat))
 	v1, ok1 := pc.a1.Clock()
@@ -80,16 +110,24 @@ func (pc *PowerClock) Compose(beat uint64) []proto.Send {
 	if pc.stepA2 {
 		out = append(out, proto.WrapSends(fourClockChildA2, pc.a2.Compose(beat))...)
 	}
-	return out
+	return append(out, composeShared(pc.shared, beat)...)
 }
 
-// Deliver implements proto.Protocol.
+// Deliver implements proto.Protocol. An owned shared pipeline is
+// delivered before any level, so every 2-clock consumes the bit produced
+// this beat.
 func (pc *PowerClock) Deliver(beat uint64, inbox []proto.Recv) {
 	if pc.m == 2 {
+		if pc.shared != nil {
+			boxes := pc.splitter.Split(inbox, int(proto.SharedCoinChild)+1)
+			pc.shared.Deliver(beat, boxes[proto.SharedCoinChild])
+		}
+		// A2 splits the (unwrapped) inbox itself; foreign tags — including
+		// the shared-coin tag just consumed — are dropped by its splitter.
 		pc.a2.Deliver(beat, inbox)
 		return
 	}
-	boxes := pc.splitter.Split(inbox, fourClockKids)
+	boxes := deliverShared(&pc.splitter, pc.shared, fourClockKids, beat, inbox)
 	if pc.stepA2 {
 		pc.a2.Deliver(beat, boxes[fourClockChildA2])
 	}
@@ -118,14 +156,23 @@ func (pc *PowerClock) Scramble(rng *rand.Rand) {
 		pc.a1.Scramble(rng)
 	}
 	pc.a2.Scramble(rng)
+	if pc.shared != nil {
+		pc.shared.Scramble(rng)
+	}
 	pc.stepA2 = rng.Intn(2) == 0
 }
 
 // NewPowerClockProtocol adapts NewPowerClock to a sim.NodeFactory; it
 // panics on invalid moduli (a programming error in experiment code).
 func NewPowerClockProtocol(m uint64, factory coin.Factory) func(proto.Env) proto.Protocol {
+	return NewPowerClockProtocolLayout(m, factory, DefaultLayout())
+}
+
+// NewPowerClockProtocolLayout adapts NewPowerClockLayout to a node
+// factory, pinning the coin layout.
+func NewPowerClockProtocolLayout(m uint64, factory coin.Factory, l Layout) func(proto.Env) proto.Protocol {
 	return func(env proto.Env) proto.Protocol {
-		pc, err := NewPowerClock(env, m, factory)
+		pc, err := NewPowerClockLayout(env, m, factory, l)
 		if err != nil {
 			panic(err)
 		}

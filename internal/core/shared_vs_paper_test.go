@@ -1,0 +1,317 @@
+package core_test
+
+// Differential harness for the shared coin pipeline (Remark 4.1): the
+// shared-layout clock stack must behave exactly like the paper-layout
+// stack — converge under every adversary in the suite, hold closure in
+// lockstep afterwards, and self-stabilize after a memory scramble — and
+// every shared-layout run must replay byte-identically across reruns and
+// scheduler worker counts.
+//
+// What "identical" means here, and why:
+//
+//   - Within a layout, everything is asserted bit-for-bit: convergence
+//     beat, the full per-beat clock trace, the phase-3 rand stream and
+//     the cumulative message/byte metrics are identical across reruns
+//     and across Workers=1 vs Workers=8. This is the replay guarantee
+//     consumers rely on.
+//   - Across layouts, the *protocol properties* are asserted: both
+//     stacks converge under the same adversary/seed/size, both then
+//     tick in lockstep forever (their synced clocks keep a constant
+//     offset — each obeys the +1 (mod k) law, so any closure slip in
+//     either stack breaks the offset), and both re-converge after a
+//     scramble. Bit-level trace equality across layouts is not a
+//     property the remark claims: the shared pipeline derives
+//     per-consumer bits from one word where the paper layout draws
+//     three independent pipelines, so the random processes differ even
+//     though their distributions (and every theorem about them) match.
+//
+// The adversary suite is everything in internal/adversary that applies
+// to the stack: Replayer (stale-message noise), KingSpoiler (hostile to
+// the baseline's messages — a no-op against this stack, kept so the
+// suite stays the full one), OracleSplitter (clock-layer splitting with
+// the public bit), Phase3Splitter (agreement-phase equivocation with the
+// public bit), and the CoinAttack chain (grade splitting + share
+// corruption + recovery corruption, the full attack on the coin
+// itself).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/sim"
+)
+
+func testEnv(n, f, id int, seed int64) proto.Env {
+	return proto.Env{N: n, F: f, ID: id, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// advCase builds one suite adversary; eng lets oracle-equipped attacks
+// read the public bit from the engine they run inside (assigned after
+// sim.New returns, before the first Step).
+type advCase struct {
+	name string
+	mk   func(eng **sim.Engine) func(*adversary.Context) adversary.Adversary
+}
+
+func adversarySuite() []advCase {
+	return []advCase{
+		{"replayer", func(**sim.Engine) func(*adversary.Context) adversary.Adversary {
+			return func(ctx *adversary.Context) adversary.Adversary { return &adversary.Replayer{Ctx: ctx} }
+		}},
+		{"kingspoiler", func(**sim.Engine) func(*adversary.Context) adversary.Adversary {
+			return func(ctx *adversary.Context) adversary.Adversary { return &adversary.KingSpoiler{Ctx: ctx} }
+		}},
+		{"oraclesplitter", func(eng **sim.Engine) func(*adversary.Context) adversary.Adversary {
+			return func(ctx *adversary.Context) adversary.Adversary {
+				return &adversary.OracleSplitter{Ctx: ctx, BitOracle: func() byte {
+					return (*eng).Node(0).(*core.ClockSync).RandBit()
+				}}
+			}
+		}},
+		{"phase3", func(eng **sim.Engine) func(*adversary.Context) adversary.Adversary {
+			return func(ctx *adversary.Context) adversary.Adversary {
+				return &adversary.Phase3Splitter{Ctx: ctx, BitOracle: func() byte {
+					return (*eng).Node(0).(*core.ClockSync).RandBit()
+				}}
+			}
+		}},
+		{"coinattack", func(**sim.Engine) func(*adversary.Context) adversary.Adversary {
+			return func(ctx *adversary.Context) adversary.Adversary {
+				return adversary.Chain{Advs: []adversary.Adversary{
+					&adversary.GradeSplitter{Ctx: ctx},
+					&adversary.ShareCorruptor{Ctx: ctx},
+					&adversary.RecoverCorruptor{Ctx: ctx},
+				}}
+			}
+		}},
+	}
+}
+
+// newStack builds one engine running the clock-sync stack at the given
+// layout under the given suite adversary.
+func newStack(n, f int, k uint64, seed int64, factory coin.Factory, l core.Layout, adv advCase) *sim.Engine {
+	var eng *sim.Engine
+	cfg := sim.Config{
+		N: n, F: f, Seed: seed,
+		NewAdversary:  adv.mk(&eng),
+		ScrambleStart: true,
+	}
+	eng = sim.New(cfg, core.NewClockSyncProtocolLayout(k, factory, l))
+	return eng
+}
+
+// TestSharedVsPaperDifferential runs both layouts side by side across
+// the adversary suite, seeds, and n in {4, 8, 16}: the Rabin coin covers
+// every size (its message-free pipeline keeps n=16 affordable), the FM
+// coin covers n in {4, 8} in full and n=16 under the coin-directed
+// attack, where the shared pipeline's GVSS path is actually stressed.
+func TestSharedVsPaperDifferential(t *testing.T) {
+	const (
+		k        = 16
+		maxBeats = 1500
+		hold     = 12
+		window   = 32 // post-convergence lockstep beats
+	)
+	type job struct {
+		coinName string
+		factory  func(seed int64) coin.Factory
+		sizes    []int
+		seeds    []int64
+		advs     []advCase
+	}
+	suite := adversarySuite()
+	jobs := []job{
+		{"rabin", func(seed int64) coin.Factory { return coin.RabinFactory{Seed: seed} },
+			[]int{4, 8, 16}, []int64{1, 2}, suite},
+		{"fm", func(int64) coin.Factory { return coin.FMFactory{} },
+			[]int{4, 8}, []int64{1, 2}, suite},
+		// One FM leg at n=16 keeps the GVSS path honest at the benchmark
+		// size; the replayer is the affordable suite member there (the
+		// coin-directed chain deep-copies n^2-share payloads per recipient
+		// and would dominate the tier-1 budget — it runs at n <= 8 above).
+		{"fm", func(int64) coin.Factory { return coin.FMFactory{} },
+			[]int{16}, []int64{1}, suite[0:1]},
+	}
+	for _, jb := range jobs {
+		for _, n := range jb.sizes {
+			f := (n - 1) / 3
+			for _, adv := range jb.advs {
+				for _, seed := range jb.seeds {
+					name := fmt.Sprintf("%s/n=%d/%s/seed=%d", jb.coinName, n, adv.name, seed)
+					t.Run(name, func(t *testing.T) {
+						paper := newStack(n, f, k, seed, jb.factory(seed), core.LayoutPaper, adv)
+						shared := newStack(n, f, k, seed, jb.factory(seed), core.LayoutShared, adv)
+
+						// Both layouts converge under the same adversary and seed.
+						pres := sim.MeasureConvergence(paper, k, maxBeats, hold)
+						sres := sim.MeasureConvergence(shared, k, maxBeats, hold)
+						if !pres.Converged {
+							t.Fatalf("paper layout did not converge within %d beats", maxBeats)
+						}
+						if !sres.Converged {
+							t.Fatalf("shared layout did not converge within %d beats", maxBeats)
+						}
+
+						// Lockstep closure: once both are synced, their clocks
+						// keep a constant offset (each must tick +1 mod k every
+						// beat; any slip in either breaks the offset).
+						assertLockstep(t, paper, shared, k, window)
+
+						// Self-stabilization: a transient fault hits every
+						// honest node in both stacks; both must re-converge and
+						// return to lockstep.
+						paper.ScrambleHonest()
+						shared.ScrambleHonest()
+						pres = sim.MeasureConvergence(paper, k, maxBeats, hold)
+						sres = sim.MeasureConvergence(shared, k, maxBeats, hold)
+						if !pres.Converged {
+							t.Fatalf("paper layout did not re-converge after scramble")
+						}
+						if !sres.Converged {
+							t.Fatalf("shared layout did not re-converge after scramble")
+						}
+						assertLockstep(t, paper, shared, k, window)
+					})
+				}
+			}
+		}
+	}
+}
+
+// assertLockstep steps both engines window beats; both must stay synced
+// with a constant clock offset throughout.
+func assertLockstep(t *testing.T, paper, shared *sim.Engine, k uint64, window int) {
+	t.Helper()
+	offset := uint64(0)
+	haveOffset := false
+	for i := 0; i < window; i++ {
+		paper.Step()
+		shared.Step()
+		pv, pok := sim.ReadClocks(paper).Synced()
+		sv, sok := sim.ReadClocks(shared).Synced()
+		if !pok || !sok {
+			t.Fatalf("lockstep beat %d: lost sync (paper ok=%v, shared ok=%v)", i, pok, sok)
+		}
+		d := (sv + k - pv) % k
+		if !haveOffset {
+			offset, haveOffset = d, true
+		} else if d != offset {
+			t.Fatalf("lockstep beat %d: clock offset drifted %d -> %d (closure slipped in one layout)",
+				i, offset, d)
+		}
+	}
+}
+
+// sharedTrace is one deterministic-replay fingerprint of a shared-layout
+// run: per-beat clocks, per-beat phase-3 rand bits, and the engine's
+// cumulative metrics.
+type sharedTrace struct {
+	convergedAt int
+	clocks      [][]uint64
+	rands       [][]byte
+	honestMsgs  uint64
+	honestBytes uint64
+}
+
+func runSharedTrace(workers int, seed int64, beats int) sharedTrace {
+	var eng *sim.Engine
+	cfg := sim.Config{
+		N: 7, F: 2, Seed: seed, Workers: workers, CountBytes: true,
+		ScrambleStart: true,
+		NewAdversary: func(ctx *adversary.Context) adversary.Adversary {
+			return &adversary.OracleSplitter{Ctx: ctx, BitOracle: func() byte {
+				return eng.Node(0).(*core.ClockSync).RandBit()
+			}}
+		},
+	}
+	eng = sim.New(cfg, core.NewClockSyncProtocolLayout(16, coin.FMFactory{}, core.LayoutShared))
+	res := sim.MeasureConvergence(eng, 16, 1500, 12)
+	tr := sharedTrace{convergedAt: -1}
+	if res.Converged {
+		tr.convergedAt = res.ConvergedAt
+	}
+	for i := 0; i < beats; i++ {
+		eng.Step()
+		st := sim.ReadClocks(eng)
+		tr.clocks = append(tr.clocks, append([]uint64(nil), st.Values...))
+		rands := make([]byte, 0, eng.N())
+		for _, id := range eng.HonestIDs() {
+			rands = append(rands, eng.Node(id).(*core.ClockSync).RandBit())
+		}
+		tr.rands = append(tr.rands, rands)
+	}
+	tr.honestMsgs, tr.honestBytes = eng.HonestMsgs, eng.HonestBytes
+	return tr
+}
+
+// TestSharedLayoutDeterministicReplay: identical convergence beats and
+// clock/rand traces, byte for byte, across reruns and worker counts —
+// the shared pipeline's consumer derivation depends only on consumer
+// labels and the shared word, never on scheduling or subscription
+// timing.
+func TestSharedLayoutDeterministicReplay(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		base := runSharedTrace(1, seed, 24)
+		if base.convergedAt < 0 {
+			t.Fatalf("seed %d: no convergence", seed)
+		}
+		for _, workers := range []int{1, 8} {
+			got := runSharedTrace(workers, seed, 24)
+			if got.convergedAt != base.convergedAt {
+				t.Fatalf("seed %d workers=%d: convergence beat %d != %d",
+					seed, workers, got.convergedAt, base.convergedAt)
+			}
+			for b := range base.clocks {
+				for i := range base.clocks[b] {
+					if got.clocks[b][i] != base.clocks[b][i] {
+						t.Fatalf("seed %d workers=%d: clock trace diverged at beat %d node %d",
+							seed, workers, b, i)
+					}
+					if got.rands[b][i] != base.rands[b][i] {
+						t.Fatalf("seed %d workers=%d: rand trace diverged at beat %d node %d",
+							seed, workers, b, i)
+					}
+				}
+			}
+			if got.honestMsgs != base.honestMsgs || got.honestBytes != base.honestBytes {
+				t.Fatalf("seed %d workers=%d: metrics diverged: msgs %d vs %d, bytes %d vs %d",
+					seed, workers, got.honestMsgs, base.honestMsgs, got.honestBytes, base.honestBytes)
+			}
+		}
+	}
+}
+
+// TestStackLabelsCollisionFree: constructing every shared-layout stack —
+// including a deep power clock, the stack with the most consumers — must
+// not trip SharedPipeline's duplicate/collision panic, i.e. the label
+// sets wired in core are valid per the consumer-handle contract.
+func TestStackLabelsCollisionFree(t *testing.T) {
+	env := testEnv(4, 1, 0, 20)
+	core.NewTwoClockLayout(env, coin.RabinFactory{Seed: 1}, core.VariantCorrect, core.LayoutShared)
+	core.NewFourClockLayout(env, coin.RabinFactory{Seed: 1}, core.LayoutShared)
+	core.NewClockSyncLayout(env, 64, coin.RabinFactory{Seed: 1}, false, core.LayoutShared)
+	if _, err := core.NewPowerClockLayout(env, 1024, coin.RabinFactory{Seed: 1}, core.LayoutShared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedPowerClockConverges: the shared layout also serves the
+// recursive 2^j-clock (every level one consumer); it must converge and
+// cycle exactly like the paper layout.
+func TestSharedPowerClockConverges(t *testing.T) {
+	for _, m := range []uint64{4, 8, 16} {
+		for _, l := range []core.Layout{core.LayoutPaper, core.LayoutShared} {
+			cfg := sim.Config{N: 4, F: 1, Seed: int64(m), NewAdversary: silentAdv, ScrambleStart: true}
+			e := sim.New(cfg, core.NewPowerClockProtocolLayout(m, coin.RabinFactory{Seed: int64(m)}, l))
+			res := sim.MeasureConvergence(e, m, 400*int(m), int(2*m))
+			if !res.Converged {
+				t.Fatalf("m=%d %v: no convergence", m, l)
+			}
+		}
+	}
+}

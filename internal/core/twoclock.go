@@ -5,7 +5,6 @@ import (
 
 	"ssbyzclock/internal/coin"
 	"ssbyzclock/internal/proto"
-	"ssbyzclock/internal/sscoin"
 )
 
 // Variant selects between the paper's algorithm and the deliberately
@@ -41,8 +40,14 @@ const (
 type TwoClock struct {
 	env     proto.Env
 	variant Variant
-	pipe    *sscoin.Pipeline
-	clock   uint8 // 0, 1, Bot; a transient fault may leave garbage
+	// pipe is this clock's coin feed: its own ss-Byz-Coin-Flip pipeline
+	// under LayoutPaper, a derived handle onto the stack's shared
+	// pipeline under LayoutShared.
+	pipe coin.Feed
+	// shared is non-nil when this instance is a stack root that owns the
+	// node's shared pipeline (LayoutShared, standalone 2-clock).
+	shared *coin.SharedPipeline
+	clock  uint8 // 0, 1, Bot; a transient fault may leave garbage
 
 	splitter proto.InboxSplitter
 	seen     []bool // per-beat dedup scratch
@@ -56,7 +61,7 @@ var (
 
 // NewTwoClock constructs ss-Byz-2-Clock over the given coin-flipping
 // factory (the paper's algorithm C; Δ_node must be at least the
-// factory's round count — see ConvergenceBound).
+// factory's round count — see ConvergenceBound), under DefaultLayout.
 func NewTwoClock(env proto.Env, factory coin.Factory) *TwoClock {
 	return NewTwoClockVariant(env, factory, VariantCorrect)
 }
@@ -64,10 +69,26 @@ func NewTwoClock(env proto.Env, factory coin.Factory) *TwoClock {
 // NewTwoClockVariant additionally selects the Remark 3.1 ablation
 // variant.
 func NewTwoClockVariant(env proto.Env, factory coin.Factory, v Variant) *TwoClock {
+	return NewTwoClockLayout(env, factory, v, DefaultLayout())
+}
+
+// NewTwoClockLayout additionally pins the coin layout. A standalone
+// 2-clock has a single coin consumer, so the layouts cost the same here;
+// both are kept selectable for the differential harness.
+func NewTwoClockLayout(env proto.Env, factory coin.Factory, v Variant, l Layout) *TwoClock {
+	supply, sp := newSupply(env, factory, l)
+	c := newTwoClock(env, supply, v, "2clock")
+	c.shared = sp
+	return c
+}
+
+// newTwoClock wires a 2-clock as a consumer of the given coin supply;
+// label must be unique within the supply's stack.
+func newTwoClock(env proto.Env, supply coin.Supply, v Variant, label string) *TwoClock {
 	return &TwoClock{
 		env:     env,
 		variant: v,
-		pipe:    sscoin.New(env, factory),
+		pipe:    supply.Feed(env, label),
 		clock:   Bot,
 	}
 }
@@ -85,12 +106,15 @@ func (c *TwoClock) Compose(beat uint64) []proto.Send {
 		v = c.pipe.Bit()
 	}
 	out := []proto.Send{{To: proto.Broadcast, Msg: proto.Envelope{Child: twoClockChildMsg, Inner: TwoClockMsg{V: v}}}}
-	return append(out, proto.WrapSends(twoClockChildCoin, c.pipe.Compose(beat))...)
+	out = append(out, proto.WrapSends(twoClockChildCoin, c.pipe.Compose(beat))...)
+	return append(out, composeShared(c.shared, beat)...)
 }
 
-// Deliver implements proto.Protocol: Figure 2 lines 2-6.
+// Deliver implements proto.Protocol: Figure 2 lines 2-6. When this
+// instance owns the stack's shared pipeline it delivers the pipeline
+// first, so the bit consumed below is the one produced this beat.
 func (c *TwoClock) Deliver(beat uint64, inbox []proto.Recv) {
-	boxes := c.splitter.Split(inbox, twoClockChildren)
+	boxes := deliverShared(&c.splitter, c.shared, twoClockChildren, beat, inbox)
 	c.pipe.Deliver(beat, boxes[twoClockChildCoin])
 	rand := c.pipe.Bit()
 
@@ -171,4 +195,7 @@ func (c *TwoClock) Scramble(rng *rand.Rand) {
 		c.clock = uint8(rng.Intn(256))
 	}
 	c.pipe.Scramble(rng)
+	if c.shared != nil {
+		c.shared.Scramble(rng)
+	}
 }

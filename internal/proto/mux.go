@@ -8,6 +8,17 @@ package proto
 // fixed in the code, so routing is self-stabilizing: no routing state can
 // be corrupted by a transient fault.
 
+// SharedCoinChild is the reserved envelope child tag under which a clock
+// stack's root protocol carries the shared ss-Byz-Coin-Flip pipeline's
+// traffic (Remark 4.1's layout; see coin.SharedPipeline). The value is a
+// fixed constant above every root protocol's own child tags (ClockSync
+// uses 0-2, FourClock/PowerClock 0-1, TwoClock 0-1), so the same tag
+// works at any stack root, and — like all child tags — it is code, not
+// state: a transient fault cannot corrupt the routing. Sub-protocols
+// never use the tag; their splitters drop it as out of range, exactly
+// like any other foreign traffic.
+const SharedCoinChild uint8 = 3
+
 // Envelope wraps a child protocol's message with the child's index within
 // its parent. Byzantine senders may use arbitrary child indices; routers
 // must drop unknown ones.

@@ -70,6 +70,35 @@ func (k CoinKind) String() string {
 	}
 }
 
+// Layout selects how the clock stack wires its sub-protocols to
+// ss-Byz-Coin-Flip pipelines. Both layouts implement the same theorems;
+// the differential harness in internal/core holds them equivalent under
+// the full adversary suite.
+type Layout int
+
+// Coin-pipeline layouts. LayoutShared is the default.
+const (
+	// LayoutShared runs ONE coin pipeline per node, shared by the stack's
+	// three consumers via derived per-consumer bits (the paper's Remark
+	// 4.1) — about half the messages and a third of the coin cost of the
+	// paper layout.
+	LayoutShared Layout = iota
+	// LayoutPaper runs one pipeline per consumer, the literal layout of
+	// the paper's Figures 2-4.
+	LayoutPaper
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutShared:
+		return "shared"
+	case LayoutPaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
 // Config describes one clock-synchronization deployment.
 type Config struct {
 	// N is the cluster size; F the tolerated Byzantine count. The
@@ -79,6 +108,8 @@ type Config struct {
 	K uint64
 	// Coin selects the common-coin implementation (default CoinFM).
 	Coin CoinKind
+	// Layout selects the coin-pipeline layout (default LayoutShared).
+	Layout Layout
 	// Seed drives all node randomness; runs with equal seeds replay
 	// exactly in simulation.
 	Seed int64
@@ -95,7 +126,17 @@ func (c Config) normalize() (Config, error) {
 	if c.F < 0 || 3*c.F >= c.N {
 		return c, fmt.Errorf("ssbyzclock: need F < N/3, got N=%d F=%d", c.N, c.F)
 	}
+	if c.Layout != LayoutShared && c.Layout != LayoutPaper {
+		return c, fmt.Errorf("ssbyzclock: unknown layout %v", c.Layout)
+	}
 	return c, nil
+}
+
+func (c Config) coreLayout() core.Layout {
+	if c.Layout == LayoutPaper {
+		return core.LayoutPaper
+	}
+	return core.LayoutShared
 }
 
 func (c Config) coinFactory() coin.Factory {
@@ -151,7 +192,7 @@ func NewNode(cfg Config, id int) (*Node, error) {
 		N: cfg.N, F: cfg.F, ID: id,
 		Rng: rand.New(rand.NewSource(cfg.Seed + int64(id)*1_000_003)),
 	}
-	return &Node{id: id, prot: core.NewClockSync(env, cfg.K, cfg.coinFactory())}, nil
+	return &Node{id: id, prot: core.NewClockSyncLayout(env, cfg.K, cfg.coinFactory(), false, cfg.coreLayout())}, nil
 }
 
 // BeginBeat must be called exactly once per beat signal, with the beat
@@ -271,7 +312,7 @@ func NewCluster(cfg Config, opts ClusterOptions) (*Cluster, error) {
 	}
 	rc, err := runtime.New(runtime.Config{
 		N: cfg.N, F: cfg.F, Seed: cfg.Seed,
-		NewProtocol:   core.NewClockSyncProtocol(cfg.K, cfg.coinFactory()),
+		NewProtocol:   core.NewClockSyncProtocolLayout(cfg.K, cfg.coinFactory(), cfg.coreLayout()),
 		NewAdversary:  opts.Adversary.build(),
 		ScrambleStart: opts.ScrambleStart,
 	})
