@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	repro [-runs N] [-quick] <experiment|all>
+//	repro [-runs N] [-quick] [-store DIR] <experiment|all>
 //
 // Experiments: table1 coin twoclock fourclock clocksync ablation-rand
-// resilience msgcomplexity ablation-coin selfstab all
+// resilience msgcomplexity ablation-coin selfstab sweep all
+//
+// The "sweep" experiment does not re-run anything: it reads a completed
+// (merged) columnar store produced by cmd/sweep from -store DIR and
+// prints its aggregates — the sweep-backed path for grids too large for
+// the in-process loop (large n, many seeds, adversary × layout grids).
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 func run() int {
 	runs := flag.Int("runs", 0, "seeds per configuration (0 = experiment default)")
 	quick := flag.Bool("quick", false, "smaller budgets for a fast smoke pass")
+	store := flag.String("store", "", "completed cmd/sweep store directory (for the sweep experiment)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [-runs N] [-quick] <experiment|all>\nexperiments: %s\n",
 			strings.Join(names(), " "))
@@ -46,6 +52,17 @@ func run() int {
 		p.Hold = 8
 	}
 	target := flag.Arg(0)
+	if target == "sweep" {
+		if *store == "" {
+			fmt.Fprintln(os.Stderr, "the sweep experiment reads a cmd/sweep store: repro -store DIR sweep")
+			return 2
+		}
+		if err := experiments.ReportStore(os.Stdout, *store); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			return 1
+		}
+		return 0
+	}
 	ran := false
 	for _, e := range registry() {
 		if target == "all" || target == e.name {
@@ -90,5 +107,5 @@ func names() []string {
 	for _, e := range registry() {
 		out = append(out, e.name)
 	}
-	return out
+	return append(out, "sweep")
 }

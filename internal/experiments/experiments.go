@@ -17,6 +17,7 @@ import (
 	"ssbyzclock/internal/sim"
 	"ssbyzclock/internal/sscoin"
 	"ssbyzclock/internal/stats"
+	"ssbyzclock/internal/sweep"
 )
 
 // Params tunes experiment size. Zero values select the defaults used in
@@ -505,6 +506,98 @@ func SelfStab(w io.Writer, p Params) {
 	}
 	fmt.Fprintln(w, t)
 	fmt.Fprintln(w, "claim: all three distributions match — convergence from *any* state (Definition 3.2).")
+}
+
+// SweepGrid maps an E-series experiment name to the equivalent sweep
+// grid: the sweep-backed write path. cmd/sweep plans and executes the
+// grid across shards/processes; cmd/repro then reads the completed store
+// with ReportStore instead of re-running in process. Zero Params fields
+// select each experiment's committed defaults; the seed derivation
+// (7*i + 1) matches convergenceSample, so a 1-seed sweep cell replays
+// the in-process experiment's first run exactly.
+func SweepGrid(name string, p Params) (sweep.Grid, error) {
+	switch name {
+	case "twoclock": // E3 / Figure 2
+		p = p.orDefault(30, 2000, 8)
+		return sweep.Grid{
+			Protocol: "twoclock", Coin: "fm",
+			Ns:          []int{4, 7, 10, 13},
+			Adversaries: []string{"splitter"},
+			Layouts:     []string{"shared"},
+			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
+		}, nil
+	case "fourclock": // E4 / Figure 3
+		p = p.orDefault(30, 3000, 16)
+		return sweep.Grid{
+			Protocol: "fourclock", Coin: "fm",
+			Ns:          []int{4, 7, 10},
+			Adversaries: []string{"silent"},
+			Layouts:     []string{"shared"},
+			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
+		}, nil
+	case "clocksync": // E1 row 1, widened across adversaries and layouts
+		p = p.orDefault(10, 6000, 12)
+		return sweep.Grid{
+			Protocol: "clocksync", Coin: "fm", K: 64,
+			Ns:          []int{4, 7, 10, 13, 16},
+			Adversaries: []string{"silent", "splitter"},
+			Layouts:     []string{"shared", "paper"},
+			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
+		}, nil
+	case "clocksync32": // the ROADMAP n=32 workload the in-process path cannot hold
+		p = p.orDefault(4, 400, 12)
+		return sweep.Grid{
+			Protocol: "clocksync", Coin: "fm", K: 64,
+			Ns:          []int{32},
+			Adversaries: []string{"silent", "splitter"},
+			Layouts:     []string{"shared"},
+			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
+		}, nil
+	case "resilience": // E7's oracle-free core across n
+		p = p.orDefault(8, 700, 16)
+		return sweep.Grid{
+			Protocol: "clocksync", Coin: "fm", K: 16,
+			Ns:          []int{7, 10, 13},
+			Adversaries: []string{"stacked", "gradesplitter", "recovercorruptor"},
+			Layouts:     []string{"shared"},
+			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
+		}, nil
+	default:
+		return sweep.Grid{}, fmt.Errorf("experiments: no sweep grid named %q (want twoclock, fourclock, clocksync, clocksync32 or resilience)", name)
+	}
+}
+
+// SweepGridNames lists the experiment names SweepGrid accepts.
+func SweepGridNames() []string {
+	return []string{"twoclock", "fourclock", "clocksync", "clocksync32", "resilience"}
+}
+
+// ReportStore renders the aggregate tables of a completed (merged) sweep
+// store: the sweep-backed read path of the E-series convergence
+// experiments. Aggregation streams the columns (stats.Stream /
+// stats.Histogram), so the report's memory is independent of seed count.
+func ReportStore(w io.Writer, dir string) error {
+	st, err := sweep.Open(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "E-sweep — aggregates from store %s\n", dir)
+	if err := sweep.Render(w, st); err != nil {
+		return err
+	}
+	// Only state claims this grid can exhibit: the flat-in-n claim needs
+	// more than one n, and the Remark 4.1 layout comparison needs both
+	// layouts on the full clock-sync stack (the 2-clock runs a single
+	// coin pipeline either way, so the layouts cost the same there).
+	g := st.Grid()
+	fmt.Fprintln(w, "claims: closure 0 once converged (Definition 3.2).")
+	if len(g.Ns) > 1 {
+		fmt.Fprintln(w, "claims: mean flat in n per adversary (expected constant convergence).")
+	}
+	if g.Protocol == "clocksync" && len(g.Layouts) > 1 {
+		fmt.Fprintln(w, "claims: shared layout strictly cheaper in msgs and bytes than paper (Remark 4.1).")
+	}
+	return nil
 }
 
 func beatsOr(res sim.ConvergenceResult, cap int) int {

@@ -147,23 +147,53 @@ func evalColumns(dst []Elem, coeffs []Elem, tab []Elem, n int) {
 }
 
 // At evaluates p at point index i (0-based) through the row power table:
-// a single lazy-reduced dot product.
+// a single lazy-reduced dot product. Like EvalInto, it panics when p is
+// longer than the table's degree bound — the dot product would otherwise
+// silently read into the next point's power row.
 func (m *MultiEval) At(p Poly, i int) Elem {
+	if len(p) > m.deg+1 {
+		panic("field: MultiEval degree exceeded")
+	}
 	row := m.pows[i*(m.deg+1) : i*(m.deg+1)+len(p)]
 	return Dot(p, row)
 }
 
+// secretDecoderMaxTables bounds each decoder's table cache. Present-
+// point sets are bitmasks over at most 64 share coordinates, and honest
+// traffic only ever produces a handful of them (the full set and the
+// n-f..n sized subsets the live senders form), so the bound is only ever
+// reached under active Byzantine set-churn — at which point further new
+// sets fall back to DecodeFastInto (which shares the process-wide Recon
+// cache) instead of growing the map.
+const secretDecoderMaxTables = 512
+
+// sdTable is the per-point-set half of a SecretDecoder: the Lagrange
+// data (r) and the basis-evaluation table (vtT) for one interpolation
+// set S, immutable once built.
+type sdTable struct {
+	r *Recon
+	// vtT[i*N+j] = L_i^S(x_j), the Lagrange basis evaluated at every
+	// table point, column-major so one pass of the shared 4-wide kernel
+	// yields the candidate interpolant's value at every point — no
+	// coefficient interpolation at all.
+	vtT []Elem
+}
+
 // SecretDecoder decodes a batch of Reed–Solomon share vectors whose
-// present-point sets are almost always identical (the GVSS recover round:
-// one sender set, n² dealings), returning only the interpolant's value at
-// 0. It fuses DecodeFast's happy path through two cached tables for the
-// memoized point set S = xs[:degree+1]:
+// present-point sets repeat (the GVSS recover round: per-dealing sender
+// sets, n² dealings), returning only the interpolant's value at 0. It
+// fuses DecodeFast's happy path through two cached tables per point set
+// S = xs[:degree+1]:
 //
-//   - vtT[i*N+j] = L_i^S(x_j), the Lagrange basis evaluated at every
-//     table point, column-major so one pass of the shared 4-wide kernel
-//     yields the candidate interpolant's value at every point — no
-//     coefficient interpolation at all;
+//   - the basis-evaluation table vtT (see sdTable), so verifying a
+//     candidate costs one kernel pass;
 //   - the Recon's w0 weights, so the accepted secret is Dot(w0, ys[:k]).
+//
+// Tables are keyed by the point-set bitmask (like ReconFor), so a
+// Byzantine RecoverMsg alternating per-dealing present sets hits the
+// cache instead of forcing an O(n·k²) table rebuild per dealing; sets
+// outside the mask domain, or beyond the cache bound, fall back to
+// DecodeFastInto with identical accept/reject behaviour.
 //
 // The exact Lagrange identities make both tables bit-equivalent to
 // interpolating and evaluating (validated by the differential test
@@ -171,50 +201,54 @@ func (m *MultiEval) At(p Poly, i int) Elem {
 // Berlekamp–Welch Decode, unchanged. The zero value is not usable; bind
 // with NewSecretDecoder. Not safe for concurrent use — hold one per node.
 type SecretDecoder struct {
-	me  *MultiEval
-	k   int
-	xs  []Elem
-	r   *Recon
-	vtT []Elem
-	ev  []Elem
+	me      *MultiEval
+	tables  map[uint64]*sdTable
+	ev      []Elem
+	scratch Poly
+	// rebuilds counts table constructions (test instrumentation for the
+	// alternating-set regression).
+	rebuilds int
 }
 
 // NewSecretDecoder returns a decoder verifying against m's point set.
 func NewSecretDecoder(m *MultiEval) *SecretDecoder {
-	return &SecretDecoder{me: m, ev: make([]Elem, m.n)}
+	return &SecretDecoder{me: m, ev: make([]Elem, m.n), tables: make(map[uint64]*sdTable)}
 }
 
-// ensure rebuilds the tables when the interpolation set changes.
-func (sd *SecretDecoder) ensure(xs []Elem) {
+// tableFor returns the cached table for the point set xs, building it on
+// first sight. It returns nil when the set is outside the bitmask domain
+// (not strictly ascending in [1, N()]) or the cache is full — callers
+// then take the DecodeFastInto path.
+func (sd *SecretDecoder) tableFor(xs []Elem) *sdTable {
+	mask := uint64(0)
+	prev := Elem(0)
+	for _, x := range xs {
+		if x <= prev || x > Elem(sd.me.n) || x > 64 {
+			return nil
+		}
+		mask |= 1 << (x - 1)
+		prev = x
+	}
+	if t := sd.tables[mask]; t != nil {
+		return t
+	}
+	if len(sd.tables) >= secretDecoderMaxTables {
+		return nil
+	}
+	sd.rebuilds++
 	k := len(xs)
-	if sd.r != nil && sd.k == k {
-		same := true
-		for i := range xs {
-			if sd.xs[i] != xs[i] {
-				same = false
-				break
-			}
-		}
-		if same {
-			return
-		}
-	}
-	sd.k = k
-	sd.xs = append(sd.xs[:0], xs...)
-	sd.r = ReconFor(xs)
 	n := sd.me.n
-	if cap(sd.vtT) < n*k {
-		sd.vtT = make([]Elem, n*k)
-	}
-	sd.vtT = sd.vtT[:n*k]
+	t := &sdTable{r: ReconFor(xs), vtT: make([]Elem, n*k)}
 	for i := 0; i < k; i++ {
 		// Row i of vtT is the basis polynomial L_i evaluated at every
 		// table point.
-		basis := Poly(sd.r.basis[i*k : (i+1)*k])
+		basis := Poly(t.r.basis[i*k : (i+1)*k])
 		for j := 0; j < n; j++ {
-			sd.vtT[i*n+j] = sd.me.At(basis, j)
+			t.vtT[i*n+j] = sd.me.At(basis, j)
 		}
 	}
+	sd.tables[mask] = t
+	return t
 }
 
 // DecodeAt0 returns the value at x = 0 of the degree-<=degree polynomial
@@ -228,10 +262,22 @@ func (sd *SecretDecoder) DecodeAt0(xs, ys []Elem, degree, maxErrors int) (Elem, 
 	}
 	if degree >= 0 && maxErrors >= 0 && len(xs) == len(ys) && len(xs) > degree {
 		k := degree + 1
-		sd.ensure(xs[:k])
+		t := sd.tableFor(xs[:k])
+		if t == nil {
+			// Uncacheable or cache-full set: the unfused fast path, same
+			// accept/reject decisions, no table build.
+			p, err := DecodeFastInto(sd.scratch, xs, ys, degree, maxErrors)
+			if err != nil {
+				return 0, err
+			}
+			if cap(p) > cap(sd.scratch) {
+				sd.scratch = p[:0]
+			}
+			return p.Eval(0), nil
+		}
 		// One kernel pass gives the candidate interpolant's value at every
 		// table point: p(x_j) = sum_i ys[i] * L_i(x_j).
-		evalColumns(sd.ev, ys[:k], sd.vtT, sd.me.n)
+		evalColumns(sd.ev, ys[:k], t.vtT, sd.me.n)
 		bad := 0
 		for i := range xs {
 			if sd.ev[xs[i]-1] != ys[i] {
@@ -242,7 +288,7 @@ func (sd *SecretDecoder) DecodeAt0(xs, ys []Elem, degree, maxErrors int) (Elem, 
 			}
 		}
 		if bad <= maxErrors {
-			return sd.r.SecretAt0(ys[:k]), nil
+			return t.r.SecretAt0(ys[:k]), nil
 		}
 	}
 	p, err := Decode(xs, ys, degree, maxErrors)

@@ -2,6 +2,7 @@ package field
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -106,3 +107,95 @@ func TestSecretDecoderMatchesDecodeFast(t *testing.T) {
 	}
 }
 
+// TestSecretDecoderAlternatingSets is the regression for the Byzantine
+// set-churn attack: a RecoverMsg stream alternating per-dealing present
+// sets used to defeat the decoder's single-set cache and force an
+// O(n·k²) table rebuild per dealing. Tables are now keyed by point-set
+// mask, so each distinct set builds its table exactly once no matter how
+// the dealings interleave — and every decode still matches DecodeFast.
+func TestSecretDecoderAlternatingSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, f := 10, 3
+	k := f + 1
+	sd := NewSecretDecoder(MultiEvalFor(n, f))
+	// Two present sets of size 2f+1 with DISTINCT interpolation prefixes
+	// (the happy path keys on xs[:f+1]), alternated per dealing the way a
+	// Byzantine sender withholding different shares per dealing would
+	// produce them.
+	sets := [][]int{
+		{0, 1, 2, 3, 4, 5, 6},
+		{3, 4, 5, 6, 7, 8, 9},
+	}
+	for dealing := 0; dealing < 200; dealing++ {
+		present := sets[dealing%len(sets)]
+		p := RandomPoly(rng, f, Elem(rng.Uint64()%P))
+		xs := make([]Elem, len(present))
+		ys := make([]Elem, len(present))
+		for i, idx := range present {
+			xs[i] = Elem(idx + 1)
+			ys[i] = p.Eval(xs[i])
+		}
+		// Corrupt at most one share outside the interpolation prefix —
+		// the information-theoretic bound for 2f+1 points at degree f is
+		// (2f+1-(f+1))/2 = f/2, which is 1 here.
+		if rng.Intn(2) == 0 {
+			ys[k+rng.Intn(len(ys)-k)] = Elem(rng.Uint64() % P)
+		}
+		got, err := sd.DecodeAt0(xs, ys, f, f)
+		if err != nil {
+			t.Fatalf("dealing %d: %v", dealing, err)
+		}
+		if want := p.Eval(0); got != want {
+			t.Fatalf("dealing %d: secret %v, want %v", dealing, got, want)
+		}
+	}
+	if sd.rebuilds != len(sets) {
+		t.Fatalf("alternating sets built %d tables, want %d (one per distinct set)", sd.rebuilds, len(sets))
+	}
+}
+
+// TestSecretDecoderTableBound verifies the per-decoder cache stops
+// growing at its bound and the overflow path still decodes correctly
+// (through DecodeFastInto).
+func TestSecretDecoderTableBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n, f := 24, 7
+	sd := NewSecretDecoder(MultiEvalFor(n, f))
+	for trial := 0; trial < secretDecoderMaxTables+200; trial++ {
+		// A fresh random 2f+1 subset nearly every trial: far more distinct
+		// masks than the cache bound.
+		perm := rng.Perm(n)[:2*f+1]
+		sort.Ints(perm)
+		p := RandomPoly(rng, f, Elem(rng.Uint64()%P))
+		xs := make([]Elem, len(perm))
+		ys := make([]Elem, len(perm))
+		for i, idx := range perm {
+			xs[i] = Elem(idx + 1)
+			ys[i] = p.Eval(xs[i])
+		}
+		got, err := sd.DecodeAt0(xs, ys, f, f)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want := p.Eval(0); got != want {
+			t.Fatalf("trial %d: secret %v, want %v", trial, got, want)
+		}
+	}
+	if len(sd.tables) > secretDecoderMaxTables {
+		t.Fatalf("cache grew to %d tables, bound is %d", len(sd.tables), secretDecoderMaxTables)
+	}
+}
+
+// TestMultiEvalAtDegreeGuard verifies At rejects over-long polynomials
+// (mirroring EvalInto) instead of silently reading the next point's
+// power row.
+func TestMultiEvalAtDegreeGuard(t *testing.T) {
+	me := MultiEvalFor(5, 2)
+	p := Poly{1, 2, 3, 4} // degree 3 > bound 2
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At accepted a polynomial beyond the table's degree bound")
+		}
+	}()
+	me.At(p, 0)
+}

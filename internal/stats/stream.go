@@ -1,0 +1,158 @@
+package stats
+
+import "math"
+
+// This file provides the streaming counterparts of Sample for
+// column-store aggregation (internal/sweep): O(1)-memory moment
+// accumulation (Stream) and exact quantiles for bounded integer metrics
+// (Histogram). Both are deterministic functions of the value sequence's
+// multiset, so aggregates over a merged sweep store are identical
+// regardless of how the sweep was sharded.
+
+// Stream accumulates count, mean, variance and extrema of a float64
+// sequence in O(1) memory (Welford's algorithm). The zero value is an
+// empty stream.
+type Stream struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add appends an observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the observation count.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the arithmetic mean (0 for empty streams).
+func (s *Stream) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 points).
+func (s *Stream) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Min returns the smallest observation (0 for empty streams).
+func (s *Stream) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 for empty streams).
+func (s *Stream) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Histogram accumulates a bounded non-negative integer metric (beat
+// counts capped by MaxBeats) in O(bound) memory, and answers the same
+// nearest-rank quantiles as Sample.Quantile — exactly, because every
+// distinct value has its own bin. Construct with NewHistogram.
+type Histogram struct {
+	counts []uint64
+	n      uint64
+	sum    uint64
+}
+
+// NewHistogram returns a histogram for values in [0, bound].
+func NewHistogram(bound int) *Histogram {
+	return &Histogram{counts: make([]uint64, bound+1)}
+}
+
+// Add appends an observation. Values are clamped into [0, bound]: the
+// sweep convention already records MaxBeats (the bound) for unconverged
+// runs, so clamping only defends against corrupt input.
+func (h *Histogram) Add(x int) {
+	if x < 0 {
+		x = 0
+	}
+	if x >= len(h.counts) {
+		x = len(h.counts) - 1
+	}
+	h.counts[x]++
+	h.n++
+	h.sum += uint64(x)
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int { return int(h.n) }
+
+// Mean returns the arithmetic mean (0 for empty histograms).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns the q-quantile by nearest rank, matching
+// Sample.Quantile on the same multiset; 0 for empty histograms.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return float64(v)
+		}
+	}
+	return float64(len(h.counts) - 1)
+}
+
+// Median returns the 0.5 quantile.
+func (h *Histogram) Median() float64 { return h.Quantile(0.5) }
+
+// Max returns the largest observation (0 for empty histograms).
+func (h *Histogram) Max() float64 {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return float64(v)
+		}
+	}
+	return 0
+}
+
+// CountGreater returns how many observations exceed t.
+func (h *Histogram) CountGreater(t float64) int {
+	var c uint64
+	for v := len(h.counts) - 1; v >= 0 && float64(v) > t; v-- {
+		c += h.counts[v]
+	}
+	return int(c)
+}

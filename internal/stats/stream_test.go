@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStreamMatchesSample pits the O(1)-memory accumulator against the
+// slice-backed Sample on random data.
+func TestStreamMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		var st Stream
+		var sm Sample
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			x := rng.Float64()*1000 - 200
+			st.Add(x)
+			sm.Add(x)
+		}
+		if st.N() != sm.N() {
+			t.Fatalf("N: %d vs %d", st.N(), sm.N())
+		}
+		if math.Abs(st.Mean()-sm.Mean()) > 1e-9 {
+			t.Fatalf("mean: %v vs %v", st.Mean(), sm.Mean())
+		}
+		if math.Abs(st.Std()-sm.Std()) > 1e-9 {
+			t.Fatalf("std: %v vs %v", st.Std(), sm.Std())
+		}
+		if st.Min() != sm.Min() || st.Max() != sm.Max() {
+			t.Fatalf("extrema: [%v,%v] vs [%v,%v]", st.Min(), st.Max(), sm.Min(), sm.Max())
+		}
+	}
+}
+
+// TestStreamEmpty pins the empty-stream conventions (all zeros, like
+// Sample).
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.N() != 0 || s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("empty stream not all-zero: %+v", s)
+	}
+}
+
+// TestHistogramMatchesSample verifies the histogram answers the exact
+// nearest-rank quantiles Sample computes, for bounded integer data —
+// the property that makes sweep aggregates independent of sharding.
+func TestHistogramMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		bound := 1 + rng.Intn(500)
+		h := NewHistogram(bound)
+		var sm Sample
+		n := 1 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			x := rng.Intn(bound + 1)
+			h.Add(x)
+			sm.AddInt(x)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			if got, want := h.Quantile(q), sm.Quantile(q); got != want {
+				t.Fatalf("q=%v: %v vs %v", q, got, want)
+			}
+		}
+		if got, want := h.Mean(), sm.Mean(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("mean: %v vs %v", got, want)
+		}
+		if h.Max() != sm.Max() {
+			t.Fatalf("max: %v vs %v", h.Max(), sm.Max())
+		}
+		if h.N() != sm.N() {
+			t.Fatalf("n: %d vs %d", h.N(), sm.N())
+		}
+		tt := float64(rng.Intn(bound + 1))
+		if got, want := h.CountGreater(tt), sm.CountGreater(tt); got != want {
+			t.Fatalf("countGreater(%v): %d vs %d", tt, got, want)
+		}
+	}
+}
+
+// TestHistogramClamps verifies out-of-range values clamp to the bounds
+// rather than panic or vanish.
+func TestHistogramClamps(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(-5)
+	h.Add(99)
+	if h.N() != 2 {
+		t.Fatalf("N = %d, want 2", h.N())
+	}
+	if h.Quantile(0) != 0 || h.Max() != 10 {
+		t.Fatalf("clamped values landed at %v..%v, want 0..10", h.Quantile(0), h.Max())
+	}
+}

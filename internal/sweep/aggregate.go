@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+
+	"ssbyzclock/internal/stats"
+)
+
+// CellKey identifies one grid cell (every seed of one configuration).
+type CellKey struct {
+	N         int
+	Adversary string
+	Layout    string
+}
+
+// CellAgg is one cell's aggregate over its seeds, built by streaming the
+// merged columns — no per-seed slice is ever materialized, so aggregation
+// memory is O(cells · MaxBeats), independent of seed count.
+type CellAgg struct {
+	Key CellKey
+	// Conv is the convergence-beat distribution (MaxBeats for
+	// unconverged runs, the lower-bound convention).
+	Conv *stats.Histogram
+	// Fails counts unconverged runs.
+	Fails int
+	// Closure sums closure violations across seeds.
+	Closure uint64
+	// Msgs and Bytes aggregate honest traffic per node-beat.
+	Msgs, Bytes stats.Stream
+}
+
+// Aggregate streams the merged store into per-cell aggregates, in the
+// grid's cell enumeration order (n outermost, then adversary, then
+// layout). The store must be merged.
+func Aggregate(st *Store) ([]*CellAgg, error) {
+	g := st.Grid()
+	cellsPerN := len(g.Adversaries) * len(g.Layouts)
+	cells := make([]*CellAgg, len(g.Ns)*cellsPerN)
+	for i := range cells {
+		u := g.UnitAt(i * g.Seeds)
+		cells[i] = &CellAgg{
+			Key:  CellKey{N: u.N, Adversary: u.Adversary, Layout: u.Layout},
+			Conv: stats.NewHistogram(g.MaxBeats),
+		}
+	}
+	err := st.ScanRows(func(idx int, row [numMetrics]uint64) error {
+		c := cells[idx/g.Seeds]
+		res := decodeResult(row)
+		c.Conv.Add(res.ConvBeats)
+		if !res.Converged {
+			c.Fails++
+		}
+		c.Closure += uint64(res.ClosureViolations)
+		c.Msgs.Add(res.MsgsPerNodeBeat)
+		c.Bytes.Add(res.BytesPerNodeBeat)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// Render writes the aggregate table for a merged store: one row per
+// cell with the convergence distribution, failure count, closure
+// violations and traffic rates. The output is a pure function of the
+// merged columns, so it is identical for every shard layout that
+// produced them — the property the CI smoke asserts.
+func Render(w io.Writer, st *Store) error {
+	cells, err := Aggregate(st)
+	if err != nil {
+		return err
+	}
+	g := st.Grid()
+	fmt.Fprintf(w, "sweep: %s/%s k=%d seeds=%d max_beats=%d hold=%d (%d units)\n",
+		g.Protocol, g.Coin, g.protocolK(), g.Seeds, g.MaxBeats, g.Hold, g.Units())
+	t := stats.NewTable("n", "f", "adversary", "layout",
+		"mean", "p50", "p95", "max", "fails", "closure", "msgs/node-beat", "bytes/node-beat")
+	for _, c := range cells {
+		t.AddRow(fmt.Sprint(c.Key.N), fmt.Sprint((c.Key.N-1)/3), c.Key.Adversary, c.Key.Layout,
+			fmt.Sprintf("%.1f", c.Conv.Mean()),
+			fmt.Sprintf("%.0f", c.Conv.Median()),
+			fmt.Sprintf("%.0f", c.Conv.Quantile(0.95)),
+			fmt.Sprintf("%.0f", c.Conv.Max()),
+			fmt.Sprintf("%d/%d", c.Fails, c.Conv.N()),
+			fmt.Sprint(c.Closure),
+			fmt.Sprintf("%.1f", c.Msgs.Mean()),
+			fmt.Sprintf("%.0f", c.Bytes.Mean()))
+	}
+	_, err = fmt.Fprint(w, t)
+	return err
+}

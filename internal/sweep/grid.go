@@ -1,0 +1,179 @@
+// Package sweep shards an experiment grid into deterministic work units,
+// executes them across worker processes (or in-process shards), and
+// accumulates results in an on-disk columnar store. It is the scale-out
+// layer over internal/sim: the paper's claims (expected-constant
+// convergence, self-stabilization, f < n/3 resilience) are statistical,
+// so validating them needs large seed counts, large n and a grid of
+// adversaries and layouts — more work than one in-process loop can hold.
+//
+// The determinism contract mirrors sim.Scheduler's: a unit's result
+// depends only on the grid and the unit index (every run derives all
+// randomness from the unit's seed), so the merged store is byte-identical
+// regardless of shard count, process count or completion order.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Grid describes one experiment sweep: the cross product of cluster
+// sizes, adversaries, coin layouts and seeds, all run under one protocol
+// stack and measurement budget. The zero value is invalid; fill every
+// field (Validate reports what is missing). Grids serialize to JSON for
+// cmd/sweep grid files and the store manifest.
+type Grid struct {
+	// Protocol names the stack under test: "clocksync", "twoclock" or
+	// "fourclock".
+	Protocol string `json:"protocol"`
+	// Coin selects the common-coin construction: "fm" (no trusted setup)
+	// or "rabin" (trusted dealer, seeded per unit).
+	Coin string `json:"coin"`
+	// K is the clock modulus for "clocksync"; "twoclock" and "fourclock"
+	// fix k at 2 and 4 and ignore this field.
+	K uint64 `json:"k,omitempty"`
+	// Ns lists cluster sizes; each runs with f = floor((n-1)/3).
+	Ns []int `json:"ns"`
+	// Adversaries lists adversary names; see Adversaries for the
+	// registry.
+	Adversaries []string `json:"adversaries"`
+	// Layouts lists coin layouts: "shared" and/or "paper".
+	Layouts []string `json:"layouts"`
+	// Seeds is the number of independent seeds per (n, adversary,
+	// layout) cell.
+	Seeds int `json:"seeds"`
+	// SeedBase offsets every unit's engine seed, so disjoint sweeps can
+	// draw disjoint randomness. Unit seed = SeedBase + 7*seedIndex + 1,
+	// matching the in-process experiments' seeding.
+	SeedBase int64 `json:"seed_base,omitempty"`
+	// MaxBeats caps each run; unconverged runs record MaxBeats as their
+	// convergence time (a lower bound on truth), as the in-process
+	// experiments do.
+	MaxBeats int `json:"max_beats"`
+	// Hold is the consecutive-synced-beats requirement for declaring
+	// convergence.
+	Hold int `json:"hold"`
+}
+
+// Unit is one work item: a single measured run at a fixed grid cell and
+// seed. Units are identified by their dense Index in the grid's
+// row-major enumeration (n outermost, then adversary, layout, seed), so
+// a unit index plus the grid fully determines the run.
+type Unit struct {
+	Index     int
+	N, F      int
+	Adversary string
+	Layout    string
+	SeedIdx   int
+}
+
+// Seed returns the engine seed for the unit under g.
+func (u Unit) Seed(g Grid) int64 { return g.SeedBase + int64(u.SeedIdx)*7 + 1 }
+
+// protocolK returns the effective clock modulus measured for g.
+func (g Grid) protocolK() uint64 {
+	switch g.Protocol {
+	case "twoclock":
+		return 2
+	case "fourclock":
+		return 4
+	default:
+		return g.K
+	}
+}
+
+// Validate reports the first problem with the grid, or nil.
+func (g Grid) Validate() error {
+	switch g.Protocol {
+	case "twoclock", "fourclock":
+	case "clocksync":
+		if g.K < 2 {
+			return fmt.Errorf("sweep: clocksync needs k >= 2, got %d", g.K)
+		}
+	default:
+		return fmt.Errorf("sweep: unknown protocol %q (want clocksync, twoclock or fourclock)", g.Protocol)
+	}
+	switch g.Coin {
+	case "fm", "rabin":
+	default:
+		return fmt.Errorf("sweep: unknown coin %q (want fm or rabin)", g.Coin)
+	}
+	if len(g.Ns) == 0 {
+		return fmt.Errorf("sweep: grid has no cluster sizes")
+	}
+	for _, n := range g.Ns {
+		if n < 2 {
+			return fmt.Errorf("sweep: bad cluster size %d", n)
+		}
+	}
+	if len(g.Adversaries) == 0 {
+		return fmt.Errorf("sweep: grid has no adversaries")
+	}
+	for _, a := range g.Adversaries {
+		if _, ok := adversaryRegistry[a]; !ok {
+			return fmt.Errorf("sweep: unknown adversary %q (known: %s)", a, adversaryNames())
+		}
+	}
+	if len(g.Layouts) == 0 {
+		return fmt.Errorf("sweep: grid has no layouts")
+	}
+	for _, l := range g.Layouts {
+		if l != "shared" && l != "paper" {
+			return fmt.Errorf("sweep: unknown layout %q (want shared or paper)", l)
+		}
+	}
+	if g.Seeds <= 0 {
+		return fmt.Errorf("sweep: grid needs seeds > 0")
+	}
+	if g.MaxBeats <= 0 {
+		return fmt.Errorf("sweep: grid needs max_beats > 0")
+	}
+	if g.Hold <= 0 {
+		return fmt.Errorf("sweep: grid needs hold > 0")
+	}
+	return nil
+}
+
+// Units returns the total unit count.
+func (g Grid) Units() int {
+	return len(g.Ns) * len(g.Adversaries) * len(g.Layouts) * g.Seeds
+}
+
+// UnitAt expands unit index idx into its coordinates. It panics on an
+// out-of-range index: indexes come from the store's own enumeration, not
+// external input.
+func (g Grid) UnitAt(idx int) Unit {
+	if idx < 0 || idx >= g.Units() {
+		panic(fmt.Sprintf("sweep: unit index %d out of range [0,%d)", idx, g.Units()))
+	}
+	rest := idx
+	seed := rest % g.Seeds
+	rest /= g.Seeds
+	layout := rest % len(g.Layouts)
+	rest /= len(g.Layouts)
+	adv := rest % len(g.Adversaries)
+	rest /= len(g.Adversaries)
+	n := g.Ns[rest]
+	return Unit{
+		Index:     idx,
+		N:         n,
+		F:         (n - 1) / 3,
+		Adversary: g.Adversaries[adv],
+		Layout:    g.Layouts[layout],
+		SeedIdx:   seed,
+	}
+}
+
+// Hash returns a hex digest of the canonical grid encoding. The store
+// manifest records it so a resumed sweep cannot silently mix results
+// from different grids.
+func (g Grid) Hash() string {
+	b, err := json.Marshal(g)
+	if err != nil {
+		panic("sweep: grid not marshalable: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,207 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/sim"
+)
+
+// adversaryRegistry maps grid adversary names to constructors. Only
+// self-contained adversaries are listed: the oracle-equipped attacks
+// (OracleSplitter, Phase3Splitter) close over a live engine and cannot be
+// named in a serialized grid.
+var adversaryRegistry = map[string]func(*adversary.Context) adversary.Adversary{
+	"passive":  nil,
+	"silent":   func(*adversary.Context) adversary.Adversary { return adversary.Silent{} },
+	"splitter": func(ctx *adversary.Context) adversary.Adversary { return &adversary.ClockSplitter{Ctx: ctx} },
+	"gradesplitter": func(ctx *adversary.Context) adversary.Adversary {
+		return &adversary.GradeSplitter{Ctx: ctx}
+	},
+	"sharecorruptor": func(ctx *adversary.Context) adversary.Adversary {
+		return &adversary.ShareCorruptor{Ctx: ctx}
+	},
+	"recovercorruptor": func(ctx *adversary.Context) adversary.Adversary {
+		return &adversary.RecoverCorruptor{Ctx: ctx}
+	},
+	"replayer": func(ctx *adversary.Context) adversary.Adversary { return &adversary.Replayer{Ctx: ctx} },
+	// stacked is E7's oracle-free core: clock splitting + grade splitting
+	// + coin-recovery corruption in one chain.
+	"stacked": func(ctx *adversary.Context) adversary.Adversary {
+		return adversary.Chain{Advs: []adversary.Adversary{
+			&adversary.ClockSplitter{Ctx: ctx},
+			&adversary.GradeSplitter{Ctx: ctx},
+			&adversary.RecoverCorruptor{Ctx: ctx},
+		}}
+	},
+}
+
+// adversaryNames returns the registry's keys, sorted, for error messages
+// and CLI help.
+func adversaryNames() string {
+	names := make([]string, 0, len(adversaryRegistry))
+	for k := range adversaryRegistry {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " ")
+}
+
+// Result is one unit's measured metrics, in the store's column order.
+type Result struct {
+	// Converged reports whether the run settled within MaxBeats.
+	Converged bool
+	// ConvBeats is the convergence beat, or MaxBeats when unconverged
+	// (the in-process experiments' convention, a lower bound on truth).
+	ConvBeats int
+	// ClosureViolations counts beats at which a converged system lost
+	// synchronization again (Definition 3.2's closure; 0 for a correct
+	// protocol).
+	ClosureViolations int
+	// MsgsPerNodeBeat and BytesPerNodeBeat are honest traffic divided by
+	// (n-f) honest nodes times executed beats.
+	MsgsPerNodeBeat  float64
+	BytesPerNodeBeat float64
+}
+
+// encode packs the result into the store's fixed-width row (column
+// order must match Metrics).
+func (r Result) encode() [numMetrics]uint64 {
+	var row [numMetrics]uint64
+	if r.Converged {
+		row[0] = 1
+	}
+	row[1] = uint64(r.ConvBeats)
+	row[2] = uint64(r.ClosureViolations)
+	row[3] = math.Float64bits(r.MsgsPerNodeBeat)
+	row[4] = math.Float64bits(r.BytesPerNodeBeat)
+	return row
+}
+
+// decodeResult is encode's inverse.
+func decodeResult(row [numMetrics]uint64) Result {
+	return Result{
+		Converged:         row[0] != 0,
+		ConvBeats:         int(row[1]),
+		ClosureViolations: int(row[2]),
+		MsgsPerNodeBeat:   math.Float64frombits(row[3]),
+		BytesPerNodeBeat:  math.Float64frombits(row[4]),
+	}
+}
+
+// Runner executes units. The zero value is ready to use.
+type Runner struct {
+	// Workers is sim.Config.Workers for each unit's engine: a pure
+	// throughput knob — every worker count replays byte-identically, so
+	// results are unaffected. 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// RunUnit executes one unit of g and returns its metrics. The engine
+// seed, the coin setup seed and every other random choice derive from
+// the unit alone, so re-running a unit — on any shard, in any process —
+// reproduces its result bit-for-bit.
+func (r Runner) RunUnit(g Grid, u Unit) (Result, error) {
+	layout, err := core.ParseLayout(u.Layout)
+	if err != nil {
+		return Result{}, err
+	}
+	var factory coin.Factory
+	switch g.Coin {
+	case "fm":
+		factory = coin.FMFactory{}
+	case "rabin":
+		factory = coin.RabinFactory{Seed: u.Seed(g)}
+	default:
+		return Result{}, fmt.Errorf("sweep: unknown coin %q", g.Coin)
+	}
+	var nodeFactory sim.NodeFactory
+	switch g.Protocol {
+	case "clocksync":
+		nodeFactory = core.NewClockSyncProtocolLayout(g.K, factory, layout)
+	case "twoclock":
+		nodeFactory = core.NewTwoClockProtocolLayout(factory, layout)
+	case "fourclock":
+		nodeFactory = core.NewFourClockProtocolLayout(factory, layout)
+	default:
+		return Result{}, fmt.Errorf("sweep: unknown protocol %q", g.Protocol)
+	}
+	mk, ok := adversaryRegistry[u.Adversary]
+	if !ok {
+		return Result{}, fmt.Errorf("sweep: unknown adversary %q", u.Adversary)
+	}
+	cfg := sim.Config{
+		N: u.N, F: u.F, Seed: u.Seed(g),
+		NewAdversary:  mk,
+		ScrambleStart: true,
+		CountBytes:    true,
+		Workers:       r.Workers,
+	}
+	e := sim.New(cfg, nodeFactory)
+	res := sim.MeasureConvergence(e, g.protocolK(), g.MaxBeats, g.Hold)
+	out := Result{
+		Converged:         res.Converged,
+		ClosureViolations: res.ClosureViolations,
+		ConvBeats:         g.MaxBeats,
+	}
+	if res.Converged {
+		out.ConvBeats = res.ConvergedAt
+	}
+	perNodeBeat := float64(u.N-u.F) * float64(res.Beats)
+	if perNodeBeat > 0 {
+		out.MsgsPerNodeBeat = float64(e.HonestMsgs) / perNodeBeat
+		out.BytesPerNodeBeat = float64(e.HonestBytes) / perNodeBeat
+	}
+	return out, nil
+}
+
+// ExecuteShard runs every not-yet-completed unit assigned to the given
+// shard (unit index mod shards), in ascending index order, appending
+// each result to the store as soon as it is measured — so a killed sweep
+// loses at most the unit in flight, and a restart skips everything
+// already recorded (by ANY prior shard layout: completion is tracked per
+// unit, not per shard). maxUnits > 0 stops after that many fresh units —
+// the deterministic stand-in for an interruption in tests and the CI
+// smoke. Returns the number of units executed.
+func ExecuteShard(st *Store, shard, shards int, r Runner, maxUnits int, progress func(Unit, Result)) (int, error) {
+	if shards <= 0 || shard < 0 || shard >= shards {
+		return 0, fmt.Errorf("sweep: bad shard %d of %d", shard, shards)
+	}
+	done, _, err := st.Completed()
+	if err != nil {
+		return 0, err
+	}
+	g := st.Grid()
+	w, err := st.ShardWriter(shard, shards)
+	if err != nil {
+		return 0, err
+	}
+	defer w.Close()
+	ran := 0
+	for idx := shard; idx < g.Units(); idx += shards {
+		if done[idx] {
+			continue
+		}
+		if maxUnits > 0 && ran >= maxUnits {
+			break
+		}
+		u := g.UnitAt(idx)
+		res, err := r.RunUnit(g, u)
+		if err != nil {
+			return ran, fmt.Errorf("sweep: unit %d: %w", idx, err)
+		}
+		if err := w.Append(idx, res.encode()); err != nil {
+			return ran, err
+		}
+		ran++
+		if progress != nil {
+			progress(u, res)
+		}
+	}
+	return ran, w.Close()
+}

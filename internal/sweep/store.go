@@ -1,0 +1,375 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The store is a directory:
+//
+//	<dir>/manifest.json        grid, grid hash, metric schema, unit count
+//	<dir>/chunks/*.chunk       append-only per-shard result records
+//	<dir>/columns/<name>.col   merged fixed-width columns, one per metric
+//
+// Chunk records are fixed-width little-endian: the unit index (8 bytes)
+// followed by one 8-byte word per metric. Fixed width makes a killed
+// writer recoverable — a partial trailing record is detected by length
+// and ignored — and makes completion tracking shard-layout-agnostic:
+// any record for unit i marks it complete, whichever shard wrote it.
+//
+// Merged columns are fixed-width little-endian words at offset 8*index —
+// mmap-friendly, directly seekable by unit index — and, because a unit's
+// result is a pure function of (grid, index), byte-identical for every
+// shard count and completion order.
+
+// Metric describes one store column.
+type Metric struct {
+	Name string `json:"name"`
+	// Type is "u64" or "f64" (f64 columns hold IEEE-754 bits in the same
+	// 8-byte little-endian word).
+	Type string `json:"type"`
+}
+
+// Metrics is the store's column schema, in row order.
+var Metrics = []Metric{
+	{"converged", "u64"},
+	{"conv_beats", "u64"},
+	{"closure_violations", "u64"},
+	{"msgs_per_node_beat", "f64"},
+	{"bytes_per_node_beat", "f64"},
+}
+
+const numMetrics = 5
+
+const (
+	manifestVersion = 1
+	recordSize      = 8 * (1 + numMetrics)
+)
+
+// manifest is the JSON document at <dir>/manifest.json.
+type manifest struct {
+	Version  int      `json:"version"`
+	Grid     Grid     `json:"grid"`
+	GridHash string   `json:"grid_hash"`
+	Units    int      `json:"units"`
+	Metrics  []Metric `json:"metrics"`
+}
+
+// Store is one on-disk sweep. Open with Create (new sweep) or Open
+// (resume / read). A Store handle is cheap; the data lives on disk.
+type Store struct {
+	dir string
+	man manifest
+}
+
+// Create initializes dir (created if missing) for the given grid. If the
+// directory already holds a manifest, Create succeeds only when the grid
+// is identical — the resume path — and errors otherwise rather than mix
+// two sweeps' results.
+func Create(dir string, g Grid) (*Store, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if st, err := Open(dir); err == nil {
+		if st.man.GridHash != g.Hash() {
+			return nil, fmt.Errorf("sweep: store %s holds a different grid (hash %.12s != %.12s)",
+				dir, st.man.GridHash, g.Hash())
+		}
+		return st, nil
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "chunks"), 0o755); err != nil {
+		return nil, err
+	}
+	man := manifest{
+		Version:  manifestVersion,
+		Grid:     g,
+		GridHash: g.Hash(),
+		Units:    g.Units(),
+		Metrics:  Metrics,
+	}
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), append(b, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, man: man}, nil
+}
+
+// Open opens an existing store. It returns fs.ErrNotExist (wrapped) when
+// dir holds no manifest.
+func Open(dir string) (*Store, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var man manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return nil, fmt.Errorf("sweep: bad manifest in %s: %w", dir, err)
+	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("sweep: manifest version %d (this binary speaks %d)", man.Version, manifestVersion)
+	}
+	if err := man.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	if man.GridHash != man.Grid.Hash() {
+		return nil, fmt.Errorf("sweep: manifest grid hash mismatch in %s", dir)
+	}
+	if man.Units != man.Grid.Units() {
+		return nil, fmt.Errorf("sweep: manifest unit count %d != grid's %d", man.Units, man.Grid.Units())
+	}
+	if len(man.Metrics) != numMetrics {
+		return nil, fmt.Errorf("sweep: manifest has %d metrics, this binary speaks %d", len(man.Metrics), numMetrics)
+	}
+	return &Store{dir: dir, man: man}, nil
+}
+
+// Grid returns the sweep's grid.
+func (s *Store) Grid() Grid { return s.man.Grid }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Units returns the total unit count.
+func (s *Store) Units() int { return s.man.Units }
+
+// chunkFiles lists the chunk paths in sorted order.
+func (s *Store) chunkFiles() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "chunks"))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".chunk") {
+			out = append(out, filepath.Join(s.dir, "chunks", e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// scanChunks streams every complete record across all chunk files in
+// sorted-file order. A partial trailing record (a writer killed
+// mid-append) is ignored; a short read anywhere else is an error.
+func (s *Store) scanChunks(fn func(idx int, row [numMetrics]uint64) error) error {
+	files, err := s.chunkFiles()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, recordSize)
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r := bufio.NewReader(f)
+		for {
+			_, err := io.ReadFull(r, buf)
+			if err == io.EOF {
+				break
+			}
+			if err == io.ErrUnexpectedEOF {
+				// Partial trailing record: the writer died mid-append. The
+				// unit will simply re-run.
+				break
+			}
+			if err != nil {
+				f.Close()
+				return err
+			}
+			idx := binary.LittleEndian.Uint64(buf)
+			if idx >= uint64(s.man.Units) {
+				f.Close()
+				return fmt.Errorf("sweep: %s holds unit %d beyond grid's %d units", path, idx, s.man.Units)
+			}
+			var row [numMetrics]uint64
+			for m := 0; m < numMetrics; m++ {
+				row[m] = binary.LittleEndian.Uint64(buf[8*(m+1):])
+			}
+			if err := fn(int(idx), row); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// collectRows scans the chunk files into per-unit rows, enforcing the
+// dedup invariant: duplicate records for a unit must agree bit-for-bit
+// (they are re-runs of a deterministic function); a conflict means the
+// store mixes different code or grids and is reported as corruption.
+// Both the resume path (Completed) and Merge share this one scan.
+func (s *Store) collectRows() (rows [][numMetrics]uint64, have []bool, count int, err error) {
+	rows = make([][numMetrics]uint64, s.man.Units)
+	have = make([]bool, s.man.Units)
+	err = s.scanChunks(func(idx int, row [numMetrics]uint64) error {
+		if have[idx] {
+			if rows[idx] != row {
+				return fmt.Errorf("sweep: store corrupt: unit %d has conflicting records", idx)
+			}
+			return nil
+		}
+		rows[idx] = row
+		have[idx] = true
+		count++
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return rows, have, count, nil
+}
+
+// Completed scans the chunk files and reports which units have a
+// recorded result, plus the completed count.
+func (s *Store) Completed() ([]bool, int, error) {
+	_, have, count, err := s.collectRows()
+	return have, count, err
+}
+
+// ChunkWriter appends unit records to one shard's chunk file.
+type ChunkWriter struct {
+	f      *os.File
+	buf    [recordSize]byte
+	closed bool
+}
+
+// ShardWriter opens (appending) the chunk file for the given shard
+// layout. Different layouts write different files, so a sweep resumed
+// with a new shard count never interleaves writers within one file.
+func (s *Store) ShardWriter(shard, shards int) (*ChunkWriter, error) {
+	if err := os.MkdirAll(filepath.Join(s.dir, "chunks"), 0o755); err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("shard-%04d-of-%04d.chunk", shard, shards)
+	f, err := os.OpenFile(filepath.Join(s.dir, "chunks", name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// A writer killed mid-append leaves a partial trailing record. Readers
+	// skip it, but appending after it would misalign every later record,
+	// so chop the file back to the last record boundary first.
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, err
+	} else if tail := fi.Size() % recordSize; tail != 0 {
+		if err := f.Truncate(fi.Size() - tail); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &ChunkWriter{f: f}, nil
+}
+
+// Append records one unit's result. The record reaches the OS before
+// Append returns, so a killed process loses at most the record being
+// written — which the fixed-width scan then discards as a partial tail.
+func (w *ChunkWriter) Append(idx int, row [numMetrics]uint64) error {
+	binary.LittleEndian.PutUint64(w.buf[:], uint64(idx))
+	for m, v := range row {
+		binary.LittleEndian.PutUint64(w.buf[8*(m+1):], v)
+	}
+	_, err := w.f.Write(w.buf[:])
+	return err
+}
+
+// Close closes the chunk file. Double Close is a no-op.
+func (w *ChunkWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// Merge assembles the final column files from the chunk records. Every
+// unit must be complete; the error names the shortfall otherwise. The
+// output is written in unit-index order into one fixed-width file per
+// metric, so its bytes depend only on the grid — not on shard count,
+// process count or completion order.
+func (s *Store) Merge() error {
+	rows, _, count, err := s.collectRows()
+	if err != nil {
+		return err
+	}
+	if count != s.man.Units {
+		return fmt.Errorf("sweep: merge needs all units: %d of %d complete", count, s.man.Units)
+	}
+	colDir := filepath.Join(s.dir, "columns")
+	if err := os.MkdirAll(colDir, 0o755); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*s.man.Units)
+	for m, metric := range Metrics {
+		for i := range rows {
+			binary.LittleEndian.PutUint64(buf[8*i:], rows[i][m])
+		}
+		if err := os.WriteFile(filepath.Join(colDir, metric.Name+".col"), buf, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merged reports whether every column file exists with the right size.
+func (s *Store) Merged() bool {
+	for _, m := range Metrics {
+		fi, err := os.Stat(filepath.Join(s.dir, "columns", m.Name+".col"))
+		if err != nil || fi.Size() != int64(8*s.man.Units) {
+			return false
+		}
+	}
+	return true
+}
+
+// ScanRows streams the merged columns row by row in unit-index order:
+// fn receives the unit index and one word per metric (Metrics order).
+// It never materializes a column in memory, so aggregation over a sweep
+// is O(1) in the store size.
+func (s *Store) ScanRows(fn func(idx int, row [numMetrics]uint64) error) error {
+	if !s.Merged() {
+		return fmt.Errorf("sweep: store %s is not merged (run merge first)", s.dir)
+	}
+	files := make([]*bufio.Reader, numMetrics)
+	for m, metric := range Metrics {
+		f, err := os.Open(filepath.Join(s.dir, "columns", metric.Name+".col"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		files[m] = bufio.NewReader(f)
+	}
+	var word [8]byte
+	for i := 0; i < s.man.Units; i++ {
+		var row [numMetrics]uint64
+		for m := range files {
+			if _, err := io.ReadFull(files[m], word[:]); err != nil {
+				return fmt.Errorf("sweep: column %s truncated at unit %d: %w", Metrics[m].Name, i, err)
+			}
+			row[m] = binary.LittleEndian.Uint64(word[:])
+		}
+		if err := fn(i, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testGrid is the suite's tiny grid: cheap enough to execute dozens of
+// times, rich enough to cover both layouts and two adversaries.
+func testGrid() Grid {
+	return Grid{
+		Protocol: "twoclock", Coin: "fm",
+		Ns:          []int{4},
+		Adversaries: []string{"silent", "splitter"},
+		Layouts:     []string{"shared", "paper"},
+		Seeds:       3,
+		MaxBeats:    400,
+		Hold:        6,
+	}
+}
+
+// executeAll plans the grid into dir and runs it to completion across the
+// given shard count, merging at the end.
+func executeAll(t *testing.T, dir string, g Grid, shards int) *Store {
+	t.Helper()
+	st, err := Create(dir, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < shards; s++ {
+		if _, err := ExecuteShard(st, s, shards, Runner{Workers: 1}, 0, nil); err != nil {
+			t.Fatalf("shard %d/%d: %v", s, shards, err)
+		}
+	}
+	if err := st.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// columnBytes reads every merged column file's raw bytes.
+func columnBytes(t *testing.T, st *Store) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, m := range Metrics {
+		b, err := os.ReadFile(filepath.Join(st.Dir(), "columns", m.Name+".col"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[m.Name] = b
+	}
+	return out
+}
+
+func renderString(t *testing.T, st *Store) string {
+	t.Helper()
+	var b strings.Builder
+	if err := Render(&b, st); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestShardCountDeterminism is the subsystem's core contract: the same
+// grid executed with 1, 2 and 8 shards yields byte-identical merged
+// column files and identical aggregate output.
+func TestShardCountDeterminism(t *testing.T) {
+	g := testGrid()
+	ref := executeAll(t, filepath.Join(t.TempDir(), "ref"), g, 1)
+	refCols := columnBytes(t, ref)
+	refReport := renderString(t, ref)
+	for _, shards := range []int{2, 8} {
+		st := executeAll(t, t.TempDir(), g, shards)
+		cols := columnBytes(t, st)
+		for name, want := range refCols {
+			if !bytes.Equal(cols[name], want) {
+				t.Errorf("shards=%d: column %s differs from single-shard run", shards, name)
+			}
+		}
+		if got := renderString(t, st); got != refReport {
+			t.Errorf("shards=%d: aggregate report differs:\n%s\nwant:\n%s", shards, got, refReport)
+		}
+	}
+}
+
+// TestKillAndResume simulates an interrupted sweep: shard 0 of 2 stops
+// after 2 units (the stand-in for a kill), then the whole sweep re-runs
+// — under a DIFFERENT shard layout — and must produce the same merged
+// bytes as an uninterrupted single-shard run, re-executing only the
+// missing units.
+func TestKillAndResume(t *testing.T) {
+	g := testGrid()
+	ref := executeAll(t, filepath.Join(t.TempDir(), "ref"), g, 1)
+	refCols := columnBytes(t, ref)
+
+	dir := t.TempDir()
+	st, err := Create(dir, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := ExecuteShard(st, 0, 2, Runner{Workers: 1}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("interrupted shard ran %d units, want 2", ran)
+	}
+	if err := st.Merge(); err == nil {
+		t.Fatal("merge of an incomplete store must fail")
+	}
+	// Resume by re-planning (same grid: a no-op) and running to completion
+	// with 3 shards — a different layout than the interrupted run.
+	st2, err := Create(dir, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s := 0; s < 3; s++ {
+		ran, err := ExecuteShard(st2, s, 3, Runner{Workers: 1}, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += ran
+	}
+	if want := g.Units() - 2; total != want {
+		t.Fatalf("resume re-ran %d units, want %d (2 were already complete)", total, want)
+	}
+	if err := st2.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range columnBytes(t, st2) {
+		if !bytes.Equal(refCols[name], want) {
+			t.Errorf("resumed store: column %s differs from uninterrupted run", name)
+		}
+	}
+}
+
+// TestPartialTrailingRecord kills a writer mid-append by truncating its
+// chunk file to a non-record boundary: the scan must treat the partial
+// tail as absent, the unit must re-run, and the merged output must still
+// match the reference.
+func TestPartialTrailingRecord(t *testing.T) {
+	g := testGrid()
+	ref := executeAll(t, filepath.Join(t.TempDir(), "ref"), g, 1)
+	refCols := columnBytes(t, ref)
+
+	dir := t.TempDir()
+	st, err := Create(dir, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteShard(st, 0, 1, Runner{Workers: 1}, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := st.chunkFiles()
+	if err != nil || len(chunks) != 1 {
+		t.Fatalf("chunks = %v, err = %v", chunks, err)
+	}
+	fi, err := os.Stat(chunks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the last record off mid-word: unit 2 becomes a partial tail.
+	if err := os.Truncate(chunks[0], fi.Size()-recordSize+11); err != nil {
+		t.Fatal(err)
+	}
+	_, count, err := st.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("after truncation %d units complete, want 2", count)
+	}
+	if _, err := ExecuteShard(st, 0, 1, Runner{Workers: 1}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range columnBytes(t, st) {
+		if !bytes.Equal(refCols[name], want) {
+			t.Errorf("post-truncation store: column %s differs from reference", name)
+		}
+	}
+}
+
+// TestConflictingRecords verifies the corruption guard: two different
+// results recorded for one unit must fail the scan rather than silently
+// pick one.
+func TestConflictingRecords(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+	st, err := Create(dir, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.ShardWriter(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, [numMetrics]uint64{1, 10, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, [numMetrics]uint64{1, 11, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, _, err := st.Completed(); err == nil {
+		t.Fatal("conflicting records must fail the completion scan")
+	}
+}
+
+// TestGridMismatchRejected verifies a store cannot be re-planned with a
+// different grid.
+func TestGridMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, testGrid()); err != nil {
+		t.Fatal(err)
+	}
+	g2 := testGrid()
+	g2.Seeds++
+	if _, err := Create(dir, g2); err == nil {
+		t.Fatal("planning a different grid over an existing store must fail")
+	}
+}
+
+// TestUnitEnumeration pins the unit index layout the store depends on:
+// seed innermost, then layout, adversary, n.
+func TestUnitEnumeration(t *testing.T) {
+	g := testGrid()
+	if got, want := g.Units(), 1*2*2*3; got != want {
+		t.Fatalf("Units() = %d, want %d", got, want)
+	}
+	u := g.UnitAt(0)
+	if u.N != 4 || u.Adversary != "silent" || u.Layout != "shared" || u.SeedIdx != 0 {
+		t.Fatalf("unit 0 = %+v", u)
+	}
+	u = g.UnitAt(g.Seeds) // first unit of the second layout
+	if u.Adversary != "silent" || u.Layout != "paper" || u.SeedIdx != 0 {
+		t.Fatalf("unit %d = %+v", g.Seeds, u)
+	}
+	u = g.UnitAt(g.Units() - 1)
+	if u.Adversary != "splitter" || u.Layout != "paper" || u.SeedIdx != g.Seeds-1 {
+		t.Fatalf("last unit = %+v", u)
+	}
+	if f := g.UnitAt(0).F; f != 1 {
+		t.Fatalf("f = %d, want 1", f)
+	}
+}
+
+// TestRunnerWorkersIrrelevant verifies the Workers knob does not change
+// results (the scheduler's byte-identical replay contract, surfaced at
+// the sweep layer).
+func TestRunnerWorkersIrrelevant(t *testing.T) {
+	g := testGrid()
+	u := g.UnitAt(5)
+	r1, err := Runner{Workers: 1}.RunUnit(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Runner{Workers: 8}.RunUnit(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r8 {
+		t.Fatalf("workers=1 result %+v != workers=8 result %+v", r1, r8)
+	}
+}
+
+// TestGridValidate spot-checks the validator's rejections.
+func TestGridValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Grid)
+	}{
+		{"protocol", func(g *Grid) { g.Protocol = "nope" }},
+		{"coin", func(g *Grid) { g.Coin = "nope" }},
+		{"adversary", func(g *Grid) { g.Adversaries = []string{"nope"} }},
+		{"layout", func(g *Grid) { g.Layouts = []string{"nope"} }},
+		{"seeds", func(g *Grid) { g.Seeds = 0 }},
+		{"ns", func(g *Grid) { g.Ns = nil }},
+		{"maxbeats", func(g *Grid) { g.MaxBeats = 0 }},
+		{"hold", func(g *Grid) { g.Hold = 0 }},
+		{"k", func(g *Grid) { g.Protocol = "clocksync"; g.K = 0 }},
+	} {
+		g := testGrid()
+		tc.mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: bad grid validated", tc.name)
+		}
+	}
+	g := testGrid()
+	if err := g.Validate(); err != nil {
+		t.Errorf("good grid rejected: %v", err)
+	}
+}
