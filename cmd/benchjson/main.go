@@ -7,9 +7,12 @@
 //	go test -run=NONE -bench=BenchmarkBeat -benchmem . | go run ./cmd/benchjson > BENCH_beat.json
 //
 // Gate mode compares two recorded runs and fails (exit 1) when any
-// benchmark present in both regressed by more than the threshold:
+// benchmark present in both regressed beyond the thresholds — ns/op
+// against -threshold, and B/op and allocs/op against -memthreshold (the
+// memory gate locks in the payload-pooling win; tiny absolute jitters
+// below 1 KiB / 16 allocs never fail it):
 //
-//	go run ./cmd/benchjson -gate old.json new.json [-threshold 15]
+//	go run ./cmd/benchjson -gate old.json new.json [-threshold 15] [-memthreshold 25]
 package main
 
 import (
@@ -36,13 +39,14 @@ type Result struct {
 func main() {
 	gate := flag.Bool("gate", false, "compare two JSON files: -gate old.json new.json")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
+	memThreshold := flag.Float64("memthreshold", 25, "max allowed B/op and allocs/op regression, percent")
 	flag.Parse()
 	if *gate {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -gate needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runGate(flag.Arg(0), flag.Arg(1), *threshold))
+		os.Exit(runGate(flag.Arg(0), flag.Arg(1), *threshold, *memThreshold))
 	}
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)
@@ -97,11 +101,23 @@ func main() {
 	}
 }
 
+// memRegressed reports whether a memory metric (B/op or allocs/op) rose
+// beyond the threshold. Absolute deltas below the floor never count:
+// single-digit alloc and sub-KiB byte counts jitter with scheduler
+// goroutine reuse, and a gate that cries wolf gets disabled.
+func memRegressed(old, new int64, thresholdPct float64, floor int64) bool {
+	if old <= 0 || new <= old || new-old < floor {
+		return false
+	}
+	return float64(new-old)/float64(old)*100 > thresholdPct
+}
+
 // runGate loads two recorded runs and reports per-benchmark deltas;
 // returns 1 when any benchmark present in both regressed beyond the
-// threshold. Benchmarks present in only one file are reported but never
-// fail the gate (new or removed cases are legitimate).
-func runGate(oldPath, newPath string, thresholdPct float64) int {
+// ns/op threshold or the B/op / allocs/op memory threshold. Benchmarks
+// present in only one file are reported but never fail the gate (new or
+// removed cases are legitimate).
+func runGate(oldPath, newPath string, thresholdPct, memThresholdPct float64) int {
 	load := func(path string) (map[string]Result, []Result, error) {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -142,8 +158,19 @@ func runGate(oldPath, newPath string, thresholdPct float64) int {
 			status = "REGRESSED"
 			failed = true
 		}
-		fmt.Printf("%-9s%-45s %14.0f -> %14.0f ns/op  (%+.1f%%)\n",
-			status, nr.Name, or.NsPerOp, nr.NsPerOp, deltaPct)
+		// Memory gate: B/op within 1 KiB and allocs/op within 16 of the
+		// baseline pass regardless of percentage (noise floor).
+		if memRegressed(or.BytesPerOp, nr.BytesPerOp, memThresholdPct, 1024) {
+			status = "MEM-REGRESSED"
+			failed = true
+		}
+		if memRegressed(or.AllocsPerOp, nr.AllocsPerOp, memThresholdPct, 16) {
+			status = "MEM-REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-14s%-45s %12.0f -> %12.0f ns/op (%+.1f%%)  %9d -> %9d B/op  %6d -> %6d allocs/op\n",
+			status, nr.Name, or.NsPerOp, nr.NsPerOp, deltaPct,
+			or.BytesPerOp, nr.BytesPerOp, or.AllocsPerOp, nr.AllocsPerOp)
 	}
 	for name := range oldM {
 		if !seen[name] {
@@ -151,7 +178,8 @@ func runGate(oldPath, newPath string, thresholdPct float64) int {
 		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.1f%% threshold\n", thresholdPct)
+		fmt.Fprintf(os.Stderr, "benchjson: regression beyond thresholds (ns/op %.1f%%, mem %.1f%%)\n",
+			thresholdPct, memThresholdPct)
 		return 1
 	}
 	return 0

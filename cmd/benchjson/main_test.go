@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeRun(t *testing.T, dir, name string, rs []Result) string {
+	t.Helper()
+	b, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateCoversMemoryMetrics(t *testing.T) {
+	dir := t.TempDir()
+	base := []Result{{Name: "BenchmarkBeat/n=16", Iterations: 50, NsPerOp: 2e6, BytesPerOp: 2000, AllocsPerOp: 100}}
+	old := writeRun(t, dir, "old.json", base)
+
+	cases := []struct {
+		name string
+		new  Result
+		want int
+	}{
+		{"unchanged", Result{Name: "BenchmarkBeat/n=16", NsPerOp: 2e6, BytesPerOp: 2000, AllocsPerOp: 100}, 0},
+		{"ns regression", Result{Name: "BenchmarkBeat/n=16", NsPerOp: 3e6, BytesPerOp: 2000, AllocsPerOp: 100}, 1},
+		{"bytes regression", Result{Name: "BenchmarkBeat/n=16", NsPerOp: 2e6, BytesPerOp: 2_000_000, AllocsPerOp: 100}, 1},
+		{"allocs regression", Result{Name: "BenchmarkBeat/n=16", NsPerOp: 2e6, BytesPerOp: 2000, AllocsPerOp: 1000}, 1},
+		// Large percentage but tiny absolute delta: noise floor passes it.
+		{"bytes jitter under floor", Result{Name: "BenchmarkBeat/n=16", NsPerOp: 2e6, BytesPerOp: 2900, AllocsPerOp: 100}, 0},
+		{"allocs jitter under floor", Result{Name: "BenchmarkBeat/n=16", NsPerOp: 2e6, BytesPerOp: 2000, AllocsPerOp: 112}, 0},
+		// Improvements never fail.
+		{"improvement", Result{Name: "BenchmarkBeat/n=16", NsPerOp: 1e6, BytesPerOp: 100, AllocsPerOp: 10}, 0},
+	}
+	for _, tc := range cases {
+		newPath := writeRun(t, dir, "new.json", []Result{tc.new})
+		if got := runGate(old, newPath, 15, 25); got != tc.want {
+			t.Errorf("%s: gate returned %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMemRegressed(t *testing.T) {
+	if memRegressed(0, 5000, 25, 1024) {
+		t.Error("zero baseline must not regress")
+	}
+	if memRegressed(2000, 2000, 25, 1024) {
+		t.Error("equal values must not regress")
+	}
+	if !memRegressed(2000, 4000, 25, 1024) {
+		t.Error("2x growth above floor must regress")
+	}
+	if memRegressed(10, 20, 25, 16) {
+		t.Error("sub-floor absolute delta must not regress")
+	}
+}

@@ -12,6 +12,18 @@
 // deviate surgically — e.g. equivocating only GVSS votes — while
 // otherwise participating in the protocol, which is far more damaging
 // than pure noise.
+//
+// Message-lifetime contract: everything an adversary sees — composed
+// sends and intercepted honest traffic alike — is valid only for the
+// current beat. Payload memory is pooled by the engine and recycled once
+// the beat's Deliver phase completes, so an adversary that records
+// messages across beats (Replayer) must keep deep copies obtained via
+// proto.Clone; within-beat forwarding and rewriting needs no copies.
+// Oracle-equipped attacks read protocol *state*, not retained messages:
+// the Bit-oracle variants consult a faulty node's own honest-copy
+// instance (Context.FaultyNode), which models the paper's §6.1
+// concession — the adversary sees the coin's output in the beat it is
+// produced — without reaching outside the adversary's legal view.
 package adversary
 
 import (
@@ -26,6 +38,13 @@ type Context struct {
 	N, F   int
 	Faulty []int
 	Rng    *rand.Rand
+	// FaultyNode returns the honest-copy protocol instance of an
+	// adversary-controlled node, or nil for honest ids (private channels:
+	// the adversary may inspect only its own nodes' state). The engine
+	// installs it; it lets self-contained oracle attacks (BitOracle*)
+	// read the public coin bit from a node they legitimately control
+	// instead of closing over a live engine.
+	FaultyNode func(id int) proto.Protocol
 }
 
 // IsFaulty reports whether id is adversary-controlled.
@@ -61,16 +80,19 @@ type Intercept struct {
 // faulty nodes; sends claiming a non-faulty From are discarded by the
 // engine (identity cannot be forged).
 //
-// The composed and visible slices are only valid for the duration of the
-// call — the engine reuses their backing arrays across beats — so
-// implementations must not retain them (retaining the Message values
-// themselves is fine; messages are never pooled). An adversary that
-// records traffic across beats (e.g. Replayer) must copy the entries it
-// keeps. Adversaries always run sequentially on the engine's goroutine,
-// but the Messages they emit (or forward) may be delivered to several
-// nodes concurrently afterwards, so an adversary must never mutate a
-// Message it has already sent or observed — build fresh messages
-// instead (see proto.Protocol's cross-goroutine contract).
+// The composed and visible slices — and the Message values inside them —
+// are only valid for the duration of the beat: the engine reuses the
+// slices' backing arrays across beats, and message payloads come from
+// per-beat pools that are recycled (and, in tests, poison-scribbled)
+// after the beat's Deliver phase (see proto.Message's lifetime
+// contract). Forwarding, rewriting or dropping messages within the call
+// is free; an adversary that records traffic across beats (e.g.
+// Replayer) must capture deep copies via proto.Clone, never the
+// references. Adversaries always run sequentially on the engine's
+// goroutine, but the Messages they emit (or forward) may be delivered to
+// several nodes concurrently afterwards, so an adversary must never
+// mutate a Message it has already sent or observed — build fresh
+// messages instead (see proto.Protocol's cross-goroutine contract).
 type Adversary interface {
 	Act(beat uint64, composed []Sends, visible []Intercept) []Sends
 }
@@ -113,7 +135,10 @@ func (a *Delayer) Act(_ uint64, composed []Sends, _ []Intercept) []Sends {
 // Replayer records every visible honest message and, each beat, replays a
 // random sample back into the network alongside the honest faulty output
 // — stale-state noise resembling the "phantom messages" of Definition 2.2
-// (sent by live nodes, so legal, but semantically stale).
+// (sent by live nodes, so legal, but semantically stale). It is the
+// suite's recording adversary: everything it keeps across beats is a
+// deep copy (proto.Clone), because the observed messages' payloads are
+// recycled by the engine when the beat ends.
 type Replayer struct {
 	Ctx    *Context
 	memory []proto.Message
@@ -122,7 +147,13 @@ type Replayer struct {
 // Act implements Adversary.
 func (a *Replayer) Act(_ uint64, composed []Sends, visible []Intercept) []Sends {
 	for _, v := range visible {
-		a.memory = append(a.memory, v.Msg)
+		msg := v.Msg
+		if c, err := proto.Clone(msg); err == nil {
+			msg = c
+		}
+		// An unclonable message has an unregistered type: a test double,
+		// never a pooled payload, so retaining the original is safe.
+		a.memory = append(a.memory, msg)
 		if len(a.memory) > 4096 {
 			a.memory = a.memory[len(a.memory)-4096:]
 		}

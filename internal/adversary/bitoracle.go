@@ -1,0 +1,79 @@
+package adversary
+
+import "ssbyzclock/internal/proto"
+
+// Self-contained bit-oracle attacks. OracleSplitter and Phase3Splitter
+// take a BitOracle callback, which experiments historically wired to a
+// closure over the live engine ("read honest node 0's public bit") —
+// making those adversaries impossible to name in a serialized sweep
+// grid. The BitOracle* variants below close the gap: they read the most
+// recent common random bit from a faulty node's own honest-copy protocol
+// instance (Context.FaultyNode), which the adversary legitimately
+// controls. Once the coin has converged the bit is *common*, so the
+// faulty copy reports exactly what honest node 0 would — the paper's
+// §6.1 concession (the adversary sees the coin's output in the beat it
+// is produced) with no reach outside the adversary's view. With f = 0
+// there is no faulty copy and the oracle degrades to the constant 0,
+// exactly like a nil BitOracle.
+
+// randBitReader is the state surface the oracle reads: core.ClockSync's
+// RandBit (the phase-3 rand), or any proto.BitReader (a bare coin
+// pipeline).
+type randBitReader interface{ RandBit() byte }
+
+// ownCoinBit reads the public bit from the first faulty node whose
+// honest copy exposes one.
+func ownCoinBit(ctx *Context) byte {
+	if ctx.FaultyNode == nil {
+		return 0
+	}
+	for _, id := range ctx.Faulty {
+		n := ctx.FaultyNode(id)
+		if n == nil {
+			continue
+		}
+		if r, ok := n.(randBitReader); ok {
+			return r.RandBit()
+		}
+		if r, ok := n.(proto.BitReader); ok {
+			return r.Bit()
+		}
+	}
+	return 0
+}
+
+// BitOracleSplitter is OracleSplitter with the self-contained oracle:
+// the E7 resiliency-boundary attack as a nameable sweep-grid adversary.
+type BitOracleSplitter struct {
+	inner OracleSplitter
+}
+
+// NewBitOracleSplitter builds the splitter over ctx.
+func NewBitOracleSplitter(ctx *Context) *BitOracleSplitter {
+	a := &BitOracleSplitter{inner: OracleSplitter{Ctx: ctx}}
+	a.inner.BitOracle = func() byte { return ownCoinBit(ctx) }
+	return a
+}
+
+// Act implements Adversary.
+func (a *BitOracleSplitter) Act(beat uint64, composed []Sends, visible []Intercept) []Sends {
+	return a.inner.Act(beat, composed, visible)
+}
+
+// BitOraclePhase3 is Phase3Splitter with the self-contained oracle: the
+// E6 rand-timing attack as a nameable sweep-grid adversary.
+type BitOraclePhase3 struct {
+	inner Phase3Splitter
+}
+
+// NewBitOraclePhase3 builds the splitter over ctx.
+func NewBitOraclePhase3(ctx *Context) *BitOraclePhase3 {
+	a := &BitOraclePhase3{inner: Phase3Splitter{Ctx: ctx}}
+	a.inner.BitOracle = func() byte { return ownCoinBit(ctx) }
+	return a
+}
+
+// Act implements Adversary.
+func (a *BitOraclePhase3) Act(beat uint64, composed []Sends, visible []Intercept) []Sends {
+	return a.inner.Act(beat, composed, visible)
+}

@@ -25,8 +25,7 @@ func (a *GradeSplitter) Act(_ uint64, composed []Sends, _ []Intercept) []Sends {
 	out := make([]Sends, 0, len(composed))
 	for _, s := range composed {
 		rewritten := PerRecipient(a.Ctx.N, s.Out, func(to int, _ Path, leaf proto.Message) proto.Message {
-			switch m := leaf.(type) {
-			case gvss.VoteMsg:
+			if m, isVote := gvss.AsVote(leaf); isVote {
 				// Flip each vote with probability 1/2, independently per
 				// recipient: recipients near the n-f threshold land on
 				// different sides of it.
@@ -38,7 +37,8 @@ func (a *GradeSplitter) Act(_ uint64, composed []Sends, _ []Intercept) []Sends {
 					}
 				}
 				return gvss.VoteMsg{OK: ok}
-			case coin.AcceptMsg:
+			}
+			if m, isAccept := coin.AsAccept(leaf); isAccept {
 				// Equivocate the accept set per recipient by shuffling
 				// and resending a random subset (kept above the n-f
 				// minimum so it is not rejected outright).
@@ -49,9 +49,8 @@ func (a *GradeSplitter) Act(_ uint64, composed []Sends, _ []Intercept) []Sends {
 					set = set[:min+a.Ctx.Rng.Intn(len(set)-min+1)]
 				}
 				return coin.AcceptMsg{Set: set}
-			default:
-				return leaf
 			}
+			return leaf
 		})
 		out = append(out, Sends{From: s.From, Out: rewritten})
 	}
@@ -71,7 +70,7 @@ func (a *ShareCorruptor) Act(_ uint64, composed []Sends, _ []Intercept) []Sends 
 	out := make([]Sends, 0, len(composed))
 	for _, s := range composed {
 		rewritten := PerRecipient(a.Ctx.N, s.Out, func(to int, _ Path, leaf proto.Message) proto.Message {
-			m, ok := leaf.(gvss.ShareMsg)
+			m, ok := gvss.AsShare(leaf)
 			if !ok || a.Ctx.Rng.Intn(2) == 0 {
 				return leaf
 			}

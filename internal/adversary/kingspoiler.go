@@ -75,7 +75,7 @@ func (a *RecoverCorruptor) Act(_ uint64, composed []Sends, _ []Intercept) []Send
 	out := make([]Sends, 0, len(composed))
 	for _, s := range composed {
 		rewritten := PerRecipient(a.Ctx.N, s.Out, func(to int, _ Path, leaf proto.Message) proto.Message {
-			m, ok := leaf.(gvss.RecoverMsg)
+			m, ok := gvss.AsRecover(leaf)
 			if !ok {
 				return leaf
 			}

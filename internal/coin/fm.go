@@ -24,6 +24,19 @@ type AcceptMsg struct {
 // Kind implements proto.Message.
 func (AcceptMsg) Kind() string { return "coin.accept" }
 
+// AsAccept reports whether m is an accept message, accepting the value
+// form (adversaries, tests) and the pointer form (the flipper's pooled
+// compose path) alike.
+func AsAccept(m proto.Message) (AcceptMsg, bool) {
+	switch v := m.(type) {
+	case AcceptMsg:
+		return v, true
+	case *AcceptMsg:
+		return *v, true
+	}
+	return AcceptMsg{}, false
+}
+
 // FMFactory creates Feldman–Micali-style coin instances.
 type FMFactory struct{}
 
@@ -32,12 +45,15 @@ func (FMFactory) Rounds() int { return FMRounds }
 
 // New implements Factory.
 func (FMFactory) New(env proto.Env, _ uint64) Flipper {
-	return &fmFlipper{
+	c := &fmFlipper{
 		env:         env,
 		session:     gvss.New(env, env.Rng),
 		accepts:     make([][]uint16, env.N),
 		acceptsFlat: make([]uint16, env.N*env.N),
+		acceptSet:   make([]uint16, 0, env.N),
 	}
+	c.acceptSends = []proto.Send{{To: proto.Broadcast, Msg: &c.acceptMsg}}
+	return c
 }
 
 // Renew implements Recycler: a flipper that just exited the coin pipeline
@@ -84,6 +100,13 @@ type fmFlipper struct {
 	// recycled with the flipper so steady-state accept delivery does not
 	// allocate.
 	acceptsFlat []uint16
+	// acceptMsg/acceptSends/acceptSet are the persistent round-4 message
+	// slot (see gvss.Instance's message slots): the broadcast send and its
+	// boxed *AcceptMsg never change, and the set is rebuilt in place each
+	// session — legal because messages live only for their beat.
+	acceptMsg   AcceptMsg
+	acceptSends []proto.Send
+	acceptSet   []uint16
 	out         byte
 	word        uint64
 	done        bool
@@ -102,13 +125,15 @@ func (c *fmFlipper) Compose(round int) []proto.Send {
 	case 3:
 		return c.session.ComposeVote()
 	case 4:
-		set := make([]uint16, 0, c.env.N)
+		set := c.acceptSet[:0]
 		for d := 0; d < c.env.N; d++ {
 			if c.session.Grade(d, c.env.ID) == gvss.GradeHigh {
 				set = append(set, uint16(d))
 			}
 		}
-		return []proto.Send{{To: proto.Broadcast, Msg: AcceptMsg{Set: set}}}
+		c.acceptSet = set
+		c.acceptMsg.Set = set
+		return c.acceptSends
 	case 5:
 		return c.session.ComposeRecover()
 	default:
@@ -136,7 +161,7 @@ func (c *fmFlipper) Deliver(round int, inbox []proto.Recv) {
 func (c *fmFlipper) deliverAccept(inbox []proto.Recv) {
 	n := c.env.N
 	for _, r := range inbox {
-		m, ok := r.Msg.(AcceptMsg)
+		m, ok := AsAccept(r.Msg)
 		if !ok || r.From < 0 || r.From >= n || c.accepts[r.From] != nil {
 			continue
 		}

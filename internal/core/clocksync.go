@@ -65,10 +65,13 @@ type ClockSync struct {
 	phaseOK bool
 
 	// Per-beat scratch: the retired tally is recycled for the next beat's
-	// counting, and the dedup bitmaps are reused across beats.
+	// counting, the dedup bitmaps, compose buffer and envelope arena are
+	// reused across beats.
 	spare                tally
 	splitter             proto.InboxSplitter
 	seenFC, seenP, seenB []bool
+	sends                []proto.Send
+	arena                proto.SendArena
 }
 
 var (
@@ -113,9 +116,10 @@ func NewClockSyncLayout(env proto.Env, k uint64, factory coin.Factory, stale boo
 // pipeline, the full-clock increment (Figure 4 line 2), and the current
 // phase's broadcast, computed from the previous beat's tally.
 func (c *ClockSync) Compose(beat uint64) []proto.Send {
-	out := proto.WrapSends(clockSyncChildA, c.a.Compose(beat))
-	out = append(out, proto.WrapSends(clockSyncChildCoin, c.pipe.Compose(beat))...)
-	out = append(out, composeShared(c.shared, beat)...)
+	c.arena.Reset()
+	out := c.arena.Wrap(clockSyncChildA, c.a.Compose(beat), c.sends[:0])
+	out = c.arena.Wrap(clockSyncChildCoin, c.pipe.Compose(beat), out)
+	out = composeShared(&c.arena, out, c.shared, beat)
 
 	c.phase, c.phaseOK = c.a.Clock()
 	c.staleBit = c.pipe.Bit() // the previous beat's (already public) bit
@@ -125,6 +129,7 @@ func (c *ClockSync) Compose(beat uint64) []proto.Send {
 	c.fullClock = (c.fullClock + 1) % c.k
 
 	if !c.phaseOK {
+		c.sends = out
 		return out
 	}
 	quorum := c.env.Quorum()
@@ -161,11 +166,9 @@ func (c *ClockSync) Compose(beat uint64) []proto.Send {
 	case 3: // Block 3.d sends nothing; the decision happens in Deliver.
 	}
 	if msg != nil {
-		out = append(out, proto.Send{
-			To:  proto.Broadcast,
-			Msg: proto.Envelope{Child: clockSyncChildMsg, Inner: msg},
-		})
+		out = append(out, c.arena.Box(clockSyncChildMsg, proto.Broadcast, msg))
 	}
+	c.sends = out
 	return out
 }
 
@@ -322,5 +325,14 @@ func NewClockSyncProtocol(k uint64, factory coin.Factory) func(proto.Env) proto.
 func NewClockSyncProtocolLayout(k uint64, factory coin.Factory, l Layout) func(proto.Env) proto.Protocol {
 	return func(env proto.Env) proto.Protocol {
 		return NewClockSyncLayout(env, k, factory, false, l)
+	}
+}
+
+// NewClockSyncStaleProtocolLayout adapts the Remark 3.1 stale-rand
+// ablation variant to a node factory; the sweep runner's
+// "clocksyncstale" protocol (E6 grids) runs it.
+func NewClockSyncStaleProtocolLayout(k uint64, factory coin.Factory, l Layout) func(proto.Env) proto.Protocol {
+	return func(env proto.Env) proto.Protocol {
+		return NewClockSyncLayout(env, k, factory, true, l)
 	}
 }

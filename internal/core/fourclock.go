@@ -31,6 +31,8 @@ type FourClock struct {
 	// protocol state: a transient fault corrupting it perturbs one beat.
 	stepA2   bool
 	splitter proto.InboxSplitter
+	sends    []proto.Send
+	arena    proto.SendArena
 }
 
 var (
@@ -72,13 +74,16 @@ func newFourClock(env proto.Env, supply coin.Supply, prefix string) *FourClock {
 // clock(A1) = 1 at the beginning of the beat, which is the value
 // available before this beat's messages are exchanged.
 func (c *FourClock) Compose(beat uint64) []proto.Send {
-	out := proto.WrapSends(fourClockChildA1, c.a1.Compose(beat))
+	c.arena.Reset()
+	out := c.arena.Wrap(fourClockChildA1, c.a1.Compose(beat), c.sends[:0])
 	v1, ok1 := c.a1.Clock()
 	c.stepA2 = ok1 && v1 == 1
 	if c.stepA2 {
-		out = append(out, proto.WrapSends(fourClockChildA2, c.a2.Compose(beat))...)
+		out = c.arena.Wrap(fourClockChildA2, c.a2.Compose(beat), out)
 	}
-	return append(out, composeShared(c.shared, beat)...)
+	out = composeShared(&c.arena, out, c.shared, beat)
+	c.sends = out
+	return out
 }
 
 // Deliver implements proto.Protocol: Figure 3 lines 1-2 (receive halves).

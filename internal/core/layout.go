@@ -85,14 +85,15 @@ func newSupply(env proto.Env, factory coin.Factory, l Layout) (coin.Supply, *coi
 	return sp, sp
 }
 
-// composeShared wraps the shared pipeline's beat traffic under the
-// reserved root-level envelope tag; nil when this protocol is not the
-// stack's owner (paper layout, or an embedded instance).
-func composeShared(sp *coin.SharedPipeline, beat uint64) []proto.Send {
+// composeShared appends the shared pipeline's beat traffic to dst,
+// wrapped under the reserved root-level envelope tag via the root's
+// envelope arena; a no-op when this protocol is not the stack's owner
+// (paper layout, or an embedded instance).
+func composeShared(a *proto.SendArena, dst []proto.Send, sp *coin.SharedPipeline, beat uint64) []proto.Send {
 	if sp == nil {
-		return nil
+		return dst
 	}
-	return proto.WrapSends(proto.SharedCoinChild, sp.Compose(beat))
+	return a.Wrap(proto.SharedCoinChild, sp.Compose(beat), dst)
 }
 
 // deliverShared is the root-side receive half shared by every stack

@@ -37,6 +37,8 @@ type PowerClock struct {
 	shared   *coin.SharedPipeline
 	stepA2   bool
 	splitter proto.InboxSplitter
+	sends    []proto.Send
+	arena    proto.SendArena
 }
 
 var (
@@ -97,20 +99,25 @@ func newPowerClock(env proto.Env, m uint64, supply coin.Supply) (*PowerClock, er
 // wrap to 0 — the generalization of Figure 3's guard (for m = 4, A1 is a
 // 2-clock and the guard is clock(A1) = 1, matching FourClock).
 func (pc *PowerClock) Compose(beat uint64) []proto.Send {
+	pc.arena.Reset()
 	if pc.m == 2 {
 		// The degenerate level forwards A2's sends unwrapped; an owned
 		// shared pipeline still rides the reserved root-level tag, which
 		// A2's own splitter drops as out of range.
-		out := pc.a2.Compose(beat)
-		return append(out, composeShared(pc.shared, beat)...)
+		out := append(pc.sends[:0], pc.a2.Compose(beat)...)
+		out = composeShared(&pc.arena, out, pc.shared, beat)
+		pc.sends = out
+		return out
 	}
-	out := proto.WrapSends(fourClockChildA1, pc.a1.Compose(beat))
+	out := pc.arena.Wrap(fourClockChildA1, pc.a1.Compose(beat), pc.sends[:0])
 	v1, ok1 := pc.a1.Clock()
 	pc.stepA2 = ok1 && v1 == pc.m/2-1
 	if pc.stepA2 {
-		out = append(out, proto.WrapSends(fourClockChildA2, pc.a2.Compose(beat))...)
+		out = pc.arena.Wrap(fourClockChildA2, pc.a2.Compose(beat), out)
 	}
-	return append(out, composeShared(pc.shared, beat)...)
+	out = composeShared(&pc.arena, out, pc.shared, beat)
+	pc.sends = out
+	return out
 }
 
 // Deliver implements proto.Protocol. An owned shared pipeline is

@@ -51,6 +51,8 @@ type TwoClock struct {
 
 	splitter proto.InboxSplitter
 	seen     []bool // per-beat dedup scratch
+	sends    []proto.Send
+	arena    proto.SendArena
 }
 
 var (
@@ -105,9 +107,12 @@ func (c *TwoClock) Compose(beat uint64) []proto.Send {
 		// public random bit at the sender.
 		v = c.pipe.Bit()
 	}
-	out := []proto.Send{{To: proto.Broadcast, Msg: proto.Envelope{Child: twoClockChildMsg, Inner: TwoClockMsg{V: v}}}}
-	out = append(out, proto.WrapSends(twoClockChildCoin, c.pipe.Compose(beat))...)
-	return append(out, composeShared(c.shared, beat)...)
+	c.arena.Reset()
+	out := append(c.sends[:0], c.arena.Box(twoClockChildMsg, proto.Broadcast, TwoClockMsg{V: v}))
+	out = c.arena.Wrap(twoClockChildCoin, c.pipe.Compose(beat), out)
+	out = composeShared(&c.arena, out, c.shared, beat)
+	c.sends = out
+	return out
 }
 
 // Deliver implements proto.Protocol: Figure 2 lines 2-6. When this

@@ -553,23 +553,37 @@ func SweepGrid(name string, p Params) (sweep.Grid, error) {
 			Layouts:     []string{"shared"},
 			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
 		}, nil
-	case "resilience": // E7's oracle-free core across n
+	case "resilience": // E7 across n, oracle row included (bitoraclestacked)
 		p = p.orDefault(8, 700, 16)
 		return sweep.Grid{
 			Protocol: "clocksync", Coin: "fm", K: 16,
 			Ns:          []int{7, 10, 13},
-			Adversaries: []string{"stacked", "gradesplitter", "recovercorruptor"},
+			Adversaries: []string{"stacked", "bitoraclestacked", "gradesplitter", "recovercorruptor"},
+			Layouts:     []string{"shared"},
+			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
+		}, nil
+	case "remark31": // E6's broken stale-rand variant under the phase-3
+		// oracle splitter; compare against the published algorithm's rows
+		// from the "clocksync" grid (the fresh-rand side) or a clocksync
+		// grid widened with "bitoraclephase3". Both adversaries are fully
+		// serializable since the bit-oracle reads the coin from the
+		// adversary's own honest node copy.
+		p = p.orDefault(30, 4000, 16)
+		return sweep.Grid{
+			Protocol: "clocksyncstale", Coin: "rabin", K: 16,
+			Ns:          []int{7},
+			Adversaries: []string{"bitoraclephase3", "splitter"},
 			Layouts:     []string{"shared"},
 			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
 		}, nil
 	default:
-		return sweep.Grid{}, fmt.Errorf("experiments: no sweep grid named %q (want twoclock, fourclock, clocksync, clocksync32 or resilience)", name)
+		return sweep.Grid{}, fmt.Errorf("experiments: no sweep grid named %q (want twoclock, fourclock, clocksync, clocksync32, resilience or remark31)", name)
 	}
 }
 
 // SweepGridNames lists the experiment names SweepGrid accepts.
 func SweepGridNames() []string {
-	return []string{"twoclock", "fourclock", "clocksync", "clocksync32", "resilience"}
+	return []string{"twoclock", "fourclock", "clocksync", "clocksync32", "resilience", "remark31"}
 }
 
 // ReportStore renders the aggregate tables of a completed (merged) sweep

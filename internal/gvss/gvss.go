@@ -62,12 +62,30 @@ const Rounds = 4
 
 // ShareMsg is the dealer's round-1 message to one node: for each target t,
 // the row polynomial of the bivariate sharing of secret (dealer, t).
+//
+// The four round messages (and coin.AcceptMsg) travel in value or
+// pointer form: compose paths send pointers into per-instance message
+// slots whose backing comes from the node's beat pool — legal because
+// messages are valid only for their beat (proto.Message) — while
+// adversaries and tests hand-build values. Consumers accept both via the
+// As* helpers.
 type ShareMsg struct {
 	Rows []field.Poly // [target][coefficient], each of length f+1
 }
 
 // Kind implements proto.Message.
 func (ShareMsg) Kind() string { return "gvss.share" }
+
+// AsShare reports whether m is a share message, accepting both forms.
+func AsShare(m proto.Message) (ShareMsg, bool) {
+	switch v := m.(type) {
+	case ShareMsg:
+		return v, true
+	case *ShareMsg:
+		return *v, true
+	}
+	return ShareMsg{}, false
+}
 
 // EchoMsg is node i's round-2 message to node j: Vals[d][t] is
 // g_{d,t,i}(j+1), the cross-check point of i's row for dealing (d,t).
@@ -82,6 +100,17 @@ type EchoMsg struct {
 // Kind implements proto.Message.
 func (EchoMsg) Kind() string { return "gvss.echo" }
 
+// AsEcho reports whether m is an echo message, accepting both forms.
+func AsEcho(m proto.Message) (EchoMsg, bool) {
+	switch v := m.(type) {
+	case EchoMsg:
+		return v, true
+	case *EchoMsg:
+		return *v, true
+	}
+	return EchoMsg{}, false
+}
+
 // VoteMsg is node i's round-3 broadcast: OK[d][t] reports whether i holds
 // a validated row for dealing (d,t).
 type VoteMsg struct {
@@ -90,6 +119,17 @@ type VoteMsg struct {
 
 // Kind implements proto.Message.
 func (VoteMsg) Kind() string { return "gvss.vote" }
+
+// AsVote reports whether m is a vote message, accepting both forms.
+func AsVote(m proto.Message) (VoteMsg, bool) {
+	switch v := m.(type) {
+	case VoteMsg:
+		return v, true
+	case *VoteMsg:
+		return *v, true
+	}
+	return VoteMsg{}, false
+}
 
 // RecoverMsg is node i's recover-round broadcast: Shares[d][t] is i's
 // share g_{d,t,i}(0) of secret (d,t). HasRow[d][t] marks entries for which
@@ -102,6 +142,17 @@ type RecoverMsg struct {
 
 // Kind implements proto.Message.
 func (RecoverMsg) Kind() string { return "gvss.recover" }
+
+// AsRecover reports whether m is a recover message, accepting both forms.
+func AsRecover(m proto.Message) (RecoverMsg, bool) {
+	switch v := m.(type) {
+	case RecoverMsg:
+		return v, true
+	case *RecoverMsg:
+		return *v, true
+	}
+	return RecoverMsg{}, false
+}
 
 // Instance is one node's state for one dealing session. The zero value is
 // not usable; construct with New. Instances are not safe for concurrent
@@ -180,6 +231,22 @@ type Instance struct {
 	// evaluations into outgoing messages.
 	dstElem [][]field.Elem
 	dstBool [][]bool
+
+	// Persistent message slots and send lists for the four rounds. Each
+	// Compose* overwrites its slots' slice headers (pointing them at
+	// beat-pooled backing) and returns the prebuilt send list whose Msg
+	// pointers never change — so composing is free of interface-boxing
+	// allocations. Legal under the message-lifetime contract: by the time
+	// a slot is rewritten (this instance's next session at the earliest),
+	// the previous message is long dead.
+	shareMsgs    []ShareMsg
+	shareSends   []proto.Send
+	echoMsgs     []EchoMsg
+	echoSends    []proto.Send
+	voteMsg      VoteMsg
+	voteSends    []proto.Send
+	recoverMsg   RecoverMsg
+	recoverSends []proto.Send
 }
 
 // New creates the per-node state for one session and draws this node's
@@ -218,7 +285,60 @@ func New(env proto.Env, rng *rand.Rand) *Instance {
 	ins.rowPtrE = make([][]field.Elem, n)
 	ins.rowPtrB = make([][]bool, n)
 	ins.senderIdx = make([]int, 0, n)
+	ins.shareMsgs = make([]ShareMsg, n)
+	ins.shareSends = make([]proto.Send, n)
+	ins.echoMsgs = make([]EchoMsg, n)
+	ins.echoSends = make([]proto.Send, n)
+	for i := 0; i < n; i++ {
+		ins.shareSends[i] = proto.Send{To: i, Msg: &ins.shareMsgs[i]}
+		ins.echoSends[i] = proto.Send{To: i, Msg: &ins.echoMsgs[i]}
+	}
+	ins.voteSends = []proto.Send{{To: proto.Broadcast, Msg: &ins.voteMsg}}
+	ins.recoverSends = []proto.Send{{To: proto.Broadcast, Msg: &ins.recoverMsg}}
 	return ins
+}
+
+// Pooled-or-fresh backing for a round's payload: the node's beat pool
+// when the driver installed one (recycled by the engine after this
+// beat's Deliver phase), plain allocation otherwise (SSBYZ_POOL=off, the
+// goroutine runtime, direct harness use). Pooled buffers carry arbitrary
+// recycled contents; every compose path below fully overwrites — or
+// explicitly clears — the bytes it exposes, which is what keeps pooled
+// and unpooled seeded runs byte-identical.
+
+func (ins *Instance) allocElems(n int) []field.Elem {
+	if p := ins.env.Pool; p != nil {
+		return p.Elems(n)
+	}
+	return make([]field.Elem, n)
+}
+
+func (ins *Instance) allocBools(n int) []bool {
+	if p := ins.env.Pool; p != nil {
+		return p.Bools(n)
+	}
+	return make([]bool, n)
+}
+
+func (ins *Instance) allocPolys(n int) []field.Poly {
+	if p := ins.env.Pool; p != nil {
+		return p.Polys(n)
+	}
+	return make([]field.Poly, n)
+}
+
+func (ins *Instance) allocElemRows(n int) [][]field.Elem {
+	if p := ins.env.Pool; p != nil {
+		return p.ElemRows(n)
+	}
+	return make([][]field.Elem, n)
+}
+
+func (ins *Instance) allocBoolRows(n int) [][]bool {
+	if p := ins.env.Pool; p != nil {
+		return p.BoolRows(n)
+	}
+	return make([][]bool, n)
 }
 
 // rowSlot returns the flat-backing slot for dealing (d,t), full-capacity
@@ -283,11 +403,12 @@ func (ins *Instance) ComposeShare() []proto.Send {
 	ev := ins.ev
 	flats := ins.dstElem
 	// One element block and one row-header block for all n messages: the
-	// destinations' payloads have identical lifetimes, so slicing them out
-	// of shared backing cuts the round from ~3n allocations to 3.
-	elems := make([]field.Elem, n*n*w)
-	rowHdrs := make([]field.Poly, n*n)
-	sends := make([]proto.Send, 0, n)
+	// destinations' payloads have identical lifetimes (this beat), so they
+	// share one lease from the node's beat pool. Every element is written
+	// below, so recycled contents never leak.
+	elems := ins.allocElems(n * n * w)
+	rowHdrs := ins.allocPolys(n * n)
+	sends := ins.shareSends
 	for i := 0; i < n; i++ {
 		flat := elems[i*n*w : (i+1)*n*w : (i+1)*n*w]
 		rows := rowHdrs[i*n : (i+1)*n : (i+1)*n]
@@ -295,7 +416,7 @@ func (ins *Instance) ComposeShare() []proto.Send {
 			rows[t] = field.Poly(flat[t*w : (t+1)*w : (t+1)*w])
 		}
 		flats[i] = flat
-		sends = append(sends, proto.Send{To: i, Msg: ShareMsg{Rows: rows}})
+		ins.shareMsgs[i].Rows = rows
 	}
 	for t := 0; t < n; t++ {
 		c := ins.dealt[t].C
@@ -307,7 +428,7 @@ func (ins *Instance) ComposeShare() []proto.Send {
 		}
 	}
 	for i := range flats {
-		flats[i] = nil // the backing arrays now belong to the messages
+		flats[i] = nil // the backing now belongs to the beat's messages
 	}
 	return sends
 }
@@ -321,7 +442,7 @@ func (ins *Instance) DeliverShare(inbox []proto.Recv) {
 		seen[i] = false
 	}
 	for _, r := range inbox {
-		m, ok := r.Msg.(ShareMsg)
+		m, ok := AsShare(r.Msg)
 		if !ok || r.From < 0 || r.From >= n || len(m.Rows) != n {
 			continue
 		}
@@ -383,12 +504,13 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 	}
 	valsFlats := ins.dstElem
 	hasFlats := ins.dstBool
-	// Shared backing blocks for all n messages (see ComposeShare).
-	elems := make([]field.Elem, n*n*n)
-	bools := make([]bool, n*n*n)
-	valHdrs := make([][]field.Elem, n*n)
-	hasHdrs := make([][]bool, n*n)
-	sends := make([]proto.Send, 0, n)
+	// Shared backing blocks for all n messages (see ComposeShare), leased
+	// from the node's beat pool.
+	elems := ins.allocElems(n * n * n)
+	bools := ins.allocBools(n * n * n)
+	valHdrs := ins.allocElemRows(n * n)
+	hasHdrs := ins.allocBoolRows(n * n)
+	sends := ins.echoSends
 	for j := 0; j < n; j++ {
 		valsFlat := elems[j*n*n : (j+1)*n*n : (j+1)*n*n]
 		hasFlat := bools[j*n*n : (j+1)*n*n : (j+1)*n*n]
@@ -400,7 +522,8 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 		}
 		valsFlats[j] = valsFlat
 		hasFlats[j] = hasFlat
-		sends = append(sends, proto.Send{To: j, Msg: EchoMsg{Vals: vals, Has: has}})
+		ins.echoMsgs[j].Vals = vals
+		ins.echoMsgs[j].Has = has
 	}
 	// Pass 1: evaluate every held row at all n points, streaming into the
 	// contiguous echoVals cache (DeliverEcho reads it back later this
@@ -445,6 +568,13 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 			copy(hasFlats[j], ins.allTrue)
 		}
 	} else {
+		// Sparse shape (missing dealers): entries without a row stay zero
+		// with has=false, so the leased blocks must be scrubbed of their
+		// recycled contents before scattering — stale bytes here would
+		// leak into the wire encoding and break pooled/unpooled replay
+		// equivalence.
+		clear(elems)
+		clear(bools)
 		for idx := 0; idx < n*n; idx++ {
 			if ins.rows[idx/n][idx%n] == nil {
 				continue
@@ -480,7 +610,7 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 		echoHas[w] = nil
 	}
 	for _, r := range inbox {
-		m, ok := r.Msg.(EchoMsg)
+		m, ok := AsEcho(r.Msg)
 		if !ok || r.From < 0 || r.From >= n ||
 			!matrixValid(m.Vals, n) || !boolMatrixValid(m.Has, n) {
 			continue
@@ -572,13 +702,14 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 // ComposeVote produces the round-3 broadcast of per-dealing validity.
 func (ins *Instance) ComposeVote() []proto.Send {
 	n := ins.env.N
-	flat := make([]bool, n*n)
-	ok := make([][]bool, n)
+	flat := ins.allocBools(n * n)
+	ok := ins.allocBoolRows(n)
 	for d := 0; d < n; d++ {
 		ok[d] = flat[d*n : (d+1)*n : (d+1)*n]
 		copy(ok[d], ins.rowOK[d])
 	}
-	return []proto.Send{{To: proto.Broadcast, Msg: VoteMsg{OK: ok}}}
+	ins.voteMsg.OK = ok
+	return ins.voteSends
 }
 
 // DeliverVote tallies round-3 votes and assigns grades.
@@ -594,7 +725,7 @@ func (ins *Instance) DeliverVote(inbox []proto.Recv) {
 		seen[i] = false
 	}
 	for _, r := range inbox {
-		m, ok := r.Msg.(VoteMsg)
+		m, ok := AsVote(r.Msg)
 		if !ok || r.From < 0 || r.From >= n || seen[r.From] || !boolMatrixValid(m.OK, n) {
 			continue
 		}
@@ -637,10 +768,19 @@ func (ins *Instance) Grade(dealer, target int) uint8 {
 // g_{d,t,me}(0) for every dealing I hold a validated row for.
 func (ins *Instance) ComposeRecover() []proto.Send {
 	n := ins.env.N
-	sharesFlat := make([]field.Elem, n*n)
-	hasFlat := make([]bool, n*n)
-	shares := make([][]field.Elem, n)
-	has := make([][]bool, n)
+	// Entries without a validated row carry zero/false, so the leased
+	// blocks are zero-cleared up front (see ComposeEcho's sparse path).
+	var sharesFlat []field.Elem
+	var hasFlat []bool
+	if p := ins.env.Pool; p != nil {
+		sharesFlat = p.ElemsZero(n * n)
+		hasFlat = p.BoolsZero(n * n)
+	} else {
+		sharesFlat = make([]field.Elem, n*n)
+		hasFlat = make([]bool, n*n)
+	}
+	shares := ins.allocElemRows(n)
+	has := ins.allocBoolRows(n)
 	for d := 0; d < n; d++ {
 		shares[d] = sharesFlat[d*n : (d+1)*n : (d+1)*n]
 		has[d] = hasFlat[d*n : (d+1)*n : (d+1)*n]
@@ -656,7 +796,9 @@ func (ins *Instance) ComposeRecover() []proto.Send {
 			}
 		}
 	}
-	return []proto.Send{{To: proto.Broadcast, Msg: RecoverMsg{Shares: shares, HasRow: has}}}
+	ins.recoverMsg.Shares = shares
+	ins.recoverMsg.HasRow = has
+	return ins.recoverSends
 }
 
 // DeliverRecover reconstructs every dealing's secret from the broadcast
@@ -671,7 +813,7 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 		has[w] = nil
 	}
 	for _, r := range inbox {
-		m, ok := r.Msg.(RecoverMsg)
+		m, ok := AsRecover(r.Msg)
 		if !ok || r.From < 0 || r.From >= n ||
 			!matrixValid(m.Shares, n) || !boolMatrixValid(m.HasRow, n) {
 			continue

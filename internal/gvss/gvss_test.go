@@ -208,8 +208,7 @@ func TestGradeSemanticsHighImpliesLowEverywhere(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		h := newHarness(t, int64(100+trial), 7, 2, 0, 1)
 		h.run(func(round, from, to int, m proto.Message) proto.Message {
-			switch mm := m.(type) {
-			case VoteMsg:
+			if _, isVote := AsVote(m); isVote {
 				// Vote yes/no at random per recipient (equivocation).
 				ok := make([][]bool, h.n)
 				for d := range ok {
@@ -219,9 +218,8 @@ func TestGradeSemanticsHighImpliesLowEverywhere(t *testing.T) {
 					}
 				}
 				return VoteMsg{OK: ok}
-			default:
-				return mm
 			}
+			return m
 		})
 		for d := 0; d < h.n; d++ {
 			for tgt := 0; tgt < h.n; tgt++ {
@@ -250,7 +248,7 @@ func TestRecoverToleratesCorruptShares(t *testing.T) {
 	h := newHarness(t, 9, 10, 3, 0, 1, 2)
 	grng := rand.New(rand.NewSource(21))
 	h.run(func(round, from, to int, m proto.Message) proto.Message {
-		if mm, ok := m.(RecoverMsg); ok {
+		if mm, ok := AsRecover(m); ok {
 			out := RecoverMsg{Shares: make([][]field.Elem, h.n), HasRow: make([][]bool, h.n)}
 			for d := 0; d < h.n; d++ {
 				out.Shares[d] = make([]field.Elem, h.n)
@@ -305,8 +303,18 @@ func TestMalformedMessagesDropped(t *testing.T) {
 	}
 }
 
-// garbage returns a shape-valid random message of the same type as m.
+// garbage returns a shape-valid random message of the same type as m,
+// normalizing the pointer form the pooled compose paths produce.
 func garbage(rng *rand.Rand, m proto.Message, n, f int) proto.Message {
+	if s, ok := AsShare(m); ok {
+		m = s
+	} else if e, ok := AsEcho(m); ok {
+		m = e
+	} else if v, ok := AsVote(m); ok {
+		m = v
+	} else if r, ok := AsRecover(m); ok {
+		m = r
+	}
 	switch m.(type) {
 	case ShareMsg:
 		rows := make([]field.Poly, n)

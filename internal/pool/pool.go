@@ -1,0 +1,203 @@
+// Package pool provides beat-scoped payload buffers for the simulation's
+// compose paths: the share/echo matrices, vote bitmaps and coin envelopes
+// that make up a beat's messages are checked out of a per-node pool
+// during Compose and recycled by the pool's owner (the simulation engine)
+// after the beat's Deliver phase has completed.
+//
+// The pool exists because of the message-lifetime contract in package
+// proto: messages handed to Protocol.Deliver and Adversary.Act are valid
+// only for the beat in which they were sent, so their backing memory can
+// be reused the following beat instead of feeding the garbage collector
+// ~megabytes per beat at n=16. Anything that wants to keep a message
+// longer must deep-copy it (proto.Clone).
+//
+// Ownership and determinism rules:
+//
+//   - One Node pool per simulated node, used only from that node's
+//     Compose call. The engine fans Compose over scheduler workers but a
+//     node's Compose always runs on exactly one goroutine per beat, so
+//     Node needs no locking; keying pools by node (not by worker) keeps
+//     the buffer-reuse pattern — hence every seeded run — byte-identical
+//     at every worker count.
+//   - Get calls return buffers with ARBITRARY contents (recycled memory).
+//     Callers must fully overwrite them or use the *Zero variants; stale
+//     bytes leaking into a message would break the pooled/unpooled
+//     replay equivalence that the differential harness enforces.
+//   - Recycle is called by the owner after the Deliver phase, never
+//     earlier: delivered messages may be read concurrently by several
+//     nodes' Deliver calls right up to the phase barrier.
+//
+// Poison mode ("SSBYZ_POOL=poison", or Node.SetPoison in tests) scribbles
+// every recycled buffer with invalid values — field elements above the
+// modulus, true booleans, nil row headers — so any component that
+// illegally retained a reference into a recycled payload fails loudly
+// (validation rejects the garbage or the trace diverges) instead of
+// silently reading stale-but-plausible data.
+package pool
+
+import (
+	"os"
+	"sync"
+
+	"ssbyzclock/internal/field"
+)
+
+// Mode is the pooling mode resolved from configuration.
+type Mode uint8
+
+const (
+	// ModeOn pools payload buffers (the default).
+	ModeOn Mode = iota
+	// ModeOff allocates every payload fresh — the pre-pooling behavior,
+	// kept selectable forever (SSBYZ_POOL=off) and used as the reference
+	// side of the pooled-vs-unpooled differential harness.
+	ModeOff
+	// ModePoison pools and additionally scribbles recycled buffers.
+	ModePoison
+)
+
+// ParseMode maps an SSBYZ_POOL value: "", "on" select ModeOn; "off"
+// selects ModeOff; "poison" selects ModePoison. Unknown values fall
+// back to ModeOn so a typo cannot silently disable pooling under test.
+func ParseMode(s string) Mode {
+	switch s {
+	case "off":
+		return ModeOff
+	case "poison":
+		return ModePoison
+	default:
+		return ModeOn
+	}
+}
+
+// envMode reads SSBYZ_POOL once per process.
+var envMode = sync.OnceValue(func() Mode {
+	return ParseMode(os.Getenv("SSBYZ_POOL"))
+})
+
+// EnvMode returns the process-wide default mode from SSBYZ_POOL.
+func EnvMode() Mode { return envMode() }
+
+// poisonElem is an invalid field element (far above the modulus P):
+// arithmetic on it yields garbage and the canonical-range validation in
+// package gvss rejects it outright, so a poisoned read fails loudly.
+const poisonElem = field.Elem(^uint64(0))
+
+// freeList recycles buffers of one element type. Buffers handed out by
+// get are tracked on the leased list until recycle moves them back.
+type freeList[T any] struct {
+	free   [][]T
+	leased [][]T
+}
+
+// get returns a buffer of length n, reusing a free buffer with enough
+// capacity when one exists. Contents are arbitrary.
+func (l *freeList[T]) get(n int) []T {
+	for i := len(l.free) - 1; i >= 0; i-- {
+		if cap(l.free[i]) >= n {
+			b := l.free[i][:n]
+			l.free[i] = l.free[len(l.free)-1]
+			l.free = l.free[:len(l.free)-1]
+			l.leased = append(l.leased, b)
+			return b
+		}
+	}
+	b := make([]T, n)
+	l.leased = append(l.leased, b)
+	return b
+}
+
+// recycle moves every leased buffer back to the free list, scribbling
+// each with poison first when non-nil.
+func (l *freeList[T]) recycle(poison *T) {
+	for _, b := range l.leased {
+		b = b[:cap(b)]
+		if poison != nil {
+			for i := range b {
+				b[i] = *poison
+			}
+		}
+		l.free = append(l.free, b)
+	}
+	l.leased = l.leased[:0]
+}
+
+// Node is one simulated node's beat-scoped payload pool. The zero value
+// is ready to use. Not safe for concurrent use: a node's Compose runs on
+// one goroutine per beat, and Recycle runs on the owner after the
+// Deliver-phase barrier.
+type Node struct {
+	elems    freeList[field.Elem]
+	bools    freeList[bool]
+	polys    freeList[field.Poly]
+	elemRows freeList[[]field.Elem]
+	boolRows freeList[[]bool]
+	poison   bool
+}
+
+// SetPoison toggles poison-on-recycle scribbling.
+func (p *Node) SetPoison(on bool) { p.poison = on }
+
+// Elems returns a leased []field.Elem of length n with arbitrary
+// contents; the caller must overwrite every element it exposes.
+func (p *Node) Elems(n int) []field.Elem { return p.elems.get(n) }
+
+// ElemsZero is Elems with the buffer cleared.
+func (p *Node) ElemsZero(n int) []field.Elem {
+	b := p.elems.get(n)
+	clear(b)
+	return b
+}
+
+// Bools returns a leased []bool of length n with arbitrary contents.
+func (p *Node) Bools(n int) []bool { return p.bools.get(n) }
+
+// BoolsZero is Bools with the buffer cleared.
+func (p *Node) BoolsZero(n int) []bool {
+	b := p.bools.get(n)
+	clear(b)
+	return b
+}
+
+// Polys returns a leased row-header array ([]field.Poly) of length n
+// with arbitrary contents.
+func (p *Node) Polys(n int) []field.Poly { return p.polys.get(n) }
+
+// ElemRows returns a leased matrix-header array of length n with
+// arbitrary contents.
+func (p *Node) ElemRows(n int) [][]field.Elem { return p.elemRows.get(n) }
+
+// BoolRows returns a leased bool-matrix-header array of length n with
+// arbitrary contents.
+func (p *Node) BoolRows(n int) [][]bool { return p.boolRows.get(n) }
+
+// Recycle returns every buffer leased since the previous Recycle to the
+// free lists. The owner calls it after the beat's Deliver phase; no
+// delivered message may be read afterwards (poison mode enforces this by
+// scribbling).
+func (p *Node) Recycle() {
+	if p.poison {
+		pe, pb := poisonElem, true
+		var pp field.Poly
+		var per []field.Elem
+		var pbr []bool
+		p.elems.recycle(&pe)
+		p.bools.recycle(&pb)
+		p.polys.recycle(&pp)
+		p.elemRows.recycle(&per)
+		p.boolRows.recycle(&pbr)
+		return
+	}
+	p.elems.recycle(nil)
+	p.bools.recycle(nil)
+	p.polys.recycle(nil)
+	p.elemRows.recycle(nil)
+	p.boolRows.recycle(nil)
+}
+
+// Leased reports the number of currently leased buffers (observability
+// and tests).
+func (p *Node) Leased() int {
+	return len(p.elems.leased) + len(p.bools.leased) + len(p.polys.leased) +
+		len(p.elemRows.leased) + len(p.boolRows.leased)
+}

@@ -1,0 +1,80 @@
+package pool
+
+import (
+	"testing"
+
+	"ssbyzclock/internal/field"
+)
+
+func TestLeaseRecycleReuse(t *testing.T) {
+	var p Node
+	a := p.Elems(64)
+	b := p.Bools(16)
+	if p.Leased() != 2 {
+		t.Fatalf("leased = %d, want 2", p.Leased())
+	}
+	a[0], b[0] = 7, true
+	p.Recycle()
+	if p.Leased() != 0 {
+		t.Fatalf("leased after recycle = %d, want 0", p.Leased())
+	}
+	// Same-size leases must reuse the recycled backing, not allocate.
+	a2 := p.Elems(64)
+	if &a2[0] != &a[0] {
+		t.Fatal("recycled elem buffer not reused")
+	}
+	// A larger request allocates fresh; the small buffer stays pooled for
+	// later fits.
+	big := p.Elems(128)
+	if &big[0] == &a[0] {
+		t.Fatal("64-cap buffer served a 128 request")
+	}
+	if got := p.ElemsZero(64); got[0] != 0 {
+		t.Fatalf("ElemsZero returned dirty buffer: %d", got[0])
+	}
+	if got := p.BoolsZero(16); got[0] {
+		t.Fatal("BoolsZero returned dirty buffer")
+	}
+}
+
+func TestPoisonScribblesOnRecycle(t *testing.T) {
+	var p Node
+	p.SetPoison(true)
+	e := p.Elems(8)
+	bl := p.Bools(8)
+	po := p.Polys(4)
+	po[0] = field.Poly{1}
+	er := p.ElemRows(4)
+	er[0] = []field.Elem{1}
+	clear(e)
+	for i := range bl {
+		bl[i] = false
+	}
+	p.Recycle()
+	// The caller-visible buffers alias the recycled backing: poison must
+	// now be visible through the retained references — that is the bug
+	// the mode exists to expose.
+	if e[0] < field.Elem(field.P) {
+		t.Fatalf("recycled elems not poisoned: %d", e[0])
+	}
+	if !bl[0] {
+		t.Fatal("recycled bools not poisoned")
+	}
+	if po[0] != nil || er[0] != nil {
+		t.Fatal("recycled headers not poisoned to nil")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{
+		"":       ModeOn,
+		"on":     ModeOn,
+		"off":    ModeOff,
+		"poison": ModePoison,
+		"typo":   ModeOn, // unknown values must not silently disable pooling
+	} {
+		if got := ParseMode(in); got != want {
+			t.Errorf("ParseMode(%q) = %d, want %d", in, got, want)
+		}
+	}
+}

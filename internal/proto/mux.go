@@ -45,10 +45,58 @@ func AsEnvelope(m Message) (Envelope, bool) {
 	return Envelope{}, false
 }
 
+// SendArena recycles envelope boxes and send slices across beats for a
+// protocol that wraps child traffic every Compose. Under the message-
+// lifetime contract an envelope is dead once its beat's Deliver phase
+// completes, so the arena simply reuses its backing from the start of
+// the owner's next Compose — wrapping becomes allocation-free at steady
+// state. One arena per protocol instance, reset at the top of Compose;
+// not safe for concurrent use (per-node protocols never are).
+type SendArena struct {
+	envs []Envelope
+	used int
+}
+
+// Reset starts a new beat: every envelope handed out since the previous
+// Reset may be overwritten. Call only from the owner's Compose, when the
+// previous beat's messages are dead.
+func (a *SendArena) Reset() { a.used = 0 }
+
+// alloc returns the next reusable envelope box. Growth appends to the
+// arena; boxes handed out before a growth keep pointing into the old
+// backing array, which stays valid for the rest of the beat.
+func (a *SendArena) alloc() *Envelope {
+	if a.used == len(a.envs) {
+		a.envs = append(a.envs, Envelope{})
+	}
+	e := &a.envs[a.used]
+	a.used++
+	return e
+}
+
+// Wrap appends sends to dst with each message wrapped under child,
+// boxing the envelopes from the arena.
+func (a *SendArena) Wrap(child uint8, sends []Send, dst []Send) []Send {
+	for _, s := range sends {
+		e := a.alloc()
+		*e = Envelope{Child: child, Inner: s.Msg}
+		dst = append(dst, Send{To: s.To, Msg: e})
+	}
+	return dst
+}
+
+// Box returns a single send wrapping m under child.
+func (a *SendArena) Box(child uint8, to int, m Message) Send {
+	e := a.alloc()
+	*e = Envelope{Child: child, Inner: m}
+	return Send{To: to, Msg: e}
+}
+
 // WrapSends wraps every message in sends with the given child tag. The
 // envelopes are sliced out of one backing array, so wrapping costs two
 // allocations regardless of fan-out; recipients must unwrap with
-// AsEnvelope.
+// AsEnvelope. Hot per-beat paths use a SendArena instead, which also
+// recycles the envelope boxes across beats.
 func WrapSends(child uint8, sends []Send) []Send {
 	if len(sends) == 0 {
 		return nil

@@ -15,7 +15,11 @@
 //     this beat and updates its state.
 package proto
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"ssbyzclock/internal/pool"
+)
 
 // Broadcast is the destination value meaning "send to every node,
 // including the sender itself". The paper's "broadcast" is shorthand for
@@ -26,6 +30,18 @@ const Broadcast = -1
 
 // Message is the marker interface implemented by every concrete protocol
 // message. Concrete types live next to the protocol that owns them.
+//
+// Message lifetime contract: a Message (and everything reachable from it
+// — slices, nested envelopes) is valid only for the beat in which it was
+// sent. Senders may recycle a message's backing memory — and the message
+// value itself, for pointer-form messages — as soon as the beat's
+// Deliver phase has completed; the simulation engine pools the big
+// compose payloads on exactly this schedule (package pool). Any
+// component that keeps a message across beats — recording adversaries,
+// tracing tools — must capture a deep copy via Clone, never the
+// reference. Within the beat, a delivered message may be shared between
+// several nodes' concurrent Deliver calls, so received contents are
+// immutable: never write into a delivered message.
 type Message interface {
 	// Kind returns a short stable name used for tracing and wire encoding.
 	Kind() string
@@ -66,10 +82,13 @@ type Protocol interface {
 	Compose(beat uint64) []Send
 	// Deliver processes every message sent at this beat and updates state.
 	// The inbox slice is only valid for the duration of the call — the
-	// engine reuses its backing array across beats — so implementations
-	// must not retain it (retaining the Message values themselves is
-	// fine; messages are never pooled, but see Protocol's cross-goroutine
-	// contract: received Message contents are shared and immutable).
+	// engine reuses its backing array across beats — and the Message
+	// values themselves are only valid for the beat (see Message's
+	// lifetime contract: payloads may be pooled and recycled after the
+	// Deliver phase). Implementations must copy out anything they keep —
+	// protocol state is copied field by field, whole messages via Clone —
+	// and must treat received contents as immutable (see Protocol's
+	// cross-goroutine contract).
 	Deliver(beat uint64, inbox []Recv)
 }
 
@@ -103,6 +122,12 @@ type Env struct {
 	// Rng is this node's private randomness source. The engine seeds each
 	// node deterministically from the run seed so simulations replay.
 	Rng *rand.Rand
+	// Pool is this node's beat-scoped payload pool, owned and recycled by
+	// the driver (the simulation engine) after each beat's Deliver phase.
+	// Compose paths route their big payload allocations through it; nil
+	// selects fresh allocations (the SSBYZ_POOL=off path, and drivers
+	// like the goroutine runtime that do not pool).
+	Pool *pool.Node
 }
 
 // Quorum returns n-f, the size of the quorum used throughout the paper.

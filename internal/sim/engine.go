@@ -14,8 +14,28 @@ import (
 	"math/rand"
 
 	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/pool"
 	"ssbyzclock/internal/proto"
 	"ssbyzclock/internal/wire"
+)
+
+// PoolMode selects how the engine pools beat-scoped message payloads
+// (see package pool and proto.Message's lifetime contract).
+type PoolMode uint8
+
+const (
+	// PoolAuto (the zero value) follows the SSBYZ_POOL environment
+	// variable: pooled unless it says "off", poisoned when it says
+	// "poison".
+	PoolAuto PoolMode = iota
+	// PoolOn pools payload buffers regardless of the environment.
+	PoolOn
+	// PoolOff allocates every payload fresh — the reference side of the
+	// pooled-vs-unpooled differential harness, selectable forever.
+	PoolOff
+	// PoolPoison pools and scribbles recycled buffers so any illegally
+	// retained reference fails loudly (tests).
+	PoolPoison
 )
 
 // NodeFactory builds one node's protocol instance.
@@ -50,6 +70,11 @@ type Config struct {
 	// adversary, metrics and inbox merge run sequentially between the
 	// parallel phases.
 	Workers int
+	// Pool selects payload pooling (default: the SSBYZ_POOL environment
+	// variable). Pooled and unpooled runs replay byte-identically from
+	// the same seed; pooling only changes where compose payloads'
+	// memory comes from.
+	Pool PoolMode
 }
 
 // Engine simulates one cluster. Create with New, then call Step (or Run)
@@ -63,6 +88,15 @@ type Engine struct {
 	advCtx *adversary.Context
 	beat   uint64
 	sched  *Scheduler
+
+	// pools hold each node's beat-scoped payload buffers (nil slices when
+	// pooling is off). Compose paths lease from their node's pool; the
+	// engine recycles every lease after the Deliver phase, when the
+	// beat's messages are dead per the proto.Message lifetime contract.
+	// Pools are keyed by node — not by scheduler worker — so the reuse
+	// pattern, hence every seeded run, is identical at every worker
+	// count.
+	pools []*pool.Node
 
 	scrambleRng *rand.Rand
 	phantoms    []proto.Recv
@@ -108,15 +142,32 @@ func New(cfg Config, factory NodeFactory) *Engine {
 		}
 		e.isBad[id] = true
 	}
+	pooled, poison := resolvePoolMode(cfg.Pool)
+	if pooled {
+		e.pools = make([]*pool.Node, cfg.N)
+		for i := range e.pools {
+			e.pools[i] = &pool.Node{}
+			e.pools[i].SetPoison(poison)
+		}
+	}
 	e.nodes = make([]proto.Protocol, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		env := proto.Env{N: cfg.N, F: cfg.F, ID: i, Rng: rngFor(cfg.Seed, uint64(i))}
+		if pooled {
+			env.Pool = e.pools[i]
+		}
 		e.nodes[i] = factory(env)
 	}
 	e.advCtx = &adversary.Context{
 		N: cfg.N, F: cfg.F,
 		Faulty: append([]int(nil), e.faulty...),
 		Rng:    rngFor(cfg.Seed, 1<<32),
+		FaultyNode: func(id int) proto.Protocol {
+			if id >= 0 && id < cfg.N && e.isBad[id] {
+				return e.nodes[id]
+			}
+			return nil
+		},
 	}
 	if cfg.NewAdversary != nil {
 		e.adv = cfg.NewAdversary(e.advCtx)
@@ -129,6 +180,21 @@ func New(cfg Config, factory NodeFactory) *Engine {
 		e.ScrambleHonest()
 	}
 	return e
+}
+
+// resolvePoolMode maps a Config.Pool setting to (pooled, poison).
+func resolvePoolMode(m PoolMode) (pooled, poison bool) {
+	if m == PoolAuto {
+		switch pool.EnvMode() {
+		case pool.ModeOff:
+			m = PoolOff
+		case pool.ModePoison:
+			m = PoolPoison
+		default:
+			m = PoolOn
+		}
+	}
+	return m != PoolOff, m == PoolPoison
 }
 
 // rngFor derives an independent deterministic stream from seed and salt.
@@ -185,7 +251,23 @@ func (e *Engine) Step() {
 		e.countBytes()
 	}
 	e.deliverPhase(beat)
+	e.recyclePhase()
 	e.beat++
+}
+
+// recyclePhase returns every payload buffer leased during this beat's
+// Compose to its node's pool. It runs strictly after the Deliver phase
+// barrier — delivered messages may be read concurrently by several
+// nodes' Deliver calls right up to that barrier — and fans out over the
+// scheduler like the other per-node-independent phases (poison mode
+// scribbles every buffer, which is real memory traffic at n=16).
+func (e *Engine) recyclePhase() {
+	if e.pools == nil {
+		return
+	}
+	e.sched.ForEach(len(e.pools), func(_ *WorkerScratch, i int) {
+		e.pools[i].Recycle()
+	})
 }
 
 // composePhase: every node (honest and the faulty nodes' honest copies)
@@ -368,7 +450,9 @@ func (e *Engine) ScrambleHonest() {
 // honest node additionally receives each message attributed to a random
 // sender. This models the network's own transient faults — messages left
 // in buffers from before the network became coherent (Definition 2.2's
-// "phantom" messages, delivered one last time).
+// "phantom" messages, delivered one last time). The messages are
+// retained until the next Step, so callers must pass messages they own
+// (hand-built values or proto.Clone copies), never live beat payloads.
 func (e *Engine) InjectPhantoms(msgs []proto.Message) {
 	for _, m := range msgs {
 		e.phantoms = append(e.phantoms, proto.Recv{From: e.scrambleRng.Intn(e.cfg.N), Msg: m})

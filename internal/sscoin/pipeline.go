@@ -44,9 +44,10 @@ type Pipeline struct {
 	rich bool
 
 	// Per-beat scratch: the compose output buffer (its contents are
-	// consumed within the beat per the engine contract) and the inbox
-	// splitter.
+	// consumed within the beat per the engine contract), the envelope
+	// arena recycling the age-tag boxes, and the inbox splitter.
 	sends    []proto.Send
+	arena    proto.SendArena
 	splitter proto.InboxSplitter
 }
 
@@ -94,9 +95,10 @@ func (p *Pipeline) Rounds() int { return p.factory.Rounds() }
 // current-round messages, wrapped in an envelope carrying its age.
 func (p *Pipeline) Compose(beat uint64) []proto.Send {
 	out := p.sends[:0]
+	p.arena.Reset()
 	for i, slot := range p.slots {
 		age := uint8(i + 1)
-		out = append(out, proto.WrapSends(age, slot.Compose(i+1))...)
+		out = p.arena.Wrap(age, slot.Compose(i+1), out)
 	}
 	p.sends = out
 	return out

@@ -25,8 +25,9 @@ import (
 // field (Validate reports what is missing). Grids serialize to JSON for
 // cmd/sweep grid files and the store manifest.
 type Grid struct {
-	// Protocol names the stack under test: "clocksync", "twoclock" or
-	// "fourclock".
+	// Protocol names the stack under test: "clocksync", "twoclock",
+	// "fourclock", or "clocksyncstale" (the Remark 3.1 stale-rand
+	// ablation variant, for E6 grids).
 	Protocol string `json:"protocol"`
 	// Coin selects the common-coin construction: "fm" (no trusted setup)
 	// or "rabin" (trusted dealer, seeded per unit).
@@ -88,12 +89,12 @@ func (g Grid) protocolK() uint64 {
 func (g Grid) Validate() error {
 	switch g.Protocol {
 	case "twoclock", "fourclock":
-	case "clocksync":
+	case "clocksync", "clocksyncstale":
 		if g.K < 2 {
-			return fmt.Errorf("sweep: clocksync needs k >= 2, got %d", g.K)
+			return fmt.Errorf("sweep: %s needs k >= 2, got %d", g.Protocol, g.K)
 		}
 	default:
-		return fmt.Errorf("sweep: unknown protocol %q (want clocksync, twoclock or fourclock)", g.Protocol)
+		return fmt.Errorf("sweep: unknown protocol %q (want clocksync, clocksyncstale, twoclock or fourclock)", g.Protocol)
 	}
 	switch g.Coin {
 	case "fm", "rabin":

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package sweep
+
+import "errors"
+
+// mmapAvailable reports that this platform cannot map column files;
+// ScanRows always streams through bufio here.
+const mmapAvailable = false
+
+func mmapFile(string, int64) ([]byte, func(), error) {
+	return nil, nil, errors.New("sweep: mmap unavailable on this platform")
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package sweep
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapAvailable reports that this platform can map column files.
+const mmapAvailable = true
+
+// mmapFile maps path read-only. The file descriptor is closed before
+// returning (the mapping outlives it); the caller must call the returned
+// unmap exactly once.
+func mmapFile(path string, size int64) (data []byte, unmap func(), err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

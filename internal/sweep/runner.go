@@ -12,10 +12,13 @@ import (
 	"ssbyzclock/internal/sim"
 )
 
-// adversaryRegistry maps grid adversary names to constructors. Only
-// self-contained adversaries are listed: the oracle-equipped attacks
-// (OracleSplitter, Phase3Splitter) close over a live engine and cannot be
-// named in a serialized grid.
+// adversaryRegistry maps grid adversary names to constructors. Every
+// entry is self-contained — constructable from the adversary.Context
+// alone — which since the bit-oracle variants includes the strongest
+// oracle-equipped attacks: BitOracleSplitter and BitOraclePhase3 read
+// the public coin bit from a faulty node's own honest copy
+// (Context.FaultyNode) instead of closing over a live engine, so E6/E7's
+// oracle rows can be named in a serialized grid.
 var adversaryRegistry = map[string]func(*adversary.Context) adversary.Adversary{
 	"passive":  nil,
 	"silent":   func(*adversary.Context) adversary.Adversary { return adversary.Silent{} },
@@ -35,6 +38,21 @@ var adversaryRegistry = map[string]func(*adversary.Context) adversary.Adversary{
 	"stacked": func(ctx *adversary.Context) adversary.Adversary {
 		return adversary.Chain{Advs: []adversary.Adversary{
 			&adversary.ClockSplitter{Ctx: ctx},
+			&adversary.GradeSplitter{Ctx: ctx},
+			&adversary.RecoverCorruptor{Ctx: ctx},
+		}}
+	},
+	"bitoraclesplitter": func(ctx *adversary.Context) adversary.Adversary {
+		return adversary.NewBitOracleSplitter(ctx)
+	},
+	"bitoraclephase3": func(ctx *adversary.Context) adversary.Adversary {
+		return adversary.NewBitOraclePhase3(ctx)
+	},
+	// bitoraclestacked is the full E7 kitchen sink, oracle included: the
+	// strongest attack the suite can express, now nameable in a grid.
+	"bitoraclestacked": func(ctx *adversary.Context) adversary.Adversary {
+		return adversary.Chain{Advs: []adversary.Adversary{
+			adversary.NewBitOracleSplitter(ctx),
 			&adversary.GradeSplitter{Ctx: ctx},
 			&adversary.RecoverCorruptor{Ctx: ctx},
 		}}
@@ -124,6 +142,8 @@ func (r Runner) RunUnit(g Grid, u Unit) (Result, error) {
 	switch g.Protocol {
 	case "clocksync":
 		nodeFactory = core.NewClockSyncProtocolLayout(g.K, factory, layout)
+	case "clocksyncstale":
+		nodeFactory = core.NewClockSyncStaleProtocolLayout(g.K, factory, layout)
 	case "twoclock":
 		nodeFactory = core.NewTwoClockProtocolLayout(factory, layout)
 	case "fourclock":

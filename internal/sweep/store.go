@@ -341,14 +341,70 @@ func (s *Store) Merged() bool {
 	return true
 }
 
+// mmapThreshold is the per-column byte size at which ScanRows switches
+// from buffered streaming to memory-mapping the column files. The
+// columns are fixed-width little-endian words at offset 8*index, so a
+// mapping is directly addressable with no read syscalls or double
+// buffering — the right shape for very large stores — while small
+// stores keep the cheap bufio path (a mapping costs two syscalls and
+// page-table churn that only pays off at scale). Variable so tests can
+// force either path.
+var mmapThreshold int64 = 1 << 20
+
 // ScanRows streams the merged columns row by row in unit-index order:
 // fn receives the unit index and one word per metric (Metrics order).
-// It never materializes a column in memory, so aggregation over a sweep
-// is O(1) in the store size.
+// Large stores are memory-mapped (the kernel pages columns in and out on
+// demand, so resident memory stays O(1) in the store size); small ones
+// — and platforms without mmap — stream through bufio. Both paths yield
+// identical rows.
 func (s *Store) ScanRows(fn func(idx int, row [numMetrics]uint64) error) error {
 	if !s.Merged() {
 		return fmt.Errorf("sweep: store %s is not merged (run merge first)", s.dir)
 	}
+	colSize := int64(8 * s.man.Units)
+	if mmapAvailable && colSize >= mmapThreshold {
+		if done, err := s.scanRowsMmap(fn, colSize); done {
+			return err
+		}
+		// Mapping failed (exotic filesystem, resource limits): fall
+		// through to the buffered reader, which needs only open+read.
+	}
+	return s.scanRowsBuffered(fn)
+}
+
+// scanRowsMmap maps every column and walks them in lockstep. done is
+// false only when the mappings could not be established; once mapped,
+// the scan itself cannot fail short of fn's own error.
+func (s *Store) scanRowsMmap(fn func(idx int, row [numMetrics]uint64) error, colSize int64) (done bool, err error) {
+	cols := make([][]byte, numMetrics)
+	unmaps := make([]func(), 0, numMetrics)
+	defer func() {
+		for _, u := range unmaps {
+			u()
+		}
+	}()
+	for m, metric := range Metrics {
+		data, unmap, merr := mmapFile(filepath.Join(s.dir, "columns", metric.Name+".col"), colSize)
+		if merr != nil {
+			return false, nil
+		}
+		unmaps = append(unmaps, unmap)
+		cols[m] = data
+	}
+	for i := 0; i < s.man.Units; i++ {
+		var row [numMetrics]uint64
+		off := 8 * i
+		for m := range cols {
+			row[m] = binary.LittleEndian.Uint64(cols[m][off:])
+		}
+		if err := fn(i, row); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+func (s *Store) scanRowsBuffered(fn func(idx int, row [numMetrics]uint64) error) error {
 	files := make([]*bufio.Reader, numMetrics)
 	for m, metric := range Metrics {
 		f, err := os.Open(filepath.Join(s.dir, "columns", metric.Name+".col"))

@@ -270,6 +270,76 @@ func TestRunnerWorkersIrrelevant(t *testing.T) {
 	}
 }
 
+// TestScanRowsMmapMatchesBuffered: the mmap fast path over the merged
+// columns must yield exactly the rows the buffered reader yields, and
+// must kick in when the columns cross the threshold.
+func TestScanRowsMmapMatchesBuffered(t *testing.T) {
+	if !mmapAvailable {
+		t.Skip("no mmap on this platform")
+	}
+	st := executeAll(t, filepath.Join(t.TempDir(), "store"), testGrid(), 1)
+	type rowAt struct {
+		idx int
+		row [numMetrics]uint64
+	}
+	collect := func() []rowAt {
+		var out []rowAt
+		if err := st.ScanRows(func(idx int, row [numMetrics]uint64) error {
+			out = append(out, rowAt{idx, row})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	defer func(old int64) { mmapThreshold = old }(mmapThreshold)
+	mmapThreshold = 1 << 40 // force buffered
+	buffered := collect()
+	mmapThreshold = 1 // force mmap
+	mapped := collect()
+	if len(buffered) != st.Units() || len(mapped) != len(buffered) {
+		t.Fatalf("row counts: buffered %d, mapped %d, units %d", len(buffered), len(mapped), st.Units())
+	}
+	for i := range buffered {
+		if buffered[i] != mapped[i] {
+			t.Fatalf("row %d differs: buffered %+v, mapped %+v", i, buffered[i], mapped[i])
+		}
+	}
+}
+
+// TestBitOracleUnitsRunnable: the serialized oracle rows (E6/E7) — the
+// bit-oracle adversaries and the stale-rand protocol variant — execute
+// from a bare grid, deterministically. These rows used to be impossible
+// to sweep because the oracle closed over a live engine.
+func TestBitOracleUnitsRunnable(t *testing.T) {
+	g := Grid{
+		Protocol: "clocksyncstale", Coin: "rabin", K: 8,
+		Ns:          []int{4},
+		Adversaries: []string{"bitoraclephase3", "bitoraclestacked", "bitoraclesplitter"},
+		Layouts:     []string{"shared"},
+		Seeds:       1,
+		MaxBeats:    300,
+		Hold:        6,
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < g.Units(); idx++ {
+		u := g.UnitAt(idx)
+		r1, err := Runner{Workers: 1}.RunUnit(g, u)
+		if err != nil {
+			t.Fatalf("unit %d (%s): %v", idx, u.Adversary, err)
+		}
+		r2, err := Runner{Workers: 1}.RunUnit(g, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 != r2 {
+			t.Fatalf("unit %d (%s) not deterministic: %+v vs %+v", idx, u.Adversary, r1, r2)
+		}
+	}
+}
+
 // TestGridValidate spot-checks the validator's rejections.
 func TestGridValidate(t *testing.T) {
 	for _, tc := range []struct {

@@ -89,29 +89,30 @@ func encodeTo(b *[]byte, m proto.Message, depth int) error {
 	case *proto.Envelope:
 		*b = append(*b, tagEnvelope, v.Child)
 		return encodeTo(b, v.Inner, depth+1)
+	// The five bulk payload types come in value and pointer form: compose
+	// paths send pointers into per-instance message slots (no interface
+	// boxing on the hot path), while adversaries and tests hand-build
+	// values. Both encode identically.
 	case gvss.ShareMsg:
-		*b = append(*b, tagShare)
-		putUvarint(b, uint64(len(v.Rows)))
-		for _, row := range v.Rows {
-			putElems(b, row)
-		}
+		encodeShare(b, v)
+	case *gvss.ShareMsg:
+		encodeShare(b, *v)
 	case gvss.EchoMsg:
-		*b = append(*b, tagEcho)
-		putElemMatrix(b, v.Vals)
-		putBoolMatrix(b, v.Has)
+		encodeEcho(b, v)
+	case *gvss.EchoMsg:
+		encodeEcho(b, *v)
 	case gvss.VoteMsg:
-		*b = append(*b, tagVote)
-		putBoolMatrix(b, v.OK)
+		encodeVote(b, v)
+	case *gvss.VoteMsg:
+		encodeVote(b, *v)
 	case gvss.RecoverMsg:
-		*b = append(*b, tagRecover)
-		putElemMatrix(b, v.Shares)
-		putBoolMatrix(b, v.HasRow)
+		encodeRecover(b, v)
+	case *gvss.RecoverMsg:
+		encodeRecover(b, *v)
 	case coin.AcceptMsg:
-		*b = append(*b, tagAccept)
-		putUvarint(b, uint64(len(v.Set)))
-		for _, d := range v.Set {
-			putUvarint(b, uint64(d))
-		}
+		encodeAccept(b, v)
+	case *coin.AcceptMsg:
+		encodeAccept(b, *v)
 	case core.TwoClockMsg:
 		*b = append(*b, tagTwoClock, v.V)
 	case core.FullClockMsg:
@@ -279,6 +280,39 @@ func decodeFrom(data []byte, depth int) (proto.Message, []byte, error) {
 		return baseline.KingMsg{V: v}, data, nil
 	default:
 		return nil, nil, fmt.Errorf("%w: unknown tag %d", ErrMalformed, tag)
+	}
+}
+
+func encodeShare(b *[]byte, v gvss.ShareMsg) {
+	*b = append(*b, tagShare)
+	putUvarint(b, uint64(len(v.Rows)))
+	for _, row := range v.Rows {
+		putElems(b, row)
+	}
+}
+
+func encodeEcho(b *[]byte, v gvss.EchoMsg) {
+	*b = append(*b, tagEcho)
+	putElemMatrix(b, v.Vals)
+	putBoolMatrix(b, v.Has)
+}
+
+func encodeVote(b *[]byte, v gvss.VoteMsg) {
+	*b = append(*b, tagVote)
+	putBoolMatrix(b, v.OK)
+}
+
+func encodeRecover(b *[]byte, v gvss.RecoverMsg) {
+	*b = append(*b, tagRecover)
+	putElemMatrix(b, v.Shares)
+	putBoolMatrix(b, v.HasRow)
+}
+
+func encodeAccept(b *[]byte, v coin.AcceptMsg) {
+	*b = append(*b, tagAccept)
+	putUvarint(b, uint64(len(v.Set)))
+	for _, d := range v.Set {
+		putUvarint(b, uint64(d))
 	}
 }
 

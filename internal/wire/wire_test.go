@@ -78,11 +78,24 @@ func TestRoundTripGVSSRandom(t *testing.T) {
 	}
 }
 
-// canonEnvelopes rewrites pointer-form envelopes (at any nesting depth)
-// into the value form the codec decodes to.
+// canonEnvelopes rewrites pointer-form messages — envelopes at any
+// nesting depth, and the pooled payload types compose paths box as
+// pointers — into the value form the codec decodes to.
 func canonEnvelopes(m proto.Message) proto.Message {
 	if env, ok := proto.AsEnvelope(m); ok {
 		return proto.Envelope{Child: env.Child, Inner: canonEnvelopes(env.Inner)}
+	}
+	switch v := m.(type) {
+	case *gvss.ShareMsg:
+		return *v
+	case *gvss.EchoMsg:
+		return *v
+	case *gvss.VoteMsg:
+		return *v
+	case *gvss.RecoverMsg:
+		return *v
+	case *coin.AcceptMsg:
+		return *v
 	}
 	return m
 }
