@@ -25,12 +25,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"ssbyzclock/internal/experiments"
 	"ssbyzclock/internal/sweep"
@@ -69,6 +73,14 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		return 1
 	}
+
+	// SIGINT/SIGTERM interrupt the sweep gracefully: the unit in flight
+	// finishes and is recorded, chunk files are flushed, and a later run
+	// resumes from exactly where this one stopped. A second signal kills
+	// the process the hard way (NotifyContext restores default handling
+	// once the context is done).
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	loadGrid := func() (sweep.Grid, error) {
 		switch {
@@ -124,25 +136,29 @@ func run() int {
 			if shardsSet || shardSet || maxUnitsSet {
 				return fmt.Errorf("-procs cannot be combined with -shards/-shard/-max-units")
 			}
-			return spawnWorkers(*store, *procs, *workers, *verbose)
+			return spawnWorkers(ctx, *store, *procs, *workers, *verbose)
 		}
 		r := sweep.Runner{Workers: *workers}
 		var progress func(sweep.Unit, sweep.Result)
 		if *verbose {
 			progress = func(u sweep.Unit, res sweep.Result) {
-				fmt.Printf("unit %d/%d n=%d adv=%s layout=%s seed=%d: converged=%v beats=%d\n",
-					u.Index, st.Units(), u.N, u.Adversary, u.Layout, u.SeedIdx, res.Converged, res.ConvBeats)
+				fmt.Printf("unit %d/%d n=%d adv=%s layout=%s fault=%s seed=%d: converged=%v beats=%d\n",
+					u.Index, st.Units(), u.N, u.Adversary, u.Layout, u.Fault, u.SeedIdx, res.Converged, res.ConvBeats)
 			}
 		}
-		ran, err := sweep.ExecuteShard(st, *shard, *shards, r, *maxUnits, progress)
-		if err != nil {
+		ran, err := sweep.ExecuteShard(ctx, st, *shard, *shards, r, *maxUnits, progress)
+		interrupted := errors.Is(err, context.Canceled)
+		if err != nil && !interrupted {
 			return err
 		}
-		_, doneCount, err := st.Completed()
-		if err != nil {
-			return err
+		_, doneCount, cerr := st.Completed()
+		if cerr != nil {
+			return cerr
 		}
 		fmt.Printf("shard %d/%d: ran %d units; %d/%d complete\n", *shard, *shards, ran, doneCount, st.Units())
+		if interrupted {
+			return fmt.Errorf("interrupted; everything recorded so far is kept — re-run to resume")
+		}
 		return nil
 	}
 
@@ -202,8 +218,9 @@ func run() int {
 // shard each, and waits for all of them. Workers share nothing but the
 // store directory; each appends to its own chunk file, so a crashed or
 // killed worker never corrupts another's output and the whole sweep can
-// simply be re-run to resume.
-func spawnWorkers(store string, procs, workers int, verbose bool) error {
+// simply be re-run to resume. A cancelled ctx forwards SIGINT to every
+// worker, which finishes its unit in flight and flushes before exiting.
+func spawnWorkers(ctx context.Context, store string, procs, workers int, verbose bool) error {
 	self, err := os.Executable()
 	if err != nil {
 		return err
@@ -235,11 +252,25 @@ func spawnWorkers(store string, procs, workers int, verbose bool) error {
 		}
 		cmds[i] = c
 	}
+	stopForward := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, c := range cmds {
+				c.Process.Signal(os.Interrupt)
+			}
+		case <-stopForward:
+		}
+	}()
 	var firstErr error
 	for i, c := range cmds {
 		if err := c.Wait(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("worker %d: %w", i, err)
 		}
+	}
+	close(stopForward)
+	if ctx.Err() != nil && firstErr != nil {
+		return fmt.Errorf("interrupted; everything recorded so far is kept — re-run to resume")
 	}
 	return firstErr
 }

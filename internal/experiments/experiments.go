@@ -576,14 +576,36 @@ func SweepGrid(name string, p Params) (sweep.Grid, error) {
 			Layouts:     []string{"shared"},
 			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
 		}, nil
+	case "netloss": // E13: convergence vs transport drop rate. The paper
+		// assumes a reliable synchronous network; this grid measures what
+		// breaks when that assumption is broken at the transport — seeded
+		// message loss at escalating rates, plus compound loss+reorder —
+		// across cluster sizes. Measured shape: at small n the protocol
+		// degrades gracefully (convergence slows, occasional closure
+		// violations, self-stabilization re-enters the synced state), but
+		// the per-beat probability that every needed message survives
+		// decays like (1-p)^O(n), so larger clusters hit a loss cliff —
+		// n=8 stops converging within the budget around 30% loss. The
+		// networked runtime's retransmission (noderuntime Real mode) is
+		// what buys the loss tolerance back; this grid is the engine-side
+		// baseline it is measured against.
+		p = p.orDefault(10, 4000, 12)
+		return sweep.Grid{
+			Protocol: "clocksync", Coin: "fm", K: 16,
+			Ns:          []int{4, 8, 16},
+			Adversaries: []string{"passive", "splitter"},
+			Layouts:     []string{"shared"},
+			Faults:      []string{"none", "loss10", "loss20", "loss30", "loss30+reorder"},
+			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
+		}, nil
 	default:
-		return sweep.Grid{}, fmt.Errorf("experiments: no sweep grid named %q (want twoclock, fourclock, clocksync, clocksync32, resilience or remark31)", name)
+		return sweep.Grid{}, fmt.Errorf("experiments: no sweep grid named %q (want twoclock, fourclock, clocksync, clocksync32, resilience, remark31 or netloss)", name)
 	}
 }
 
 // SweepGridNames lists the experiment names SweepGrid accepts.
 func SweepGridNames() []string {
-	return []string{"twoclock", "fourclock", "clocksync", "clocksync32", "resilience", "remark31"}
+	return []string{"twoclock", "fourclock", "clocksync", "clocksync32", "resilience", "remark31", "netloss"}
 }
 
 // ReportStore renders the aggregate tables of a completed (merged) sweep

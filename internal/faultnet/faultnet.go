@@ -1,0 +1,209 @@
+// Package faultnet injects transport faults — loss, duplication,
+// whole-beat delays, reordering, link partitions — from schedules that
+// are pure functions of (seed, beat, link). Purity is the load-bearing
+// property: the deterministic engine (package sim) and the networked
+// runtime (package noderuntime) query the same schedule from opposite
+// sides of the ownership boundary, in whatever order their executions
+// happen to reach each link, and get byte-identical fault decisions.
+// That is what lets the differential harness replay one recorded fault
+// schedule through both stacks and demand equal clocks.
+//
+// The faulty nodes' links are never faulted by convention: the model's
+// rushing adversary owns ideal private channels, so callers exempt
+// adversary-facing links (sim's intercept phase stays pre-fault, and the
+// networked adversary host sees exactly what sim's does).
+package faultnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Verdict is one link-beat fault decision for a message composed at a
+// given beat on a given (from, to) link.
+type Verdict struct {
+	// Drop loses the message entirely.
+	Drop bool
+	// Dup delivers the message twice (the second copy tagged Copy=1 so
+	// receivers can tell it from a retransmission).
+	Dup bool
+	// Delay postpones delivery by this many whole beats.
+	Delay uint64
+}
+
+// Schedule decides faults. Implementations MUST be pure: the same
+// arguments always return the same answer, with no internal state, so
+// query order cannot matter.
+type Schedule interface {
+	// Verdict rules on the message composed at beat on link from->to.
+	// Duplicate copies and delayed deliveries are not re-judged.
+	Verdict(beat uint64, from, to int) Verdict
+	// Shuffle returns (seed, true) when node's beat inbox should be
+	// permuted (Fisher-Yates with that seed over the canonical order),
+	// or (0, false) to leave the order alone.
+	Shuffle(beat uint64, node int) (uint64, bool)
+}
+
+// Partition is a link cut active for beats in [From, Until): messages on
+// links whose two ends fall on different sides of Mask (bit i set =
+// node i on side A) are dropped. Healing is just the window ending.
+type Partition struct {
+	From  uint64 `json:"from"`
+	Until uint64 `json:"until"`
+	Mask  uint64 `json:"mask"`
+}
+
+// HashSchedule is the canonical pure schedule: every decision is a
+// splitmix64 hash of (Seed, domain, beat, from, to) compared against a
+// percent threshold. Rates compose independently — a message can be
+// both delayed and duplicated.
+type HashSchedule struct {
+	Seed uint64 `json:"seed"`
+	// LossPct, DupPct, DelayPct are per-message percentages in [0,100].
+	LossPct  int `json:"loss_pct,omitempty"`
+	DupPct   int `json:"dup_pct,omitempty"`
+	DelayPct int `json:"delay_pct,omitempty"`
+	// MaxDelay bounds an injected delay to [1, MaxDelay] beats
+	// (defaults to 2 when DelayPct > 0).
+	MaxDelay uint64 `json:"max_delay,omitempty"`
+	// Reorder permutes every node's per-beat inbox.
+	Reorder    bool        `json:"reorder,omitempty"`
+	Partitions []Partition `json:"partitions,omitempty"`
+}
+
+// hash domains, one per decision kind so rates stay independent.
+const (
+	domDrop uint64 = iota + 1
+	domDup
+	domDelayGate
+	domDelayLen
+	domShuffle
+)
+
+func smix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s *HashSchedule) hash(dom, beat uint64, from, to int) uint64 {
+	x := smix(s.Seed ^ dom)
+	x = smix(x ^ beat)
+	x = smix(x ^ uint64(from))
+	return smix(x ^ uint64(to))
+}
+
+func (s *HashSchedule) pct(dom, beat uint64, from, to int, pct int) bool {
+	if pct <= 0 {
+		return false
+	}
+	return s.hash(dom, beat, from, to)%100 < uint64(pct)
+}
+
+// Verdict implements Schedule.
+func (s *HashSchedule) Verdict(beat uint64, from, to int) Verdict {
+	var v Verdict
+	for _, p := range s.Partitions {
+		if beat >= p.From && beat < p.Until &&
+			(p.Mask>>uint(from&63))&1 != (p.Mask>>uint(to&63))&1 {
+			v.Drop = true
+			return v
+		}
+	}
+	v.Drop = s.pct(domDrop, beat, from, to, s.LossPct)
+	if v.Drop {
+		return v
+	}
+	v.Dup = s.pct(domDup, beat, from, to, s.DupPct)
+	if s.pct(domDelayGate, beat, from, to, s.DelayPct) {
+		max := s.MaxDelay
+		if max == 0 {
+			max = 2
+		}
+		v.Delay = 1 + s.hash(domDelayLen, beat, from, to)%max
+	}
+	return v
+}
+
+// Shuffle implements Schedule.
+func (s *HashSchedule) Shuffle(beat uint64, node int) (uint64, bool) {
+	if !s.Reorder {
+		return 0, false
+	}
+	return s.hash(domShuffle, beat, node, -1), true
+}
+
+// None is the identity schedule.
+var None Schedule = &HashSchedule{}
+
+// evenOddMask puts even node ids on side A — a partition spec that cuts
+// roughly half the links of any cluster size.
+const evenOddMask uint64 = 0x5555555555555555
+
+// Parse builds a HashSchedule from a registry name: "+"-joined terms of
+//
+//	none          no faults
+//	lossNN        drop NN% of messages
+//	dupNN         duplicate NN% of messages
+//	delayNN       delay NN% of messages by 1-2 beats
+//	reorder       permute every per-beat inbox
+//	partition     cut even ids from odd ids for beats [6,12), then heal
+//
+// e.g. "loss20+reorder". The returned schedule has Seed zero; callers
+// (the sweep runner, the chaos harness) set it per run.
+func Parse(name string) (*HashSchedule, error) {
+	s := &HashSchedule{}
+	for _, term := range strings.Split(name, "+") {
+		switch {
+		case term == "none" || term == "":
+		case term == "reorder":
+			s.Reorder = true
+		case term == "partition":
+			s.Partitions = append(s.Partitions, Partition{From: 6, Until: 12, Mask: evenOddMask})
+		case strings.HasPrefix(term, "loss"):
+			if err := parsePct(term, "loss", &s.LossPct); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(term, "dup"):
+			if err := parsePct(term, "dup", &s.DupPct); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(term, "delay"):
+			if err := parsePct(term, "delay", &s.DelayPct); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("faultnet: unknown fault %q in %q", term, name)
+		}
+	}
+	return s, nil
+}
+
+func parsePct(term, prefix string, dst *int) error {
+	n, err := strconv.Atoi(strings.TrimPrefix(term, prefix))
+	if err != nil || n < 0 || n > 100 {
+		return fmt.Errorf("faultnet: %q wants %sNN with NN in [0,100]", term, prefix)
+	}
+	*dst = n
+	return nil
+}
+
+// ShuffleOrder returns the permutation Fisher-Yates produces from seed
+// over k elements — THE inbox reorder both stacks must share. The rng is
+// the same splitmix stream used for verdicts, not math/rand, so the
+// permutation is stable across Go versions.
+func ShuffleOrder(seed uint64, k int) []int {
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	x := seed
+	for i := k - 1; i > 0; i-- {
+		x = smix(x)
+		j := int(x % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}

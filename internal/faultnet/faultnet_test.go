@@ -1,0 +1,232 @@
+package faultnet_test
+
+import (
+	"testing"
+	"time"
+
+	"ssbyzclock/internal/faultnet"
+	"ssbyzclock/internal/net"
+	"ssbyzclock/internal/wire"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		name string
+		ok   bool
+	}{
+		{"none", true}, {"loss30", true}, {"dup15", true}, {"delay10", true},
+		{"reorder", true}, {"partition", true}, {"loss20+reorder", true},
+		{"loss20+dup5+delay5+partition", true},
+		{"loss101", false}, {"loss-1", false}, {"lossy", false}, {"bogus", false},
+	}
+	for _, c := range cases {
+		s, err := faultnet.Parse(c.name)
+		if c.ok && err != nil {
+			t.Errorf("Parse(%q): %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Parse(%q) accepted, got %+v", c.name, s)
+		}
+	}
+	s, _ := faultnet.Parse("loss20+reorder")
+	if s.LossPct != 20 || !s.Reorder {
+		t.Fatalf("combo parse: %+v", s)
+	}
+}
+
+func TestHashScheduleIsPureAndSeeded(t *testing.T) {
+	a := &faultnet.HashSchedule{Seed: 11, LossPct: 30, DupPct: 10, DelayPct: 10}
+	b := &faultnet.HashSchedule{Seed: 11, LossPct: 30, DupPct: 10, DelayPct: 10}
+	c := &faultnet.HashSchedule{Seed: 12, LossPct: 30, DupPct: 10, DelayPct: 10}
+	same, diff := 0, 0
+	for beat := uint64(0); beat < 50; beat++ {
+		for from := 0; from < 4; from++ {
+			for to := 0; to < 4; to++ {
+				va, vb, vc := a.Verdict(beat, from, to), b.Verdict(beat, from, to), c.Verdict(beat, from, to)
+				if va != vb {
+					t.Fatalf("impure: %+v vs %+v at (%d,%d,%d)", va, vb, beat, from, to)
+				}
+				if va == vc {
+					same++
+				} else {
+					diff++
+				}
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed has no effect on verdicts")
+	}
+	// Rates land near the target on a big sample.
+	drops := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if a.Verdict(uint64(i), i%7, (i+1)%7).Drop {
+			drops++
+		}
+	}
+	if pct := 100 * drops / trials; pct < 25 || pct > 35 {
+		t.Fatalf("loss rate %d%% for LossPct=30", pct)
+	}
+}
+
+func TestPartitionCutsCrossLinksOnly(t *testing.T) {
+	s, err := faultnet.Parse("partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the window even<->odd drops, even<->even survives.
+	if !s.Verdict(8, 0, 1).Drop {
+		t.Fatal("cross-partition link not cut")
+	}
+	if s.Verdict(8, 0, 2).Drop {
+		t.Fatal("same-side link cut")
+	}
+	// Outside the window everything flows: healed.
+	if s.Verdict(5, 0, 1).Drop || s.Verdict(12, 0, 1).Drop {
+		t.Fatal("partition active outside its window")
+	}
+}
+
+func TestShuffleOrder(t *testing.T) {
+	order := faultnet.ShuffleOrder(99, 10)
+	seen := make([]bool, 10)
+	for _, i := range order {
+		if i < 0 || i >= 10 || seen[i] {
+			t.Fatalf("not a permutation: %v", order)
+		}
+		seen[i] = true
+	}
+	again := faultnet.ShuffleOrder(99, 10)
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+	if faultnet.ShuffleOrder(0, 0) == nil || len(faultnet.ShuffleOrder(7, 1)) != 1 {
+		t.Fatal("degenerate sizes mishandled")
+	}
+}
+
+// sendFrame pushes one protocol frame through a wrapped endpoint.
+func sendFrame(t *testing.T, ep net.Endpoint, to int, beat uint64, seq uint32) {
+	t.Helper()
+	if err := ep.Send(to, wire.AppendFrame(nil, wire.Frame{
+		Kind: wire.KindMsg, From: ep.ID(), Beat: beat, DeliveryBeat: beat,
+		Seq: seq, Payload: []byte{1, 2, 3},
+	})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func drain(ep net.Endpoint, wait time.Duration) []wire.Frame {
+	var got []wire.Frame
+	deadline := time.After(wait)
+	for {
+		select {
+		case p := <-ep.Recv():
+			if f, err := wire.DecodeFrame(p.Data); err == nil {
+				got = append(got, f)
+			}
+		case <-deadline:
+			return got
+		}
+	}
+}
+
+func TestWrapInjectsScheduleFaults(t *testing.T) {
+	tr := net.NewChanTransport(2, 1024)
+	raw0, _ := tr.Endpoint(0)
+	ep1, _ := tr.Endpoint(1)
+	sched := &faultnet.HashSchedule{Seed: 3, LossPct: 30, DupPct: 20, DelayPct: 20}
+	ep0 := faultnet.Wrap(raw0, sched, faultnet.WrapConfig{})
+	defer ep0.Close()
+	defer ep1.Close()
+
+	const beats, perBeat = 40, 4
+	sent := 0
+	for beat := uint64(0); beat < beats; beat++ {
+		for seq := uint32(0); seq < perBeat; seq++ {
+			sendFrame(t, ep0, 1, beat, seq)
+			sent++
+		}
+	}
+	got := drain(ep1, 200*time.Millisecond)
+	st := ep0.Stats()
+	if st.Dropped == 0 || st.Duplicated == 0 || st.Delayed == 0 {
+		t.Fatalf("expected every fault kind on %d sends: %+v", sent, st)
+	}
+	if want := sent - int(st.Dropped) + int(st.Duplicated); len(got) != want {
+		t.Fatalf("got %d frames, want %d (%+v)", len(got), want, st)
+	}
+	// Delivered frames reflect the verdicts: delays re-tag DeliveryBeat,
+	// duplicates bump Copy, and every frame matches its schedule verdict.
+	for _, f := range got {
+		v := sched.Verdict(f.Beat, 0, 1)
+		if v.Drop {
+			t.Fatalf("dropped frame delivered: %+v", f)
+		}
+		if f.DeliveryBeat != f.Beat+v.Delay {
+			t.Fatalf("frame %+v: want delivery %d", f, f.Beat+v.Delay)
+		}
+		if f.Copy > 0 && !v.Dup {
+			t.Fatalf("copy without dup verdict: %+v", f)
+		}
+	}
+}
+
+func TestWrapExemptAndMarkers(t *testing.T) {
+	tr := net.NewChanTransport(3, 256)
+	raw0, _ := tr.Endpoint(0)
+	ep1, _ := tr.Endpoint(1)
+	ep2, _ := tr.Endpoint(2)
+	// Total loss, but node 2 is exempt and markers are spared.
+	ep0 := faultnet.Wrap(raw0, &faultnet.HashSchedule{LossPct: 100}, faultnet.WrapConfig{
+		Exempt: []bool{false, false, true},
+	})
+	defer func() { ep0.Close(); ep1.Close(); ep2.Close() }()
+
+	for beat := uint64(0); beat < 5; beat++ {
+		sendFrame(t, ep0, 1, beat, 0)
+		sendFrame(t, ep0, 2, beat, 0)
+		mark := wire.AppendFrame(nil, wire.Frame{Kind: wire.KindMark, From: 0, Beat: beat, DeliveryBeat: beat})
+		if err := ep0.Send(1, mark); err != nil {
+			t.Fatal(err)
+		}
+	}
+	to1, to2 := drain(ep1, 50*time.Millisecond), drain(ep2, 50*time.Millisecond)
+	for _, f := range to1 {
+		if f.Kind != wire.KindMark {
+			t.Fatalf("faulted link delivered a message: %+v", f)
+		}
+	}
+	if len(to1) != 5 {
+		t.Fatalf("markers must pass LossPct=100 unfaulted, got %d/5", len(to1))
+	}
+	if len(to2) != 5 {
+		t.Fatalf("exempt destination got %d/5 messages", len(to2))
+	}
+}
+
+func TestWrapAttemptLossIsPerAttempt(t *testing.T) {
+	tr := net.NewChanTransport(2, 4096)
+	raw0, _ := tr.Endpoint(0)
+	ep1, _ := tr.Endpoint(1)
+	ep0 := faultnet.Wrap(raw0, faultnet.None, faultnet.WrapConfig{
+		AttemptLossPct: 50, AttemptSeed: 9,
+	})
+	defer func() { ep0.Close(); ep1.Close() }()
+	// Retransmit the SAME frame many times; per-attempt loss must let
+	// some attempts through (schedule loss would kill all or none).
+	for i := 0; i < 64; i++ {
+		sendFrame(t, ep0, 1, 7, 7)
+	}
+	got := drain(ep1, 50*time.Millisecond)
+	st := ep0.Stats()
+	if st.AttemptLost == 0 || len(got) == 0 {
+		t.Fatalf("per-attempt loss: %d lost, %d delivered of 64", st.AttemptLost, len(got))
+	}
+	if int(st.AttemptLost)+len(got) != 64 {
+		t.Fatalf("attempts unaccounted: %d lost + %d delivered != 64", st.AttemptLost, len(got))
+	}
+}

@@ -1,0 +1,151 @@
+package faultnet
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssbyzclock/internal/net"
+	"ssbyzclock/internal/wire"
+)
+
+// WrapConfig tunes a faulted endpoint.
+type WrapConfig struct {
+	// FaultMarkers subjects beat markers to the schedule too. Lockstep
+	// clusters leave this false — markers are the beat barrier there, and
+	// the deterministic engine has no analogue of losing one — while real
+	// clusters set it true and lean on retry and quorum advancement.
+	FaultMarkers bool
+	// Exempt[to] skips faults on links into node to. Callers exempt the
+	// adversary's nodes: the rushing adversary owns ideal channels.
+	Exempt []bool
+	// AttemptLossPct drops each physical transmission independently at
+	// random (seeded by AttemptSeed) on top of the schedule. Unlike
+	// schedule loss it is per-attempt, not per-message, so retransmission
+	// actually helps — the knob that makes real-mode retry meaningful.
+	AttemptLossPct int
+	AttemptSeed    uint64
+	// MaxLatency adds a uniform random in-process delivery latency to
+	// each send, perturbing real-mode arrival order without whole-beat
+	// delays.
+	MaxLatency time.Duration
+}
+
+// Stats counts injected faults at one endpoint.
+type Stats struct {
+	Dropped, Duplicated, Delayed, AttemptLost uint64
+}
+
+// Endpoint wraps a net.Endpoint, judging every outgoing frame against a
+// Schedule at send time. Faults are injected sender-side so any
+// transport — in-proc, UDP, TCP — degrades identically.
+type Endpoint struct {
+	inner net.Endpoint
+	sched Schedule
+	cfg   WrapConfig
+
+	dropped, duplicated, delayed, attemptLost atomic.Uint64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Wrap builds a faulted endpoint over inner.
+func Wrap(inner net.Endpoint, sched Schedule, cfg WrapConfig) *Endpoint {
+	if sched == nil {
+		sched = None
+	}
+	return &Endpoint{
+		inner: inner, sched: sched, cfg: cfg,
+		rng: rand.New(rand.NewSource(int64(smix(cfg.AttemptSeed ^ uint64(inner.ID()))))),
+	}
+}
+
+// ID implements net.Endpoint.
+func (e *Endpoint) ID() int { return e.inner.ID() }
+
+// Recv implements net.Endpoint; receiving is never faulted (the
+// schedule already ruled at the sender).
+func (e *Endpoint) Recv() <-chan net.Packet { return e.inner.Recv() }
+
+// Dropped implements net.Endpoint, reporting the transport's own drops;
+// injected faults are in Stats.
+func (e *Endpoint) Dropped() uint64 { return e.inner.Dropped() }
+
+// Close implements net.Endpoint.
+func (e *Endpoint) Close() error { return e.inner.Close() }
+
+// Stats returns the injected-fault counters so far.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		Dropped:     e.dropped.Load(),
+		Duplicated:  e.duplicated.Load(),
+		Delayed:     e.delayed.Load(),
+		AttemptLost: e.attemptLost.Load(),
+	}
+}
+
+// Send implements net.Endpoint. Frames that do not decode pass through
+// untouched — the schedule rules on protocol traffic, not noise.
+func (e *Endpoint) Send(to int, frame []byte) error {
+	f, err := wire.DecodeFrame(frame)
+	if err != nil {
+		return e.transmit(to, frame)
+	}
+	if f.Kind == wire.KindMark && !e.cfg.FaultMarkers {
+		return e.inner.Send(to, frame)
+	}
+	// Self-links are not wires: a node's loopback delivery is never
+	// faulted, matching sim.Config.Links.
+	if to == e.inner.ID() {
+		return e.inner.Send(to, frame)
+	}
+	if to < len(e.cfg.Exempt) && e.cfg.Exempt[to] {
+		return e.inner.Send(to, frame)
+	}
+	v := e.sched.Verdict(f.Beat, f.From, to)
+	if v.Drop {
+		e.dropped.Add(1)
+		return nil
+	}
+	if v.Delay > 0 {
+		e.delayed.Add(1)
+		f.DeliveryBeat = f.Beat + v.Delay
+		frame = wire.AppendFrame(nil, f)
+	}
+	if err := e.transmit(to, frame); err != nil {
+		return err
+	}
+	if v.Dup {
+		e.duplicated.Add(1)
+		f.Copy++
+		return e.transmit(to, wire.AppendFrame(nil, f))
+	}
+	return nil
+}
+
+// transmit is one physical send attempt: per-attempt loss, then
+// optional latency, then the inner transport.
+func (e *Endpoint) transmit(to int, frame []byte) error {
+	var latency time.Duration
+	if e.cfg.AttemptLossPct > 0 || e.cfg.MaxLatency > 0 {
+		e.mu.Lock()
+		lost := e.cfg.AttemptLossPct > 0 && e.rng.Intn(100) < e.cfg.AttemptLossPct
+		if e.cfg.MaxLatency > 0 {
+			latency = time.Duration(e.rng.Int63n(int64(e.cfg.MaxLatency)))
+		}
+		e.mu.Unlock()
+		if lost {
+			e.attemptLost.Add(1)
+			return nil
+		}
+	}
+	if latency > 0 {
+		data := make([]byte, len(frame))
+		copy(data, frame)
+		time.AfterFunc(latency, func() { e.inner.Send(to, data) })
+		return nil
+	}
+	return e.inner.Send(to, frame)
+}

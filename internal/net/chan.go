@@ -1,0 +1,122 @@
+package net
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ChanTransport is the in-process transport: per-node mailboxes backed
+// by buffered channels. It is the medium of the differential harness and
+// the chaos smoke tests — reliable and FIFO per sender-receiver pair
+// (faults are injected above it by package faultnet), with the same
+// bounded-queue drop semantics as the socket transports.
+//
+// Mailboxes are persistent per id: closing an endpoint detaches it
+// (sends to it are dropped, like a crashed process), and Endpoint(id)
+// may be called again to re-attach after a restart, draining whatever
+// queued while detached.
+type ChanTransport struct {
+	mu    sync.Mutex
+	boxes []*mailbox
+}
+
+type mailbox struct {
+	ch       chan Packet
+	attached atomic.Bool
+}
+
+// chanEndpoint implements Endpoint over a ChanTransport.
+type chanEndpoint struct {
+	tr      *ChanTransport
+	id      int
+	box     *mailbox
+	dropped atomic.Uint64
+	closed  atomic.Bool
+}
+
+// DefaultQueue is the per-node mailbox capacity when NewChanTransport is
+// given qcap <= 0. Sized for the lockstep runtime's worst case (a full
+// beat of traffic from every peer plus a small delay window) with room
+// to spare; overflow drops, so the bound is memory, not correctness.
+const DefaultQueue = 4096
+
+// NewChanTransport builds an n-node in-process transport with per-node
+// queue capacity qcap (<= 0 selects DefaultQueue).
+func NewChanTransport(n, qcap int) *ChanTransport {
+	if qcap <= 0 {
+		qcap = DefaultQueue
+	}
+	t := &ChanTransport{boxes: make([]*mailbox, n)}
+	for i := range t.boxes {
+		t.boxes[i] = &mailbox{ch: make(chan Packet, qcap)}
+	}
+	return t
+}
+
+// Endpoint implements Transport. Re-attaching to an id whose previous
+// endpoint closed drains frames queued while detached (a restarted
+// process does not see the old kernel buffers).
+func (t *ChanTransport) Endpoint(id int) (Endpoint, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= len(t.boxes) {
+		return nil, fmt.Errorf("net: endpoint id %d out of range [0,%d)", id, len(t.boxes))
+	}
+	box := t.boxes[id]
+	if !box.attached.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("net: endpoint %d already attached", id)
+	}
+	for {
+		select {
+		case <-box.ch:
+		default:
+			return &chanEndpoint{tr: t, id: id, box: box}, nil
+		}
+	}
+}
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error { return nil }
+
+// ID implements Endpoint.
+func (e *chanEndpoint) ID() int { return e.id }
+
+// Send implements Endpoint: a copy of frame is enqueued to the peer's
+// mailbox. A full mailbox or a detached peer drops the frame.
+func (e *chanEndpoint) Send(to int, frame []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= len(e.tr.boxes) {
+		return fmt.Errorf("net: send to %d out of range", to)
+	}
+	box := e.tr.boxes[to]
+	if !box.attached.Load() {
+		e.dropped.Add(1)
+		return nil
+	}
+	data := make([]byte, len(frame))
+	copy(data, frame)
+	select {
+	case box.ch <- Packet{From: e.id, Data: data}:
+	default:
+		e.dropped.Add(1)
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (e *chanEndpoint) Recv() <-chan Packet { return e.box.ch }
+
+// Dropped implements Endpoint.
+func (e *chanEndpoint) Dropped() uint64 { return e.dropped.Load() }
+
+// Close implements Endpoint: detaches the mailbox so in-flight senders
+// drop, and allows a later re-attach.
+func (e *chanEndpoint) Close() error {
+	if e.closed.CompareAndSwap(false, true) {
+		e.box.attached.Store(false)
+	}
+	return nil
+}

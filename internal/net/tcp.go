@@ -1,0 +1,322 @@
+package net
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	gonet "net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPTransport runs the cluster over stream sockets, one lazily-dialled
+// connection per (sender, receiver) direction carrying uvarint
+// length-prefixed frames. TCP removes the wire's loss and reordering but
+// the runtime cannot rely on that — connections drop and redial (with
+// jittered exponential backoff), and each direction's per-peer send
+// queue is bounded, so a dead peer costs a constant amount of memory and
+// its frames are dropped, not hoarded.
+type TCPTransport struct {
+	mu       sync.Mutex
+	addrs    []string
+	prebound []*gonet.TCPListener
+	attached []bool
+	qcap     int
+}
+
+// NewTCPTransport builds a transport over an explicit address book
+// (addrs[i] is node i's listen address). qcap <= 0 selects DefaultQueue.
+func NewTCPTransport(addrs []string, qcap int) *TCPTransport {
+	if qcap <= 0 {
+		qcap = DefaultQueue
+	}
+	return &TCPTransport{
+		addrs:    append([]string(nil), addrs...),
+		prebound: make([]*gonet.TCPListener, len(addrs)),
+		attached: make([]bool, len(addrs)),
+		qcap:     qcap,
+	}
+}
+
+// NewLoopbackTCP binds n listeners on 127.0.0.1 with kernel-chosen ports
+// and returns a transport over them.
+func NewLoopbackTCP(n, qcap int) (*TCPTransport, error) {
+	t := NewTCPTransport(make([]string, n), qcap)
+	for i := 0; i < n; i++ {
+		ln, err := gonet.ListenTCP("tcp", &gonet.TCPAddr{IP: gonet.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		t.prebound[i] = ln
+		t.addrs[i] = ln.Addr().String()
+	}
+	return t, nil
+}
+
+// Endpoint implements Transport; after a Close, calling it again
+// rebinds the node's listen address.
+func (t *TCPTransport) Endpoint(id int) (Endpoint, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= len(t.addrs) {
+		return nil, fmt.Errorf("net: endpoint id %d out of range [0,%d)", id, len(t.addrs))
+	}
+	if t.attached[id] {
+		return nil, fmt.Errorf("net: endpoint %d already attached", id)
+	}
+	ln := t.prebound[id]
+	t.prebound[id] = nil
+	if ln == nil {
+		la, err := gonet.ResolveTCPAddr("tcp", t.addrs[id])
+		if err != nil {
+			return nil, fmt.Errorf("net: resolve %q: %w", t.addrs[id], err)
+		}
+		if ln, err = gonet.ListenTCP("tcp", la); err != nil {
+			return nil, err
+		}
+	}
+	t.attached[id] = true
+	e := newTCPEndpoint(id, ln, t.addrs, t.qcap)
+	e.onClose = func() {
+		t.mu.Lock()
+		t.attached[id] = false
+		t.mu.Unlock()
+	}
+	return e, nil
+}
+
+// Close implements Transport, releasing listeners not yet handed out.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, ln := range t.prebound {
+		if ln != nil {
+			ln.Close()
+			t.prebound[i] = nil
+		}
+	}
+	return nil
+}
+
+// NewTCPEndpoint builds a standalone endpoint for a node daemon: listen
+// on listen, dial peers[i] for node i.
+func NewTCPEndpoint(id int, listen string, peers []string, qcap int) (Endpoint, error) {
+	if qcap <= 0 {
+		qcap = DefaultQueue
+	}
+	la, err := gonet.ResolveTCPAddr("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("net: resolve %q: %w", listen, err)
+	}
+	ln, err := gonet.ListenTCP("tcp", la)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPEndpoint(id, ln, peers, qcap), nil
+}
+
+// maxStreamFrame bounds one length-prefixed record; a peer claiming more
+// is corrupt or hostile and its connection is dropped.
+const maxStreamFrame = 1 << 20
+
+type tcpEndpoint struct {
+	id      int
+	ln      *gonet.TCPListener
+	peers   []string
+	qcap    int
+	recv    chan Packet
+	dropped atomic.Uint64
+	closed  atomic.Bool
+	done    chan struct{}
+	onClose func()
+
+	mu    sync.Mutex
+	links map[int]*tcpLink
+	conns map[gonet.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// tcpLink is one outgoing direction: a bounded queue drained by a writer
+// goroutine that owns dialling and redialling.
+type tcpLink struct {
+	queue chan []byte
+}
+
+func newTCPEndpoint(id int, ln *gonet.TCPListener, peers []string, qcap int) *tcpEndpoint {
+	e := &tcpEndpoint{
+		id: id, ln: ln, peers: peers, qcap: qcap,
+		recv:  make(chan Packet, qcap),
+		done:  make(chan struct{}),
+		links: make(map[int]*tcpLink),
+		conns: make(map[gonet.Conn]struct{}),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e
+}
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		if e.closed.Load() {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.conns[c] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.serve(c)
+	}
+}
+
+// serve reads one inbound connection: a uvarint peer-id handshake, then
+// length-prefixed frames until the stream breaks.
+func (e *tcpEndpoint) serve(c gonet.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		e.mu.Lock()
+		delete(e.conns, c)
+		e.mu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReader(c)
+	from, err := binary.ReadUvarint(br)
+	if err != nil || from >= uint64(len(e.peers)) {
+		return
+	}
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > maxStreamFrame {
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return
+		}
+		select {
+		case e.recv <- Packet{From: int(from), Data: data}:
+		default:
+			e.dropped.Add(1)
+		}
+	}
+}
+
+func (e *tcpEndpoint) ID() int { return e.id }
+
+func (e *tcpEndpoint) Send(to int, frame []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= len(e.peers) {
+		return fmt.Errorf("net: send to %d out of range", to)
+	}
+	e.mu.Lock()
+	link := e.links[to]
+	if link == nil {
+		link = &tcpLink{queue: make(chan []byte, e.qcap)}
+		e.links[to] = link
+		e.wg.Add(1)
+		go e.writeLoop(link, e.peers[to])
+	}
+	e.mu.Unlock()
+	data := make([]byte, len(frame))
+	copy(data, frame)
+	select {
+	case link.queue <- data:
+	default:
+		e.dropped.Add(1)
+	}
+	return nil
+}
+
+// writeLoop drains one peer's queue. The connection is dialled on first
+// need and redialled after failures with jittered exponential backoff;
+// frames that race a broken connection are dropped (counted), matching
+// the layer's best-effort contract.
+func (e *tcpEndpoint) writeLoop(link *tcpLink, addr string) {
+	defer e.wg.Done()
+	var conn gonet.Conn
+	var bw *bufio.Writer
+	var lenBuf [binary.MaxVarintLen64]byte
+	backoff := 50 * time.Millisecond
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		var frame []byte
+		select {
+		case <-e.done:
+			return
+		case frame = <-link.queue:
+		}
+		for conn == nil {
+			c, err := gonet.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+				if backoff < 3*time.Second {
+					backoff *= 2
+				}
+				select {
+				case <-e.done:
+					return
+				case <-time.After(sleep):
+				}
+				continue
+			}
+			conn, bw = c, bufio.NewWriter(c)
+			backoff = 50 * time.Millisecond
+			n := binary.PutUvarint(lenBuf[:], uint64(e.id))
+			if _, err := bw.Write(lenBuf[:n]); err != nil {
+				conn.Close()
+				conn = nil
+			}
+		}
+		n := binary.PutUvarint(lenBuf[:], uint64(len(frame)))
+		if _, err := bw.Write(lenBuf[:n]); err == nil {
+			_, err = bw.Write(frame)
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err == nil {
+				continue
+			}
+		}
+		conn.Close()
+		conn = nil
+		e.dropped.Add(1)
+	}
+}
+
+func (e *tcpEndpoint) Recv() <-chan Packet { return e.recv }
+
+func (e *tcpEndpoint) Dropped() uint64 { return e.dropped.Load() }
+
+func (e *tcpEndpoint) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(e.done)
+	err := e.ln.Close()
+	e.mu.Lock()
+	for c := range e.conns {
+		c.Close()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	if e.onClose != nil {
+		e.onClose()
+	}
+	return err
+}

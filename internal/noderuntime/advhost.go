@@ -1,0 +1,298 @@
+package noderuntime
+
+import (
+	"sort"
+	"sync"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/net"
+	"ssbyzclock/internal/pool"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/wire"
+)
+
+// AdvHost hosts the adversary in a Lockstep cluster: it owns every
+// faulty node's endpoint and honest-copy protocol instance, and
+// reconstructs the engine's rushing semantics from the wire alone. The
+// sequencing falls out of the marker discipline — honest nodes send
+// traffic then markers; the host acts only once every honest marker for
+// the beat has arrived on every faulty endpoint (so the adversary has
+// seen all honest traffic it is entitled to: rushing); the faulty
+// nodes' own markers go out after that, which is what releases the
+// honest nodes into Deliver. No clock, no extra synchronization.
+//
+// Real-mode clusters do not use AdvHost: there the faulty ids run as
+// ordinary (passive) nodes, since an asynchronous rushing adversary has
+// no faithful engine counterpart to be checked against.
+type AdvHost struct {
+	cfg AdvHostConfig
+
+	cur    uint64
+	msgs   map[uint64][]interceptRec     // beat -> honest frames to faulty ids
+	marks  map[uint64][]map[int]struct{} // beat -> per-faulty-endpoint honest marker senders
+	merged chan tagged
+
+	done chan struct{}
+	stop sync.Once
+	wg   sync.WaitGroup
+}
+
+// AdvHostConfig wires an AdvHost. Slices are indexed by faulty-list
+// position, mirroring sim's intercept ordering.
+type AdvHostConfig struct {
+	N, F int
+	// FaultyIDs in engine order (ascending by default). Endpoints,
+	// Instances and Pools are parallel to it.
+	FaultyIDs []int
+	Endpoints []net.Endpoint
+	Instances []proto.Protocol
+	Pools     []*pool.Node
+	Adv       adversary.Adversary
+	MaxBeats  uint64
+}
+
+// interceptRec is one honest frame captured on a faulty endpoint,
+// decoded lazily into the adversary's visible set.
+type interceptRec struct {
+	from    int
+	seq     uint32
+	badIdx  int // which faulty endpoint it arrived on
+	payload []byte
+}
+
+// tagged is one packet annotated with the faulty endpoint it arrived
+// on; forwarder goroutines merge all endpoints onto one channel so the
+// host loop has a single receive point.
+type tagged struct {
+	k int
+	p net.Packet
+}
+
+// NewAdvHost builds the host; Start launches its loop.
+func NewAdvHost(cfg AdvHostConfig) *AdvHost {
+	return &AdvHost{
+		cfg:   cfg,
+		msgs:  make(map[uint64][]interceptRec),
+		marks: make(map[uint64][]map[int]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start launches the host loop and one forwarder per faulty endpoint.
+func (h *AdvHost) Start() {
+	h.merged = make(chan tagged, 64)
+	for k, ep := range h.cfg.Endpoints {
+		h.wg.Add(1)
+		go h.forward(k, ep.Recv())
+	}
+	h.wg.Add(1)
+	go h.run()
+}
+
+func (h *AdvHost) forward(k int, ch <-chan net.Packet) {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.done:
+			return
+		case p, ok := <-ch:
+			if !ok {
+				return
+			}
+			select {
+			case <-h.done:
+				return
+			case h.merged <- tagged{k: k, p: p}:
+			}
+		}
+	}
+}
+
+// Stop asks the loop to exit; Wait joins it.
+func (h *AdvHost) Stop() { h.stop.Do(func() { close(h.done) }) }
+
+// Wait blocks until the loop has exited.
+func (h *AdvHost) Wait() { h.wg.Wait() }
+
+func (h *AdvHost) run() {
+	defer h.wg.Done()
+	defer h.Stop() // a natural MaxBeats exit must release the forwarders too
+	isBad := make([]bool, h.cfg.N)
+	for _, id := range h.cfg.FaultyIDs {
+		isBad[id] = true
+	}
+	honest := h.cfg.N - h.cfg.F
+	for h.cfg.MaxBeats == 0 || h.cur < h.cfg.MaxBeats {
+		r := h.cur
+		// Honest-copy instances compose the defaults the adversary may
+		// forward or replace (sim's interceptPhase, verbatim).
+		defaults := make([]adversary.Sends, h.cfg.F)
+		for k, id := range h.cfg.FaultyIDs {
+			defaults[k] = adversary.Sends{From: id, Out: h.cfg.Instances[k].Compose(r)}
+		}
+		// Rushing barrier: every honest marker for r, on every endpoint.
+		if !h.collect(r, honest, isBad) {
+			return
+		}
+		visible, perDest := h.visibleSet(r, isBad)
+		sends := h.cfg.Adv.Act(r, defaults, visible)
+		h.emit(r, sends, isBad, perDest)
+		// Markers last: they release the honest nodes into Deliver.
+		mark := func(id int) []byte {
+			return wire.AppendFrame(nil, wire.Frame{Kind: wire.KindMark, From: id, Beat: r, DeliveryBeat: r})
+		}
+		for k, id := range h.cfg.FaultyIDs {
+			m := mark(id)
+			for to := 0; to < h.cfg.N; to++ {
+				if !isBad[to] {
+					h.cfg.Endpoints[k].Send(to, m)
+				}
+			}
+		}
+		for k := range h.cfg.Instances {
+			h.cfg.Instances[k].Deliver(r, perDest[k])
+		}
+		for _, p := range h.cfg.Pools {
+			if p != nil {
+				p.Recycle()
+			}
+		}
+		delete(h.msgs, r)
+		delete(h.marks, r)
+		h.cur++
+	}
+}
+
+// collect drains the merged endpoint stream until beat r's honest
+// markers are complete on all faulty endpoints, buffering messages (and
+// early frames for future beats) as it goes.
+func (h *AdvHost) collect(r uint64, honest int, isBad []bool) bool {
+	complete := func() bool {
+		ms := h.marks[r]
+		if ms == nil {
+			return honest == 0
+		}
+		for _, m := range ms {
+			if len(m) < honest {
+				return false
+			}
+		}
+		return true
+	}
+	for !complete() {
+		select {
+		case <-h.done:
+			return false
+		case tp := <-h.merged:
+			h.ingest(tp.k, tp.p, isBad)
+		}
+	}
+	return true
+}
+
+// ingest buffers one packet from faulty endpoint k.
+func (h *AdvHost) ingest(k int, p net.Packet, isBad []bool) {
+	f, err := wire.DecodeFrame(p.Data)
+	if err != nil || f.From >= h.cfg.N || isBad[f.From] {
+		return
+	}
+	if p.From >= 0 && p.From != f.From {
+		return
+	}
+	if f.Beat < h.cur || f.Beat > h.cur+Window {
+		return
+	}
+	if f.Kind == wire.KindMark {
+		ms := h.marks[f.Beat]
+		if ms == nil {
+			ms = make([]map[int]struct{}, h.cfg.F)
+			for i := range ms {
+				ms[i] = make(map[int]struct{})
+			}
+			h.marks[f.Beat] = ms
+		}
+		ms[k][f.From] = struct{}{}
+		return
+	}
+	payload := append([]byte(nil), f.Payload...)
+	h.msgs[f.Beat] = append(h.msgs[f.Beat], interceptRec{from: f.From, seq: f.Seq, badIdx: k, payload: payload})
+}
+
+// visibleSet decodes beat r's intercepts into the adversary's visible
+// list — ordered exactly as sim's interceptPhase builds it: honest
+// sender ascending, compose seq, then faulty destination in faulty-list
+// order — and, sharing the same decoded values, each faulty instance's
+// honest inbox prefix in (sender, seq) order.
+func (h *AdvHost) visibleSet(r uint64, isBad []bool) ([]adversary.Intercept, [][]proto.Recv) {
+	recs := h.msgs[r]
+	sort.SliceStable(recs, func(a, b int) bool {
+		if recs[a].from != recs[b].from {
+			return recs[a].from < recs[b].from
+		}
+		if recs[a].seq != recs[b].seq {
+			return recs[a].seq < recs[b].seq
+		}
+		return recs[a].badIdx < recs[b].badIdx
+	})
+	visible := make([]adversary.Intercept, 0, len(recs))
+	perDest := make([][]proto.Recv, h.cfg.F)
+	for _, rec := range recs {
+		m, err := wire.Decode(rec.payload)
+		if err != nil {
+			continue
+		}
+		visible = append(visible, adversary.Intercept{From: rec.from, To: h.cfg.FaultyIDs[rec.badIdx], Msg: m})
+		perDest[rec.badIdx] = append(perDest[rec.badIdx], proto.Recv{From: rec.from, Msg: m})
+	}
+	return visible, perDest
+}
+
+// emit sends the adversary's chosen messages: wire frames (stamped with
+// the global adversary sequence sim uses) toward honest nodes, direct
+// in-memory appends toward the faulty instances' own inboxes.
+func (h *AdvHost) emit(r uint64, sends []adversary.Sends, isBad []bool, perDest [][]proto.Recv) {
+	epOf := make(map[int]int, h.cfg.F)
+	for k, id := range h.cfg.FaultyIDs {
+		epOf[id] = k
+	}
+	advSeq := uint32(0)
+	for _, fs := range sends {
+		if fs.From < 0 || fs.From >= h.cfg.N || !isBad[fs.From] {
+			continue // identity cannot be forged (Definition 2.2)
+		}
+		k := epOf[fs.From]
+		for _, s := range fs.Out {
+			seq := advSeq
+			advSeq++
+			if s.To != proto.Broadcast && (s.To < 0 || s.To >= h.cfg.N) {
+				continue
+			}
+			var data []byte
+			sendTo := func(to int) {
+				if isBad[to] {
+					kk := epOf[to]
+					perDest[kk] = append(perDest[kk], proto.Recv{From: fs.From, Msg: s.Msg})
+					return
+				}
+				if data == nil {
+					payload, err := wire.Encode(s.Msg)
+					if err != nil {
+						return // unregistered type cannot cross the wire
+					}
+					data = wire.AppendFrame(nil, wire.Frame{
+						Kind: wire.KindMsg, From: fs.From, Beat: r, DeliveryBeat: r,
+						Seq: seq, Payload: payload,
+					})
+				}
+				h.cfg.Endpoints[k].Send(to, data)
+			}
+			if s.To == proto.Broadcast {
+				for to := 0; to < h.cfg.N; to++ {
+					sendTo(to)
+				}
+			} else {
+				sendTo(s.To)
+			}
+		}
+	}
+}

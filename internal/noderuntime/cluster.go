@@ -1,0 +1,315 @@
+package noderuntime
+
+import (
+	"fmt"
+	"time"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/faultnet"
+	"ssbyzclock/internal/net"
+	"ssbyzclock/internal/pool"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/sim"
+)
+
+// ClusterConfig mirrors sim.Config for the networked runtime: same
+// seed-derived randomness (sim.NodeRng and friends), same faulty-id
+// defaults, same scramble discipline, so a Lockstep cluster is the
+// engine's run rehosted on a wire.
+type ClusterConfig struct {
+	N, F int
+	Seed int64
+	// Faulty lists the adversary-controlled ids; empty means the last F.
+	Faulty []int
+	Mode   Mode
+	// Factory builds each node's protocol instance (honest copies
+	// included), exactly as sim.New does.
+	Factory sim.NodeFactory
+	// NewAdversary builds the adversary (Lockstep only; nil means
+	// Passive). Real mode runs faulty ids as ordinary nodes.
+	NewAdversary func(ctx *adversary.Context) adversary.Adversary
+	// ScrambleStart scrambles honest nodes' state before the first beat,
+	// from the same stream sim uses.
+	ScrambleStart bool
+	// Pool selects payload pooling, as sim.Config.Pool.
+	Pool sim.PoolMode
+	// Links is the fault schedule; honest endpoints are wrapped with it
+	// (its Seed should already be set). Nil means an ideal network.
+	Links faultnet.Schedule
+	// AttemptLossPct and MaxLatency feed the faultnet wrapper in Real
+	// mode (per-attempt loss that retries can beat, and random delivery
+	// latency). Ignored in Lockstep, which has no retries.
+	AttemptLossPct int
+	MaxLatency     time.Duration
+	// Transport carries the cluster; nil selects an in-process channel
+	// transport.
+	Transport net.Transport
+	// OnBeat observes each honest node after every delivered beat, from
+	// that node's goroutine.
+	OnBeat   func(id int, beat uint64, p proto.Protocol)
+	MaxBeats uint64
+	Timing   Timing
+}
+
+// Cluster is a running set of event-loop nodes (plus the adversary host
+// in Lockstep mode) over one transport.
+type Cluster struct {
+	cfg    ClusterConfig
+	tr     net.Transport
+	isBad  []bool
+	faulty []int
+	nodes  []*Node             // by id; nil for adversary-hosted ids
+	eps    []*faultnet.Endpoint // honest wrapped endpoints, by id
+	adv    *AdvHost
+}
+
+// NewCluster builds the cluster: protocol instances for all n ids from
+// the engine's exact per-node streams, endpoints attached and wrapped,
+// honest state scrambled in engine order. Call Start to run it.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N <= 0 || cfg.F < 0 || cfg.F >= cfg.N {
+		return nil, fmt.Errorf("noderuntime: bad cluster n=%d f=%d", cfg.N, cfg.F)
+	}
+	c := &Cluster{cfg: cfg, tr: cfg.Transport}
+	if c.tr == nil {
+		c.tr = net.NewChanTransport(cfg.N, 0)
+	}
+	c.faulty = append([]int(nil), cfg.Faulty...)
+	if len(c.faulty) == 0 {
+		for i := cfg.N - cfg.F; i < cfg.N; i++ {
+			c.faulty = append(c.faulty, i)
+		}
+	}
+	if len(c.faulty) != cfg.F {
+		return nil, fmt.Errorf("noderuntime: %d faulty ids for f=%d", len(c.faulty), cfg.F)
+	}
+	c.isBad = make([]bool, cfg.N)
+	for _, id := range c.faulty {
+		if id < 0 || id >= cfg.N {
+			return nil, fmt.Errorf("noderuntime: faulty id %d out of range", id)
+		}
+		c.isBad[id] = true
+	}
+	hostAdv := cfg.Mode == Lockstep && cfg.F > 0
+
+	pooled, poison := sim.ResolvePoolMode(cfg.Pool)
+	pools := make([]*pool.Node, cfg.N)
+	instances := make([]proto.Protocol, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		env := proto.Env{N: cfg.N, F: cfg.F, ID: i, Rng: sim.NodeRng(cfg.Seed, i)}
+		if pooled {
+			pools[i] = &pool.Node{}
+			pools[i].SetPoison(poison)
+			env.Pool = pools[i]
+		}
+		instances[i] = cfg.Factory(env)
+	}
+	if cfg.ScrambleStart {
+		scram := sim.ScrambleRng(cfg.Seed)
+		for i := 0; i < cfg.N; i++ {
+			if c.isBad[i] {
+				continue
+			}
+			if s, ok := instances[i].(proto.Scrambler); ok {
+				s.Scramble(scram)
+			}
+		}
+	}
+
+	c.nodes = make([]*Node, cfg.N)
+	c.eps = make([]*faultnet.Endpoint, cfg.N)
+	var advEps []net.Endpoint
+	for i := 0; i < cfg.N; i++ {
+		raw, err := c.tr.Endpoint(i)
+		if err != nil {
+			return nil, err
+		}
+		if hostAdv && c.isBad[i] {
+			// Faulty nodes' outgoing links to honest destinations are
+			// faulted like anyone else's (the engine does the same in
+			// mergeInboxes); only links INTO the adversary are ideal, which
+			// the wrapper's Exempt handles on the honest side.
+			advEps = append(advEps, c.wrapEndpoint(raw))
+			continue
+		}
+		c.eps[i] = c.wrapEndpoint(raw)
+		c.nodes[i] = c.newNode(i, instances[i], pools[i])
+	}
+	if hostAdv {
+		advCtx := &adversary.Context{
+			N: cfg.N, F: cfg.F,
+			Faulty: append([]int(nil), c.faulty...),
+			Rng:    sim.AdversaryRng(cfg.Seed),
+			FaultyNode: func(id int) proto.Protocol {
+				if id >= 0 && id < cfg.N && c.isBad[id] {
+					return instances[id]
+				}
+				return nil
+			},
+		}
+		var adv adversary.Adversary = adversary.Passive{}
+		if cfg.NewAdversary != nil {
+			adv = cfg.NewAdversary(advCtx)
+		}
+		advInst := make([]proto.Protocol, 0, cfg.F)
+		advPools := make([]*pool.Node, 0, cfg.F)
+		for _, id := range c.faulty {
+			advInst = append(advInst, instances[id])
+			advPools = append(advPools, pools[id])
+		}
+		c.adv = NewAdvHost(AdvHostConfig{
+			N: cfg.N, F: cfg.F, FaultyIDs: c.faulty,
+			Endpoints: advEps, Instances: advInst, Pools: advPools,
+			Adv: adv, MaxBeats: cfg.MaxBeats,
+		})
+	}
+	return c, nil
+}
+
+func (c *Cluster) wrapEndpoint(raw net.Endpoint) *faultnet.Endpoint {
+	wc := faultnet.WrapConfig{AttemptSeed: uint64(c.cfg.Seed)}
+	if c.cfg.Mode == Lockstep {
+		// Ideal adversary channels, unfaultable markers: the engine's
+		// assumptions, so the oracle comparison holds.
+		wc.Exempt = c.isBad
+	} else {
+		wc.FaultMarkers = true
+		wc.AttemptLossPct = c.cfg.AttemptLossPct
+		wc.MaxLatency = c.cfg.MaxLatency
+	}
+	return faultnet.Wrap(raw, c.cfg.Links, wc)
+}
+
+func (c *Cluster) newNode(id int, inst proto.Protocol, pl *pool.Node) *Node {
+	var onBeat func(uint64, proto.Protocol)
+	if c.cfg.OnBeat != nil {
+		cb := c.cfg.OnBeat
+		onBeat = func(beat uint64, p proto.Protocol) { cb(id, beat, p) }
+	}
+	faulty := append([]bool(nil), c.isBad...)
+	return NewNode(NodeConfig{
+		N: c.cfg.N, F: c.cfg.F, ID: id,
+		Faulty: faulty, Mode: c.cfg.Mode,
+		Endpoint: c.eps[id], Links: c.cfg.Links,
+		Protocol: inst, Pool: pl,
+		OnBeat: onBeat, MaxBeats: c.cfg.MaxBeats,
+		Timing: c.cfg.Timing, RetrySeed: c.cfg.Seed,
+	})
+}
+
+// Start launches every node (and the adversary host).
+func (c *Cluster) Start() {
+	for _, nd := range c.nodes {
+		if nd != nil {
+			nd.Start()
+		}
+	}
+	if c.adv != nil {
+		c.adv.Start()
+	}
+}
+
+// Stop asks everything to exit and joins it.
+func (c *Cluster) Stop() {
+	for _, nd := range c.nodes {
+		if nd != nil {
+			nd.Stop()
+		}
+	}
+	if c.adv != nil {
+		c.adv.Stop()
+	}
+	c.Wait()
+	for _, ep := range c.eps {
+		if ep != nil {
+			ep.Close()
+		}
+	}
+	c.tr.Close()
+}
+
+// Wait joins every loop; with MaxBeats set this is the natural way to
+// let a bounded run finish.
+func (c *Cluster) Wait() {
+	for _, nd := range c.nodes {
+		if nd != nil {
+			nd.Wait()
+		}
+	}
+	if c.adv != nil {
+		c.adv.Wait()
+	}
+}
+
+// Node returns node id's event loop (nil for adversary-hosted ids).
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// HonestIDs returns the non-faulty ids in ascending order.
+func (c *Cluster) HonestIDs() []int {
+	out := make([]int, 0, c.cfg.N-c.cfg.F)
+	for i := 0; i < c.cfg.N; i++ {
+		if !c.isBad[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Stats sums the injected-fault counters across honest endpoints.
+func (c *Cluster) Stats() faultnet.Stats {
+	var s faultnet.Stats
+	for _, ep := range c.eps {
+		if ep == nil {
+			continue
+		}
+		st := ep.Stats()
+		s.Dropped += st.Dropped
+		s.Duplicated += st.Duplicated
+		s.Delayed += st.Delayed
+		s.AttemptLost += st.AttemptLost
+	}
+	return s
+}
+
+// Crash kills node id mid-run (Real mode): its loop stops and its
+// endpoint detaches, so in-flight traffic to it is dropped like any
+// crashed process's.
+func (c *Cluster) Crash(id int) error {
+	nd := c.nodes[id]
+	if nd == nil {
+		return fmt.Errorf("noderuntime: node %d is adversary-hosted", id)
+	}
+	nd.Stop()
+	nd.Wait()
+	return c.eps[id].Close()
+}
+
+// Restart revives a crashed node with a fresh, scrambled protocol
+// instance — a rebooted process recovering arbitrary state, which is
+// precisely the self-stabilization setting. The node restarts at beat
+// zero and catches up to the quorum via the beat jump.
+func (c *Cluster) Restart(id int) error {
+	if c.nodes[id] == nil {
+		return fmt.Errorf("noderuntime: node %d is adversary-hosted", id)
+	}
+	raw, err := c.tr.Endpoint(id)
+	if err != nil {
+		return err
+	}
+	c.eps[id] = c.wrapEndpoint(raw)
+	pooled, poison := sim.ResolvePoolMode(c.cfg.Pool)
+	var pl *pool.Node
+	env := proto.Env{N: c.cfg.N, F: c.cfg.F, ID: id, Rng: sim.NodeRng(c.cfg.Seed^0x517cc1b7, id)}
+	if pooled {
+		pl = &pool.Node{}
+		pl.SetPoison(poison)
+		env.Pool = pl
+	}
+	inst := c.cfg.Factory(env)
+	if s, ok := inst.(proto.Scrambler); ok {
+		s.Scramble(sim.ScrambleRng(c.cfg.Seed ^ int64(id)<<8))
+	}
+	c.nodes[id] = c.newNode(id, inst, pl)
+	c.nodes[id].Start()
+	return nil
+}

@@ -1,0 +1,177 @@
+package noderuntime_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/faultnet"
+	"ssbyzclock/internal/noderuntime"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/sim"
+)
+
+// clockAt is one node's clock reading after one delivered beat.
+type clockAt struct {
+	val uint64
+	ok  bool
+}
+
+func readClock(p proto.Protocol) clockAt {
+	cr, isCR := p.(proto.ClockReader)
+	if !isCR {
+		return clockAt{}
+	}
+	v, ok := cr.Clock()
+	return clockAt{val: v, ok: ok}
+}
+
+// simTrajectory runs the deterministic engine and records every honest
+// node's clock after each beat — the oracle.
+func simTrajectory(cfg sim.Config, beats int) map[int][]clockAt {
+	e := sim.New(cfg, core.NewClockSyncProtocol(16, coin.FMFactory{}))
+	out := make(map[int][]clockAt)
+	for b := 0; b < beats; b++ {
+		e.Step()
+		for _, id := range e.HonestIDs() {
+			out[id] = append(out[id], readClock(e.Node(id)))
+		}
+	}
+	return out
+}
+
+// clusterTrajectory runs the networked runtime in Lockstep mode over the
+// in-process transport and records the same observable.
+func clusterTrajectory(t *testing.T, cfg noderuntime.ClusterConfig, beats int) map[int][]clockAt {
+	t.Helper()
+	var mu sync.Mutex
+	out := make(map[int][]clockAt)
+	cfg.Factory = core.NewClockSyncProtocol(16, coin.FMFactory{})
+	cfg.MaxBeats = uint64(beats)
+	cfg.OnBeat = func(id int, beat uint64, p proto.Protocol) {
+		c := readClock(p)
+		mu.Lock()
+		out[id] = append(out[id], c)
+		mu.Unlock()
+	}
+	cl, err := noderuntime.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	cl.Wait()
+	cl.Stop()
+	return out
+}
+
+func schedule(t *testing.T, name string, seed uint64) faultnet.Schedule {
+	t.Helper()
+	if name == "" {
+		return nil
+	}
+	s, err := faultnet.Parse(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Seed = seed
+	return s
+}
+
+// adversarySuite names the adversaries the differential harness covers:
+// passive faulty nodes, the clock splitter (the paper's rushing attack
+// on clock agreement), and the replayer (stale-message injection, which
+// also exercises the Clone discipline across the ownership boundary).
+var adversarySuite = map[string]func(ctx *adversary.Context) adversary.Adversary{
+	"passive":  nil,
+	"splitter": func(ctx *adversary.Context) adversary.Adversary { return &adversary.ClockSplitter{Ctx: ctx} },
+	"replayer": func(ctx *adversary.Context) adversary.Adversary { return &adversary.Replayer{Ctx: ctx} },
+}
+
+// faultSuite is the fault-schedule grid the equivalence claim covers.
+var faultSuite = []string{
+	"none",
+	"loss20",
+	"delay15",
+	"dup10",
+	"reorder",
+	"partition",
+	"loss15+dup10+delay10+reorder+partition",
+}
+
+// TestLockstepMatchesEngine is the differential harness of this
+// runtime: for every (cluster size, adversary, fault schedule) in the
+// suite, the event-driven networked stack must reproduce the
+// deterministic engine's honest clock trajectory beat for beat. The
+// engine is the oracle; any divergence is a runtime bug by definition.
+func TestLockstepMatchesEngine(t *testing.T) {
+	const beats = 24
+	sizes := []struct{ n, f int }{{4, 1}, {8, 2}}
+	for _, sz := range sizes {
+		for advName, newAdv := range adversarySuite {
+			for _, fault := range faultSuite {
+				t.Run(fmt.Sprintf("n%d/%s/%s", sz.n, advName, fault), func(t *testing.T) {
+					seed := int64(41)
+					want := simTrajectory(sim.Config{
+						N: sz.n, F: sz.f, Seed: seed, ScrambleStart: true,
+						NewAdversary: newAdv,
+						Links:        schedule(t, fault, 0xC0FFEE),
+					}, beats)
+					got := clusterTrajectory(t, noderuntime.ClusterConfig{
+						N: sz.n, F: sz.f, Seed: seed, ScrambleStart: true,
+						Mode:         noderuntime.Lockstep,
+						NewAdversary: newAdv,
+						Links:        schedule(t, fault, 0xC0FFEE),
+					}, beats)
+					for id, ws := range want {
+						gs := got[id]
+						if len(gs) != len(ws) {
+							t.Fatalf("node %d delivered %d beats, engine %d", id, len(gs), len(ws))
+						}
+						for b := range ws {
+							if gs[b] != ws[b] {
+								t.Fatalf("node %d beat %d: runtime %+v, engine %+v", id, b, gs[b], ws[b])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestLockstepPoisonSoak is the ownership-boundary soak: a long
+// lockstep run under every fault kind with poisoned pools on the
+// networked side and pooling disabled on the engine side. If any
+// networked code path aliased a recycled compose payload — frames,
+// delayed redelivery, the adversary host's intercepts — the poison
+// scribble would change its bytes and the trajectories would diverge.
+func TestLockstepPoisonSoak(t *testing.T) {
+	const beats = 60
+	seed := int64(97)
+	fault := "loss15+dup10+delay10+reorder+partition"
+	want := simTrajectory(sim.Config{
+		N: 8, F: 2, Seed: seed, ScrambleStart: true, Pool: sim.PoolOff,
+		NewAdversary: adversarySuite["replayer"],
+		Links:        schedule(t, fault, 7),
+	}, beats)
+	got := clusterTrajectory(t, noderuntime.ClusterConfig{
+		N: 8, F: 2, Seed: seed, ScrambleStart: true, Pool: sim.PoolPoison,
+		Mode:         noderuntime.Lockstep,
+		NewAdversary: adversarySuite["replayer"],
+		Links:        schedule(t, fault, 7),
+	}, beats)
+	for id, ws := range want {
+		gs := got[id]
+		if len(gs) != len(ws) {
+			t.Fatalf("node %d delivered %d beats, engine %d", id, len(gs), len(ws))
+		}
+		for b := range ws {
+			if gs[b] != ws[b] {
+				t.Fatalf("node %d beat %d: poisoned runtime %+v, unpooled engine %+v (recycled memory aliased)", id, b, gs[b], ws[b])
+			}
+		}
+	}
+}

@@ -1,0 +1,464 @@
+// Package noderuntime is the event-driven networked runtime: each node
+// an independent event loop around a net.Endpoint, exchanging
+// wire-framed protocol messages with no global clock — beats are
+// derived from message arrival. It is the asynchronous counterpart of
+// the lockstep engine (package sim), which stays the oracle: in
+// Lockstep mode a cluster over the in-process transport replays the
+// engine bit for bit (the differential harness proves it, fault
+// schedule and all), while Real mode trades that exactness for
+// liveness on a genuinely faulty wire — quorum beat advancement,
+// retransmission with jittered exponential backoff, heartbeats,
+// catch-up after partitions, and crash/restart.
+//
+// The pool contract crosses the ownership boundary here at the encode
+// step: a node's composed messages are serialized to frames (which own
+// their bytes) and the beat's pooled payloads are recycled immediately
+// — before Deliver, not after, as in sim — because every delivery,
+// including a node's own loopback, travels the wire and decodes into
+// fresh memory. Poison mode verifies no path cheats.
+package noderuntime
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ssbyzclock/internal/faultnet"
+	"ssbyzclock/internal/net"
+	"ssbyzclock/internal/pool"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/wire"
+)
+
+// Mode selects how a node decides a beat is complete.
+type Mode uint8
+
+const (
+	// Lockstep advances on beat-complete markers from all n peers — the
+	// mode whose executions are provably equivalent to the engine.
+	Lockstep Mode = iota
+	// Real advances on markers from a quorum of n-f peers or a beat
+	// timeout, with retransmission and catch-up. Live on lossy,
+	// partitioned networks; equivalent to the engine only statistically.
+	Real
+)
+
+// Timing tunes Real mode. The zero value selects defaults suited to
+// in-process and loopback tests.
+type Timing struct {
+	// BeatTimeout advances the beat even without a marker quorum.
+	BeatTimeout time.Duration
+	// RetryMin seeds the jittered exponential backoff that governs
+	// retransmission of the current beat's frames; RetryMax caps it.
+	RetryMin, RetryMax time.Duration
+}
+
+func (t Timing) withDefaults() Timing {
+	if t.BeatTimeout <= 0 {
+		t.BeatTimeout = time.Second
+	}
+	if t.RetryMin <= 0 {
+		t.RetryMin = 20 * time.Millisecond
+	}
+	if t.RetryMax <= 0 {
+		t.RetryMax = 250 * time.Millisecond
+	}
+	return t
+}
+
+// NodeConfig describes one runtime node.
+type NodeConfig struct {
+	N, F int
+	ID   int
+	// Faulty marks the adversary's ids. The runtime uses it as a replay
+	// determinism device only — it orders faulty senders' messages by
+	// their global sequence, as the engine does, and never to change
+	// protocol behavior (honest nodes cannot know who is faulty).
+	Faulty []bool
+	Mode   Mode
+	// Endpoint carries the node's traffic; wrap it with faultnet.Wrap to
+	// put the node on a faulty network.
+	Endpoint net.Endpoint
+	// Links is consulted for inbox reordering only (Shuffle); drop, dup
+	// and delay verdicts are injected sender-side by the wrapper.
+	Links faultnet.Schedule
+	// Protocol is the node's instance; Pool, when non-nil, is the pool
+	// its compose payloads lease from (recycled at the encode boundary).
+	Protocol proto.Protocol
+	Pool     *pool.Node
+	// OnBeat, when set, observes the node after each delivered beat,
+	// from the node's own goroutine.
+	OnBeat func(beat uint64, p proto.Protocol)
+	// MaxBeats stops the loop after that many beats (0 = run until
+	// Stop).
+	MaxBeats uint64
+	Timing   Timing
+	// RetrySeed seeds backoff jitter (Real mode).
+	RetrySeed int64
+}
+
+// Window is how many beats ahead of the current one a node buffers
+// frames and markers for; anything outside [cur, cur+Window] is
+// dropped. Together with maxPerSender it bounds a node's memory under
+// partitions and Byzantine floods. It must exceed any fault schedule's
+// MaxDelay.
+const Window = 8
+
+// maxPerSender caps buffered message frames per (beat, sender): honest
+// protocols send a handful per beat, so the cap only bites floods.
+const maxPerSender = 4096
+
+// Node is one event-loop node. Create with NewNode, then Start; Stop
+// (or MaxBeats) ends the loop and Wait joins it.
+type Node struct {
+	cfg    NodeConfig
+	cur    uint64
+	seqs   map[uint64][]frameRec        // delivery beat -> buffered messages
+	dedup  map[dedupKey]struct{}        // within the window
+	marks  map[uint64]map[int]uint32    // beat -> marker senders -> declared msg count
+	fresh  map[uint64]map[int]uint32    // send beat -> sender -> first-copy msgs arrived
+	peerAt []uint64                     // highest beat seen per peer (catch-up)
+	counts map[uint64]map[int]int       // per (beat, sender) buffered frames
+	last   struct{ frames []beatFrame } // current beat's traffic, for retransmission
+	rng    *rand.Rand
+
+	done chan struct{}
+	stop sync.Once
+	wg   sync.WaitGroup
+}
+
+type frameRec struct{ f wire.Frame }
+
+type dedupKey struct {
+	from int
+	beat uint64
+	seq  uint32
+	copy uint8
+}
+
+type beatFrame struct {
+	to   int // proto.Broadcast for all
+	data []byte
+}
+
+// NewNode builds a node; Start launches its loop.
+func NewNode(cfg NodeConfig) *Node {
+	cfg.Timing = cfg.Timing.withDefaults()
+	return &Node{
+		cfg:    cfg,
+		seqs:   make(map[uint64][]frameRec),
+		dedup:  make(map[dedupKey]struct{}),
+		marks:  make(map[uint64]map[int]uint32),
+		fresh:  make(map[uint64]map[int]uint32),
+		counts: make(map[uint64]map[int]int),
+		peerAt: make([]uint64, cfg.N),
+		rng:    rand.New(rand.NewSource(cfg.RetrySeed ^ int64(cfg.ID)<<20 ^ 0x5bd1e995)),
+		done:   make(chan struct{}),
+	}
+}
+
+// Beat returns the number of completed beats (racy while running; read
+// it from OnBeat or after Wait).
+func (nd *Node) Beat() uint64 { return nd.cur }
+
+// Protocol returns the node's protocol instance (same caveat as Beat).
+func (nd *Node) Protocol() proto.Protocol { return nd.cfg.Protocol }
+
+// Start launches the event loop.
+func (nd *Node) Start() {
+	nd.wg.Add(1)
+	go nd.run()
+}
+
+// Stop asks the loop to exit; Wait joins it.
+func (nd *Node) Stop() { nd.stop.Do(func() { close(nd.done) }) }
+
+// Wait blocks until the loop has exited.
+func (nd *Node) Wait() { nd.wg.Wait() }
+
+func (nd *Node) run() {
+	defer nd.wg.Done()
+	for nd.cfg.MaxBeats == 0 || nd.cur < nd.cfg.MaxBeats {
+		r := nd.cur
+		nd.sendBeat(r)
+		if !nd.await(r) {
+			return
+		}
+		nd.deliverBeat(r)
+		nd.gc(r)
+		nd.cur++
+		if nd.cfg.Mode == Real {
+			nd.maybeJump()
+		}
+	}
+}
+
+// sendBeat composes beat r, encodes every send into frames, recycles
+// the pooled compose payloads (the frames own their bytes now — this is
+// the ownership boundary), and transmits frames plus the beat-complete
+// marker to every peer, itself included: all delivery, even loopback,
+// crosses the wire.
+func (nd *Node) sendBeat(r uint64) {
+	sends := nd.cfg.Protocol.Compose(r)
+	nd.last.frames = nd.last.frames[:0]
+	msgCount := make([]uint32, nd.cfg.N)
+	for seq, s := range sends {
+		if s.To != proto.Broadcast && (s.To < 0 || s.To >= nd.cfg.N) {
+			continue // malformed destination: dropped, as in sim
+		}
+		payload, err := wire.Encode(s.Msg)
+		if err != nil {
+			continue // unregistered type: cannot cross a wire
+		}
+		data := wire.AppendFrame(nil, wire.Frame{
+			Kind: wire.KindMsg, From: nd.cfg.ID, Beat: r, DeliveryBeat: r,
+			Seq: uint32(seq), Payload: payload,
+		})
+		nd.last.frames = append(nd.last.frames, beatFrame{to: s.To, data: data})
+		if s.To == proto.Broadcast {
+			for to := range msgCount {
+				msgCount[to]++
+			}
+		} else {
+			msgCount[s.To]++
+		}
+	}
+	if nd.cfg.Pool != nil {
+		nd.cfg.Pool.Recycle()
+	}
+	// Markers are per-destination: each declares how many beat-r
+	// messages this node addressed to that peer (in Seq), letting Real
+	// mode distinguish "beat complete" from "marker outran lost
+	// messages" and keep retrying the gap.
+	for to := 0; to < nd.cfg.N; to++ {
+		mark := wire.AppendFrame(nil, wire.Frame{
+			Kind: wire.KindMark, From: nd.cfg.ID, Beat: r, DeliveryBeat: r,
+			Seq: msgCount[to],
+		})
+		nd.last.frames = append(nd.last.frames, beatFrame{to: to, data: mark})
+	}
+	nd.transmit()
+}
+
+// transmit sends the current beat's frames (first time or retry; the
+// receivers' dedup makes retries idempotent).
+func (nd *Node) transmit() {
+	for _, bf := range nd.last.frames {
+		if bf.to == proto.Broadcast {
+			for to := 0; to < nd.cfg.N; to++ {
+				nd.cfg.Endpoint.Send(to, bf.data)
+			}
+		} else {
+			nd.cfg.Endpoint.Send(bf.to, bf.data)
+		}
+	}
+}
+
+// await blocks until beat r is complete per the node's mode (or Stop).
+func (nd *Node) await(r uint64) bool {
+	if nd.cfg.Mode == Lockstep {
+		for len(nd.marks[r]) < nd.cfg.N {
+			select {
+			case <-nd.done:
+				return false
+			case p, ok := <-nd.cfg.Endpoint.Recv():
+				if !ok {
+					return false
+				}
+				nd.ingest(p)
+			}
+		}
+		return true
+	}
+	// Real mode: a quorum of COMPLETE peers — marker received and every
+	// message it declares arrived (retries close the gaps) — with
+	// retransmission while waiting and a hard beat timeout so a
+	// partitioned minority still creeps forward (bounded memory either
+	// way — see Window).
+	deadline := time.NewTimer(nd.cfg.Timing.BeatTimeout)
+	defer deadline.Stop()
+	backoff := nd.cfg.Timing.RetryMin
+	retry := time.NewTimer(nd.jitter(backoff))
+	defer retry.Stop()
+	for {
+		if nd.completePeers(r) >= nd.cfg.N-nd.cfg.F || nd.quorumBeat() > r {
+			return true
+		}
+		select {
+		case <-nd.done:
+			return false
+		case p, ok := <-nd.cfg.Endpoint.Recv():
+			if !ok {
+				return false
+			}
+			nd.ingest(p)
+		case <-retry.C:
+			nd.transmit()
+			if backoff *= 2; backoff > nd.cfg.Timing.RetryMax {
+				backoff = nd.cfg.Timing.RetryMax
+			}
+			retry.Reset(nd.jitter(backoff))
+		case <-deadline.C:
+			return true
+		}
+	}
+}
+
+func (nd *Node) jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(nd.rng.Int63n(int64(d)))
+}
+
+// completePeers counts senders whose beat-r traffic has fully arrived:
+// marker in hand and at least as many first-copy messages as it
+// declared. (Fault-delayed messages count at their send beat, so a
+// delayed frame doesn't stall its sender's completeness.)
+func (nd *Node) completePeers(r uint64) int {
+	n := 0
+	for from, declared := range nd.marks[r] {
+		if nd.fresh[r][from] >= declared {
+			n++
+		}
+	}
+	return n
+}
+
+// quorumBeat is the highest beat that n-f peers (self included) have
+// reached, judged by the newest frame seen from each — the catch-up
+// signal after a heal.
+func (nd *Node) quorumBeat() uint64 {
+	tmp := append([]uint64(nil), nd.peerAt...)
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] > tmp[b] })
+	return tmp[nd.cfg.N-nd.cfg.F-1]
+}
+
+// maybeJump fast-forwards a node a quorum has left behind: skipped
+// beats get no compose or delivery (the wire lost them; the protocols'
+// self-stabilization owns recovery), which resynchronizes after a
+// partition heals without replaying the gap.
+func (nd *Node) maybeJump() {
+	if q := nd.quorumBeat(); q > nd.cur+1 {
+		for b := nd.cur; b < q; b++ {
+			nd.gc(b)
+		}
+		nd.cur = q
+	}
+}
+
+// ingest buffers one received packet: dedup, authentication against the
+// transport where possible, and window plus per-sender bounds so memory
+// stays constant under partitions and floods.
+func (nd *Node) ingest(p net.Packet) {
+	f, err := wire.DecodeFrame(p.Data)
+	if err != nil {
+		return // noise
+	}
+	if f.From >= nd.cfg.N {
+		return
+	}
+	// A transport that authenticates senders must agree with the header.
+	if p.From >= 0 && p.From != f.From {
+		return
+	}
+	if f.Beat > nd.peerAt[f.From] {
+		nd.peerAt[f.From] = f.Beat
+	}
+	if f.DeliveryBeat < nd.cur || f.DeliveryBeat > nd.cur+Window {
+		return
+	}
+	if f.Kind == wire.KindMark {
+		m := nd.marks[f.Beat]
+		if m == nil {
+			m = make(map[int]uint32)
+			nd.marks[f.Beat] = m
+		}
+		m[f.From] = f.Seq // declared per-destination message count
+		return
+	}
+	key := dedupKey{from: f.From, beat: f.Beat, seq: f.Seq, copy: f.Copy}
+	if _, dup := nd.dedup[key]; dup {
+		return // retransmission
+	}
+	c := nd.counts[f.DeliveryBeat]
+	if c == nil {
+		c = make(map[int]int)
+		nd.counts[f.DeliveryBeat] = c
+	}
+	if c[f.From] >= maxPerSender {
+		return // flood
+	}
+	c[f.From]++
+	nd.dedup[key] = struct{}{}
+	nd.seqs[f.DeliveryBeat] = append(nd.seqs[f.DeliveryBeat], frameRec{f: f})
+	if f.Copy == 0 {
+		fr := nd.fresh[f.Beat]
+		if fr == nil {
+			fr = make(map[int]uint32)
+			nd.fresh[f.Beat] = fr
+		}
+		fr[f.From]++
+	}
+}
+
+// deliverBeat decodes beat r's buffered frames into an inbox in the
+// canonical order shared with sim.Engine — late arrivals first by
+// (send beat, honest-before-faulty, sender, seq), then current-beat
+// honest senders by (sender, seq), then the adversary's by its global
+// seq — applies the schedule's reorder permutation, and delivers.
+func (nd *Node) deliverBeat(r uint64) {
+	recs := nd.seqs[r]
+	sort.SliceStable(recs, func(a, b int) bool {
+		x, y := recs[a].f, recs[b].f
+		if x.Beat != y.Beat {
+			return x.Beat < y.Beat
+		}
+		xb, yb := nd.isBad(x.From), nd.isBad(y.From)
+		if xb != yb {
+			return yb
+		}
+		if !xb && x.From != y.From {
+			return x.From < y.From
+		}
+		if x.Seq != y.Seq {
+			return x.Seq < y.Seq
+		}
+		return x.Copy < y.Copy
+	})
+	inbox := make([]proto.Recv, 0, len(recs))
+	for _, rec := range recs {
+		m, err := wire.Decode(rec.f.Payload)
+		if err != nil {
+			continue // Byzantine garbage: hardened decode drops it
+		}
+		inbox = append(inbox, proto.Recv{From: rec.f.From, Msg: m})
+	}
+	if nd.cfg.Links != nil && len(inbox) > 1 {
+		if seed, ok := nd.cfg.Links.Shuffle(r, nd.cfg.ID); ok {
+			order := faultnet.ShuffleOrder(seed, len(inbox))
+			tmp := make([]proto.Recv, len(order))
+			for k, j := range order {
+				tmp[k] = inbox[j]
+			}
+			inbox = tmp
+		}
+	}
+	nd.cfg.Protocol.Deliver(r, inbox)
+	if nd.cfg.OnBeat != nil {
+		nd.cfg.OnBeat(r, nd.cfg.Protocol)
+	}
+}
+
+func (nd *Node) isBad(i int) bool {
+	return i >= 0 && i < len(nd.cfg.Faulty) && nd.cfg.Faulty[i]
+}
+
+// gc drops beat b's buffers once it is delivered (or skipped).
+func (nd *Node) gc(b uint64) {
+	for _, rec := range nd.seqs[b] {
+		delete(nd.dedup, dedupKey{from: rec.f.From, beat: rec.f.Beat, seq: rec.f.Seq, copy: rec.f.Copy})
+	}
+	delete(nd.seqs, b)
+	delete(nd.marks, b)
+	delete(nd.fresh, b)
+	delete(nd.counts, b)
+}

@@ -12,8 +12,10 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/faultnet"
 	"ssbyzclock/internal/pool"
 	"ssbyzclock/internal/proto"
 	"ssbyzclock/internal/wire"
@@ -75,6 +77,17 @@ type Config struct {
 	// the same seed; pooling only changes where compose payloads'
 	// memory comes from.
 	Pool PoolMode
+	// Links injects transport faults (loss, duplication, whole-beat
+	// delays, inbox reordering, partitions) into honest-destination
+	// links, per the schedule's pure verdicts. Nil means an ideal
+	// network. Three link classes are exempt, matching the model and the
+	// networked runtime: self-links (a node's loopback is not a wire),
+	// links into faulty nodes (the rushing adversary's taps are ideal
+	// private channels — the intercept phase stays pre-fault), and
+	// phantom injections (they model the network's own garbage, not
+	// traffic). Message metrics still count faulted sends: they tally
+	// what protocols emit, not what the wire loses.
+	Links faultnet.Schedule
 }
 
 // Engine simulates one cluster. Create with New, then call Step (or Run)
@@ -100,6 +113,14 @@ type Engine struct {
 
 	scrambleRng *rand.Rand
 	phantoms    []proto.Recv
+
+	// delayed holds fault-delayed deliveries keyed by due beat. Entries
+	// carry proto.Clone copies (the pooled originals die at the sending
+	// beat's recycle phase — this queue is the engine's side of the
+	// message-lifetime ownership boundary) plus the ordering key the
+	// networked runtime derives from frame headers, so both stacks slot
+	// late messages into inboxes identically.
+	delayed map[uint64][]delayedRecv
 
 	// Per-beat scratch, reused across Steps so the lockstep loop is
 	// allocation-free at steady state. Safe because Compose results are
@@ -182,6 +203,13 @@ func New(cfg Config, factory NodeFactory) *Engine {
 	return e
 }
 
+// ResolvePoolMode reports how a PoolMode setting resolves against the
+// SSBYZ_POOL environment: whether payloads are pooled at all and
+// whether recycled buffers are poisoned. Exported for the networked
+// runtime, which manages per-node pools of its own under the same
+// setting.
+func ResolvePoolMode(m PoolMode) (pooled, poison bool) { return resolvePoolMode(m) }
+
 // resolvePoolMode maps a Config.Pool setting to (pooled, poison).
 func resolvePoolMode(m PoolMode) (pooled, poison bool) {
 	if m == PoolAuto {
@@ -205,6 +233,19 @@ func rngFor(seed int64, salt uint64) *rand.Rand {
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return rand.New(rand.NewSource(int64(x ^ (x >> 31))))
 }
+
+// NodeRng returns the random stream node id derives from seed — the
+// exact stream New hands that node's proto.Env. Exported so the
+// networked runtime (package noderuntime) builds protocol instances
+// that replay this engine bit for bit.
+func NodeRng(seed int64, id int) *rand.Rand { return rngFor(seed, uint64(id)) }
+
+// AdversaryRng returns the adversary's stream for seed (see NodeRng).
+func AdversaryRng(seed int64) *rand.Rand { return rngFor(seed, 1<<32) }
+
+// ScrambleRng returns the state-scrambling stream for seed (see
+// NodeRng).
+func ScrambleRng(seed int64) *rand.Rand { return rngFor(seed, 1<<33) }
 
 // Beat returns the next beat number to execute (the count of completed
 // beats).
@@ -246,7 +287,7 @@ func (e *Engine) Step() {
 	beat := e.beat
 	e.composePhase(beat)
 	faultySends := e.interceptPhase(beat)
-	e.mergeInboxes(faultySends)
+	e.mergeInboxes(beat, faultySends)
 	if e.cfg.CountBytes {
 		e.countBytes()
 	}
@@ -314,12 +355,27 @@ func (e *Engine) interceptPhase(beat uint64) []adversary.Sends {
 	return e.adv.Act(beat, defaultSends, visible)
 }
 
+// delayedRecv is one fault-delayed delivery in flight. The sort key
+// (sendBeat, badFrom, from, seq) is the canonical late-arrival order
+// both stacks share: the networked runtime reads the same fields out of
+// frame headers.
+type delayedRecv struct {
+	to       int
+	sendBeat uint64
+	badFrom  bool
+	from     int
+	seq      uint32
+	recv     proto.Recv
+}
+
 // mergeInboxes deterministically builds every node's inbox — phantoms,
-// then honest sends in node order, then the adversary's sends in
-// returned order — and tallies the message metrics. Malformed
-// destinations (negative non-broadcast or >= n) are dropped without
-// delivery or tally, whether honest or adversarial.
-func (e *Engine) mergeInboxes(faultySends []adversary.Sends) {
+// then fault-delayed messages due this beat (in canonical late-arrival
+// order), then honest sends in node order, then the adversary's sends
+// in returned order — applies the link-fault schedule, and tallies the
+// message metrics. Malformed destinations (negative non-broadcast or
+// >= n) are dropped without delivery or tally, whether honest or
+// adversarial.
+func (e *Engine) mergeInboxes(beat uint64, faultySends []adversary.Sends) {
 	n := e.cfg.N
 	if e.inboxes == nil {
 		e.inboxes = make([][]proto.Recv, n)
@@ -336,18 +392,56 @@ func (e *Engine) mergeInboxes(faultySends []adversary.Sends) {
 		}
 		e.phantoms = nil
 	}
-	deliver := func(from, to int, m proto.Message) {
+	if due := e.delayed[beat]; len(due) > 0 {
+		sort.SliceStable(due, func(a, b int) bool {
+			x, y := due[a], due[b]
+			if x.sendBeat != y.sendBeat {
+				return x.sendBeat < y.sendBeat
+			}
+			if x.badFrom != y.badFrom {
+				return y.badFrom
+			}
+			// Honest seqs are per-sender, adversary seqs are a single
+			// global sequence — exactly what frame headers carry.
+			if !x.badFrom && x.from != y.from {
+				return x.from < y.from
+			}
+			return x.seq < y.seq
+		})
+		for _, d := range due {
+			inboxes[d.to] = append(inboxes[d.to], d.recv)
+		}
+		delete(e.delayed, beat)
+	}
+	deliver := func(from, to int, m proto.Message, seq uint32) {
+		// The schedule rules on honest-destination, non-self links only;
+		// see Config.Links for why the other classes are exempt.
+		if e.cfg.Links != nil && from != to && !e.isBad[to] {
+			v := e.cfg.Links.Verdict(beat, from, to)
+			if v.Drop {
+				return
+			}
+			if v.Delay > 0 {
+				e.delayLink(beat, from, to, seq, m, v)
+				return
+			}
+			inboxes[to] = append(inboxes[to], proto.Recv{From: from, Msg: m})
+			if v.Dup {
+				inboxes[to] = append(inboxes[to], proto.Recv{From: from, Msg: m})
+			}
+			return
+		}
 		inboxes[to] = append(inboxes[to], proto.Recv{From: from, Msg: m})
 	}
-	fanout := func(from int, s proto.Send, honest bool) {
+	fanout := func(from int, s proto.Send, seq uint32, honest bool) {
 		count := uint64(1)
 		if s.To == proto.Broadcast {
 			count = uint64(n)
 			for to := 0; to < n; to++ {
-				deliver(from, to, s.Msg)
+				deliver(from, to, s.Msg, seq)
 			}
 		} else if s.To >= 0 && s.To < n {
-			deliver(from, s.To, s.Msg)
+			deliver(from, s.To, s.Msg, seq)
 		} else {
 			return
 		}
@@ -361,17 +455,70 @@ func (e *Engine) mergeInboxes(faultySends []adversary.Sends) {
 		if e.isBad[i] {
 			continue
 		}
-		for _, s := range e.composed[i] {
-			fanout(i, s, true)
+		for seq, s := range e.composed[i] {
+			fanout(i, s, uint32(seq), true)
 		}
 	}
+	// The adversary's sends number sequentially across all its nodes in
+	// Act-return order — the same global sequence the networked
+	// adversary host stamps into its frames.
+	advSeq := uint32(0)
 	for _, fs := range faultySends {
 		if fs.From < 0 || fs.From >= n || !e.isBad[fs.From] {
 			continue // identity cannot be forged (Definition 2.2)
 		}
 		for _, s := range fs.Out {
-			fanout(fs.From, s, false)
+			fanout(fs.From, s, advSeq, false)
+			advSeq++
 		}
+	}
+	e.shuffleInboxes(beat)
+}
+
+// delayLink queues a fault-delayed delivery. The message is deep-copied
+// (proto.Clone) because the original's pooled payload is recycled when
+// this beat ends; unregistered message types (test doubles) are never
+// pooled, so they are retained as-is.
+func (e *Engine) delayLink(beat uint64, from, to int, seq uint32, m proto.Message, v faultnet.Verdict) {
+	c, err := proto.Clone(m)
+	if err != nil {
+		c = m
+	}
+	if e.delayed == nil {
+		e.delayed = make(map[uint64][]delayedRecv)
+	}
+	due := beat + v.Delay
+	d := delayedRecv{
+		to: to, sendBeat: beat, badFrom: e.isBad[from], from: from, seq: seq,
+		recv: proto.Recv{From: from, Msg: c},
+	}
+	e.delayed[due] = append(e.delayed[due], d)
+	if v.Dup {
+		e.delayed[due] = append(e.delayed[due], d)
+	}
+}
+
+// shuffleInboxes applies the schedule's per-node inbox permutations —
+// the reordering fault. faultnet.ShuffleOrder is shared with the
+// networked runtime, so both stacks permute identically.
+func (e *Engine) shuffleInboxes(beat uint64) {
+	if e.cfg.Links == nil {
+		return
+	}
+	for i := 0; i < e.cfg.N; i++ {
+		if e.isBad[i] || len(e.inboxes[i]) < 2 {
+			continue
+		}
+		seed, ok := e.cfg.Links.Shuffle(beat, i)
+		if !ok {
+			continue
+		}
+		order := faultnet.ShuffleOrder(seed, len(e.inboxes[i]))
+		tmp := make([]proto.Recv, len(order))
+		for k, j := range order {
+			tmp[k] = e.inboxes[i][j]
+		}
+		copy(e.inboxes[i], tmp)
 	}
 }
 

@@ -12,6 +12,7 @@ type CellKey struct {
 	N         int
 	Adversary string
 	Layout    string
+	Fault     string
 }
 
 // CellAgg is one cell's aggregate over its seeds, built by streaming the
@@ -31,16 +32,15 @@ type CellAgg struct {
 }
 
 // Aggregate streams the merged store into per-cell aggregates, in the
-// grid's cell enumeration order (n outermost, then adversary, then
-// layout). The store must be merged.
+// grid's cell enumeration order (n outermost, then adversary, layout,
+// fault). The store must be merged.
 func Aggregate(st *Store) ([]*CellAgg, error) {
 	g := st.Grid()
-	cellsPerN := len(g.Adversaries) * len(g.Layouts)
-	cells := make([]*CellAgg, len(g.Ns)*cellsPerN)
+	cells := make([]*CellAgg, g.Units()/g.Seeds)
 	for i := range cells {
 		u := g.UnitAt(i * g.Seeds)
 		cells[i] = &CellAgg{
-			Key:  CellKey{N: u.N, Adversary: u.Adversary, Layout: u.Layout},
+			Key:  CellKey{N: u.N, Adversary: u.Adversary, Layout: u.Layout, Fault: u.Fault},
 			Conv: stats.NewHistogram(g.MaxBeats),
 		}
 	}
@@ -75,10 +75,10 @@ func Render(w io.Writer, st *Store) error {
 	g := st.Grid()
 	fmt.Fprintf(w, "sweep: %s/%s k=%d seeds=%d max_beats=%d hold=%d (%d units)\n",
 		g.Protocol, g.Coin, g.protocolK(), g.Seeds, g.MaxBeats, g.Hold, g.Units())
-	t := stats.NewTable("n", "f", "adversary", "layout",
+	t := stats.NewTable("n", "f", "adversary", "layout", "fault",
 		"mean", "p50", "p95", "max", "fails", "closure", "msgs/node-beat", "bytes/node-beat")
 	for _, c := range cells {
-		t.AddRow(fmt.Sprint(c.Key.N), fmt.Sprint((c.Key.N-1)/3), c.Key.Adversary, c.Key.Layout,
+		t.AddRow(fmt.Sprint(c.Key.N), fmt.Sprint((c.Key.N-1)/3), c.Key.Adversary, c.Key.Layout, c.Key.Fault,
 			fmt.Sprintf("%.1f", c.Conv.Mean()),
 			fmt.Sprintf("%.0f", c.Conv.Median()),
 			fmt.Sprintf("%.0f", c.Conv.Quantile(0.95)),

@@ -17,6 +17,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+
+	"ssbyzclock/internal/faultnet"
 )
 
 // Grid describes one experiment sweep: the cross product of cluster
@@ -42,8 +44,16 @@ type Grid struct {
 	Adversaries []string `json:"adversaries"`
 	// Layouts lists coin layouts: "shared" and/or "paper".
 	Layouts []string `json:"layouts"`
+	// Faults lists transport-fault schedule names (faultnet.Parse
+	// syntax: "none", "loss20", "dup10+delay15", ...), making network
+	// adversaries a grid dimension alongside Byzantine ones. Empty means
+	// the single ideal schedule "none" — omitted from JSON so legacy
+	// grids keep their Hash. Each unit's schedule is seeded from the
+	// unit's own engine seed, so faulted units replay bit-for-bit like
+	// any other.
+	Faults []string `json:"faults,omitempty"`
 	// Seeds is the number of independent seeds per (n, adversary,
-	// layout) cell.
+	// layout, fault) cell.
 	Seeds int `json:"seeds"`
 	// SeedBase offsets every unit's engine seed, so disjoint sweeps can
 	// draw disjoint randomness. Unit seed = SeedBase + 7*seedIndex + 1,
@@ -60,18 +70,28 @@ type Grid struct {
 
 // Unit is one work item: a single measured run at a fixed grid cell and
 // seed. Units are identified by their dense Index in the grid's
-// row-major enumeration (n outermost, then adversary, layout, seed), so
-// a unit index plus the grid fully determines the run.
+// row-major enumeration (n outermost, then adversary, layout, fault,
+// seed), so a unit index plus the grid fully determines the run.
 type Unit struct {
 	Index     int
 	N, F      int
 	Adversary string
 	Layout    string
+	Fault     string
 	SeedIdx   int
 }
 
 // Seed returns the engine seed for the unit under g.
 func (u Unit) Seed(g Grid) int64 { return g.SeedBase + int64(u.SeedIdx)*7 + 1 }
+
+// faultList returns the fault dimension, defaulting the empty slice to
+// the single ideal schedule.
+func (g Grid) faultList() []string {
+	if len(g.Faults) == 0 {
+		return []string{"none"}
+	}
+	return g.Faults
+}
 
 // protocolK returns the effective clock modulus measured for g.
 func (g Grid) protocolK() uint64 {
@@ -125,6 +145,11 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: unknown layout %q (want shared or paper)", l)
 		}
 	}
+	for _, name := range g.faultList() {
+		if _, err := faultnet.Parse(name); err != nil {
+			return fmt.Errorf("sweep: bad fault schedule %q: %w", name, err)
+		}
+	}
 	if g.Seeds <= 0 {
 		return fmt.Errorf("sweep: grid needs seeds > 0")
 	}
@@ -139,7 +164,7 @@ func (g Grid) Validate() error {
 
 // Units returns the total unit count.
 func (g Grid) Units() int {
-	return len(g.Ns) * len(g.Adversaries) * len(g.Layouts) * g.Seeds
+	return len(g.Ns) * len(g.Adversaries) * len(g.Layouts) * len(g.faultList()) * g.Seeds
 }
 
 // UnitAt expands unit index idx into its coordinates. It panics on an
@@ -149,9 +174,12 @@ func (g Grid) UnitAt(idx int) Unit {
 	if idx < 0 || idx >= g.Units() {
 		panic(fmt.Sprintf("sweep: unit index %d out of range [0,%d)", idx, g.Units()))
 	}
+	faults := g.faultList()
 	rest := idx
 	seed := rest % g.Seeds
 	rest /= g.Seeds
+	fault := rest % len(faults)
+	rest /= len(faults)
 	layout := rest % len(g.Layouts)
 	rest /= len(g.Layouts)
 	adv := rest % len(g.Adversaries)
@@ -163,6 +191,7 @@ func (g Grid) UnitAt(idx int) Unit {
 		F:         (n - 1) / 3,
 		Adversary: g.Adversaries[adv],
 		Layout:    g.Layouts[layout],
+		Fault:     faults[fault],
 		SeedIdx:   seed,
 	}
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"ssbyzclock/internal/adversary"
 	"ssbyzclock/internal/coin"
 	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/faultnet"
 	"ssbyzclock/internal/sim"
 )
 
@@ -162,6 +164,16 @@ func (r Runner) RunUnit(g Grid, u Unit) (Result, error) {
 		CountBytes:    true,
 		Workers:       r.Workers,
 	}
+	if u.Fault != "" && u.Fault != "none" {
+		sched, err := faultnet.Parse(u.Fault)
+		if err != nil {
+			return Result{}, fmt.Errorf("sweep: unit %d fault %q: %w", u.Index, u.Fault, err)
+		}
+		// The schedule draws from the unit's own seed, so a faulted unit
+		// replays bit-for-bit like an ideal one.
+		sched.Seed = uint64(u.Seed(g))
+		cfg.Links = sched
+	}
 	e := sim.New(cfg, nodeFactory)
 	res := sim.MeasureConvergence(e, g.protocolK(), g.MaxBeats, g.Hold)
 	out := Result{
@@ -187,8 +199,12 @@ func (r Runner) RunUnit(g Grid, u Unit) (Result, error) {
 // already recorded (by ANY prior shard layout: completion is tracked per
 // unit, not per shard). maxUnits > 0 stops after that many fresh units —
 // the deterministic stand-in for an interruption in tests and the CI
-// smoke. Returns the number of units executed.
-func ExecuteShard(st *Store, shard, shards int, r Runner, maxUnits int, progress func(Unit, Result)) (int, error) {
+// smoke. Cancelling ctx is the graceful interruption: the unit in
+// flight finishes and is recorded, the chunk file is flushed, and
+// ExecuteShard returns the count so far with ctx's error — everything
+// recorded survives for the resume. Returns the number of units
+// executed.
+func ExecuteShard(ctx context.Context, st *Store, shard, shards int, r Runner, maxUnits int, progress func(Unit, Result)) (int, error) {
 	if shards <= 0 || shard < 0 || shard >= shards {
 		return 0, fmt.Errorf("sweep: bad shard %d of %d", shard, shards)
 	}
@@ -209,6 +225,12 @@ func ExecuteShard(st *Store, shard, shards int, r Runner, maxUnits int, progress
 		}
 		if maxUnits > 0 && ran >= maxUnits {
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			if cerr := w.Close(); cerr != nil {
+				return ran, cerr
+			}
+			return ran, err
 		}
 		u := g.UnitAt(idx)
 		res, err := r.RunUnit(g, u)

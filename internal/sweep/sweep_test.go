@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,7 +33,7 @@ func executeAll(t *testing.T, dir string, g Grid, shards int) *Store {
 		t.Fatal(err)
 	}
 	for s := 0; s < shards; s++ {
-		if _, err := ExecuteShard(st, s, shards, Runner{Workers: 1}, 0, nil); err != nil {
+		if _, err := ExecuteShard(context.Background(), st, s, shards, Runner{Workers: 1}, 0, nil); err != nil {
 			t.Fatalf("shard %d/%d: %v", s, shards, err)
 		}
 	}
@@ -101,7 +103,7 @@ func TestKillAndResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ran, err := ExecuteShard(st, 0, 2, Runner{Workers: 1}, 2, nil)
+	ran, err := ExecuteShard(context.Background(), st, 0, 2, Runner{Workers: 1}, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func TestKillAndResume(t *testing.T) {
 	}
 	total := 0
 	for s := 0; s < 3; s++ {
-		ran, err := ExecuteShard(st2, s, 3, Runner{Workers: 1}, 0, nil)
+		ran, err := ExecuteShard(context.Background(), st2, s, 3, Runner{Workers: 1}, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,6 +140,51 @@ func TestKillAndResume(t *testing.T) {
 	}
 }
 
+// TestContextCancelStopsGracefully interrupts a shard via context
+// cancellation (the SIGINT path in cmd/sweep): the unit in flight is
+// recorded, the error is the context's, and a later run resumes from
+// the recorded frontier to the same merged bytes as an uninterrupted
+// sweep.
+func TestContextCancelStopsGracefully(t *testing.T) {
+	g := testGrid()
+	ref := executeAll(t, filepath.Join(t.TempDir(), "ref"), g, 1)
+	refCols := columnBytes(t, ref)
+
+	dir := t.TempDir()
+	st, err := Create(dir, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ran, err := ExecuteShard(ctx, st, 0, 1, Runner{Workers: 1}, 0, func(Unit, Result) {
+		cancel() // the "SIGINT" lands while a unit is mid-flight
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran == 0 || ran >= g.Units() {
+		t.Fatalf("interrupted shard ran %d units, want partial progress", ran)
+	}
+	_, done, err := st.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != ran {
+		t.Fatalf("%d units recorded, %d executed: the in-flight unit was lost", done, ran)
+	}
+	if _, err := ExecuteShard(context.Background(), st, 0, 1, Runner{Workers: 1}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range columnBytes(t, st) {
+		if !bytes.Equal(refCols[name], want) {
+			t.Errorf("resumed-after-cancel store: column %s differs from reference", name)
+		}
+	}
+}
+
 // TestPartialTrailingRecord kills a writer mid-append by truncating its
 // chunk file to a non-record boundary: the scan must treat the partial
 // tail as absent, the unit must re-run, and the merged output must still
@@ -152,7 +199,7 @@ func TestPartialTrailingRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ExecuteShard(st, 0, 1, Runner{Workers: 1}, 3, nil); err != nil {
+	if _, err := ExecuteShard(context.Background(), st, 0, 1, Runner{Workers: 1}, 3, nil); err != nil {
 		t.Fatal(err)
 	}
 	chunks, err := st.chunkFiles()
@@ -174,7 +221,7 @@ func TestPartialTrailingRecord(t *testing.T) {
 	if count != 2 {
 		t.Fatalf("after truncation %d units complete, want 2", count)
 	}
-	if _, err := ExecuteShard(st, 0, 1, Runner{Workers: 1}, 0, nil); err != nil {
+	if _, err := ExecuteShard(context.Background(), st, 0, 1, Runner{Workers: 1}, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Merge(); err != nil {
@@ -340,6 +387,59 @@ func TestBitOracleUnitsRunnable(t *testing.T) {
 	}
 }
 
+// TestFaultDimension covers the grid's transport-fault coordinate: the
+// empty Faults slice is the single ideal schedule and keeps the legacy
+// unit enumeration (and grid Hash) intact; a populated slice multiplies
+// the unit count with fault innermost-but-for-seed; faulted units run
+// deterministically and differently from their ideal twins.
+func TestFaultDimension(t *testing.T) {
+	plain := testGrid()
+	legacy := plain.Hash()
+	if got := plain.UnitAt(0).Fault; got != "none" {
+		t.Fatalf("ideal grid unit fault = %q, want none", got)
+	}
+	if plain.Hash() != legacy {
+		t.Fatal("reading units must not change the grid hash")
+	}
+
+	g := testGrid()
+	g.Faults = []string{"none", "loss25+reorder"}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.Units(), plain.Units()*2; got != want {
+		t.Fatalf("Units() = %d, want %d", got, want)
+	}
+	if g.Hash() == legacy {
+		t.Fatal("fault dimension must change the grid hash")
+	}
+	// Fault sits between layout and seed: unit Seeds is the first unit of
+	// the second fault, same cell otherwise.
+	u := g.UnitAt(g.Seeds)
+	if u.Fault != "loss25+reorder" || u.Layout != "shared" || u.Adversary != "silent" || u.SeedIdx != 0 {
+		t.Fatalf("unit %d = %+v", g.Seeds, u)
+	}
+
+	ideal, err := Runner{Workers: 1}.RunUnit(g, g.UnitAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := Runner{Workers: 1}.RunUnit(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Runner{Workers: 1}.RunUnit(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted != again {
+		t.Fatalf("faulted unit not deterministic: %+v vs %+v", faulted, again)
+	}
+	if faulted == ideal {
+		t.Fatalf("loss25+reorder left the run unchanged: %+v", faulted)
+	}
+}
+
 // TestGridValidate spot-checks the validator's rejections.
 func TestGridValidate(t *testing.T) {
 	for _, tc := range []struct {
@@ -355,6 +455,7 @@ func TestGridValidate(t *testing.T) {
 		{"maxbeats", func(g *Grid) { g.MaxBeats = 0 }},
 		{"hold", func(g *Grid) { g.Hold = 0 }},
 		{"k", func(g *Grid) { g.Protocol = "clocksync"; g.K = 0 }},
+		{"fault", func(g *Grid) { g.Faults = []string{"loss200"} }},
 	} {
 		g := testGrid()
 		tc.mutate(&g)

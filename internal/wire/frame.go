@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame is the transport envelope of the networked runtime (package
+// noderuntime): every datagram or stream record that crosses a
+// net.Transport is one encoded Frame. The header carries the routing and
+// ordering metadata the event-driven runtime derives its beats from —
+// there is no global clock on the wire, only frames:
+//
+//   - From is the sender's node id. Transports that authenticate the
+//     peer (in-proc channels, TCP connections) cross-check it; UDP
+//     cannot, which the model permits (a Byzantine sender owns its
+//     traffic anyway, and honest ids are checked against the transport
+//     where possible).
+//   - Beat is the sender's beat when the message was composed.
+//   - DeliveryBeat >= Beat is the beat the message is due in a
+//     receiver's inbox. It differs from Beat only when a fault schedule
+//     (package faultnet) delayed the frame by whole beats.
+//   - Seq is the message's position in its sender's compose order (for
+//     adversary-controlled senders: in the adversary's global send
+//     order). Receivers sort a beat's inbox by it, which is what makes
+//     an in-proc networked run replay the lockstep engine exactly.
+//   - Copy distinguishes fault-injected duplicates (Copy=1,2,...) from
+//     retransmissions (same Copy): receivers deduplicate on
+//     (From, Beat, Seq, Copy), so a retried frame delivers once while an
+//     injected duplicate delivers twice.
+//
+// Markers (KindMark) carry no payload: a marker for beat r is the
+// sender's statement that all of its beat-r traffic has been sent. It is
+// the runtime's pulse — beat advancement is derived from marker arrival
+// — and doubles as the idle-peer heartbeat.
+type Frame struct {
+	Kind         byte
+	From         int
+	Beat         uint64
+	DeliveryBeat uint64
+	Seq          uint32
+	Copy         uint8
+	// Payload is the wire-encoded message (KindMsg only). DecodeFrame
+	// aliases it into the input buffer; callers that keep the frame must
+	// copy it out.
+	Payload []byte
+}
+
+// Frame kinds.
+const (
+	// KindMsg carries one wire-encoded protocol message.
+	KindMsg byte = 1
+	// KindMark is a beat-complete marker / heartbeat; no payload.
+	KindMark byte = 2
+
+	frameVersion byte = 1
+)
+
+// AppendFrame appends f's encoding to buf and returns the extended
+// slice. Layout: version, kind, then uvarints for from, beat, the
+// delivery-beat delta and seq, the copy byte, and the payload (KindMsg
+// only, running to the end of the frame).
+func AppendFrame(buf []byte, f Frame) []byte {
+	buf = append(buf, frameVersion, f.Kind)
+	buf = binary.AppendUvarint(buf, uint64(f.From))
+	buf = binary.AppendUvarint(buf, f.Beat)
+	delta := uint64(0)
+	if f.DeliveryBeat > f.Beat {
+		delta = f.DeliveryBeat - f.Beat
+	}
+	buf = binary.AppendUvarint(buf, delta)
+	buf = binary.AppendUvarint(buf, uint64(f.Seq))
+	buf = append(buf, f.Copy)
+	if f.Kind == KindMsg {
+		buf = append(buf, f.Payload...)
+	}
+	return buf
+}
+
+// maxFrameFrom bounds the sender id a frame may claim: far above any
+// real cluster size, low enough that a corrupted varint cannot turn
+// into a giant table index downstream.
+const maxFrameFrom = 1 << 20
+
+// DecodeFrame parses one frame. It never panics on malformed input —
+// Byzantine peers and lossy networks own the wire — and returns
+// ErrMalformed (wrapped) for anything undecodable: truncation, unknown
+// version or kind, out-of-range ids, or a payload on a marker. The
+// returned Payload aliases data.
+func DecodeFrame(data []byte) (Frame, error) {
+	var f Frame
+	if len(data) < 2 {
+		return f, fmt.Errorf("%w: frame too short", ErrMalformed)
+	}
+	if data[0] != frameVersion {
+		return f, fmt.Errorf("%w: frame version %d", ErrMalformed, data[0])
+	}
+	f.Kind = data[1]
+	if f.Kind != KindMsg && f.Kind != KindMark {
+		return f, fmt.Errorf("%w: frame kind %d", ErrMalformed, f.Kind)
+	}
+	rest := data[2:]
+	from, rest, err := getUvarint(rest)
+	if err != nil || from > maxFrameFrom {
+		return f, fmt.Errorf("%w: frame sender", ErrMalformed)
+	}
+	f.From = int(from)
+	if f.Beat, rest, err = getUvarint(rest); err != nil {
+		return f, fmt.Errorf("%w: frame beat", ErrMalformed)
+	}
+	delta, rest, err := getUvarint(rest)
+	if err != nil || delta > 1<<32 {
+		return f, fmt.Errorf("%w: frame delivery delta", ErrMalformed)
+	}
+	f.DeliveryBeat = f.Beat + delta
+	seq, rest, err := getUvarint(rest)
+	if err != nil || seq > 1<<32-1 {
+		return f, fmt.Errorf("%w: frame seq", ErrMalformed)
+	}
+	f.Seq = uint32(seq)
+	if len(rest) < 1 {
+		return f, fmt.Errorf("%w: frame copy", ErrMalformed)
+	}
+	f.Copy = rest[0]
+	rest = rest[1:]
+	switch f.Kind {
+	case KindMsg:
+		f.Payload = rest
+	case KindMark:
+		if len(rest) != 0 {
+			return f, fmt.Errorf("%w: marker with payload", ErrMalformed)
+		}
+	}
+	return f, nil
+}

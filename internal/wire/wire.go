@@ -173,7 +173,11 @@ func decodeFrom(data []byte, depth int) (proto.Message, []byte, error) {
 		return proto.Envelope{Child: child, Inner: inner}, rest, nil
 	case tagShare:
 		n, data, err := getUvarint(data)
-		if err != nil || n > maxSliceElements {
+		// Every declared row costs at least one byte of input, so a count
+		// beyond the remaining data is malformed — checked BEFORE the
+		// allocation, so a truncated or corrupted datagram cannot demand
+		// megabytes of row headers with a three-byte varint.
+		if err != nil || n > maxSliceElements || n > uint64(len(data)) {
 			return nil, nil, ErrMalformed
 		}
 		rows := make([]field.Poly, n)
@@ -212,7 +216,7 @@ func decodeFrom(data []byte, depth int) (proto.Message, []byte, error) {
 		return gvss.RecoverMsg{Shares: shares, HasRow: has}, data, nil
 	case tagAccept:
 		n, data, err := getUvarint(data)
-		if err != nil || n > maxSliceElements {
+		if err != nil || n > maxSliceElements || n > uint64(len(data)) {
 			return nil, nil, ErrMalformed
 		}
 		set := make([]uint16, n)
@@ -344,7 +348,10 @@ func putElems(b *[]byte, es []field.Elem) {
 
 func getElems(data []byte) (field.Poly, []byte, error) {
 	n, data, err := getUvarint(data)
-	if err != nil || n > maxSliceElements {
+	// Elements are at least one byte each on the wire; bounding the count
+	// by the remaining input keeps the allocation proportional to the
+	// datagram, not to what a corrupted header claims.
+	if err != nil || n > maxSliceElements || n > uint64(len(data)) {
 		return nil, nil, ErrMalformed
 	}
 	es := make(field.Poly, n)
@@ -368,7 +375,7 @@ func putElemMatrix(b *[]byte, m [][]field.Elem) {
 
 func getElemMatrix(data []byte) ([][]field.Elem, []byte, error) {
 	n, data, err := getUvarint(data)
-	if err != nil || n > maxSliceElements {
+	if err != nil || n > maxSliceElements || n > uint64(len(data)) {
 		return nil, nil, ErrMalformed
 	}
 	m := make([][]field.Elem, n)
@@ -407,7 +414,7 @@ func putBoolMatrix(b *[]byte, m [][]bool) {
 
 func getBoolMatrix(data []byte) ([][]bool, []byte, error) {
 	n, data, err := getUvarint(data)
-	if err != nil || n > maxSliceElements {
+	if err != nil || n > maxSliceElements || n > uint64(len(data)) {
 		return nil, nil, ErrMalformed
 	}
 	m := make([][]bool, n)

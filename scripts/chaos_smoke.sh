@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI smoke for the event-driven networked runtime (internal/net,
+# internal/faultnet, internal/noderuntime, cmd/clocknet).
+#
+# Two gates, both under the race detector:
+#
+#   1. equivalence — the lockstep cluster over the in-process transport
+#      must replay the deterministic engine's honest clock trajectory
+#      beat for beat, across the adversary suite and the fault-schedule
+#      grid (the differential harness: the engine is the oracle, any
+#      divergence is a runtime bug by definition);
+#   2. liveness — a 4-node real-mode cluster under seeded 30% per-attempt
+#      loss, inbox reordering and a partition/heal cycle must still
+#      converge (an agreement streak of >= 8 consecutive beats), first
+#      over in-process channels, then over real loopback UDP sockets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== differential: lockstep cluster replays the engine (adversaries x faults) =="
+go test -race -count=1 -run 'TestLockstepMatchesEngine' ./internal/noderuntime/
+
+echo "== chaos: 4-node in-process cluster, 30% loss + reorder + partition/heal =="
+go run -race ./cmd/clocknet -n 4 -loss 30 -faults partition+reorder -latency 2ms \
+  -beats 80 -hold 8 -beat-timeout 250ms -seed 2026 -quiet
+
+echo "== chaos: the same storm over loopback UDP =="
+go run -race ./cmd/clocknet -transport udp -n 4 -loss 30 -faults partition+reorder \
+  -latency 4ms -beats 80 -hold 8 -beat-timeout 250ms -seed 31337 -quiet
+
+echo "chaos smoke OK"
