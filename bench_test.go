@@ -286,7 +286,7 @@ func BenchmarkSection61_DWAdapted(b *testing.B) {
 // series keeps the paper layout's per-instance pipelines measurable
 // forever.
 func BenchmarkBeat(b *testing.B) {
-	for _, cse := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}, {16, 5}} {
+	for _, cse := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}, {16, 5}, {32, 10}} {
 		b.Run(fmt.Sprintf("ClockSyncFM/n=%d", cse.n), func(b *testing.B) {
 			e := sim.New(sim.Config{N: cse.n, F: cse.f, Seed: 1},
 				core.NewClockSyncProtocolLayout(64, coin.FMFactory{}, core.LayoutShared))
@@ -297,7 +297,7 @@ func BenchmarkBeat(b *testing.B) {
 			}
 		})
 	}
-	for _, cse := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}, {16, 5}} {
+	for _, cse := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}, {16, 5}, {32, 10}} {
 		b.Run(fmt.Sprintf("ClockSyncFMPaper/n=%d", cse.n), func(b *testing.B) {
 			e := sim.New(sim.Config{N: cse.n, F: cse.f, Seed: 1},
 				core.NewClockSyncProtocolLayout(64, coin.FMFactory{}, core.LayoutPaper))

@@ -1,0 +1,295 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 evalColumns kernel. Four 62-bit Mersenne-31 products per
+// VPMULUDQ (Elem is canonical < 2^31 in a 64-bit lane, so the low
+// dwords multiply directly), two ymm accumulators per 8-point block,
+// coefficients consumed in quads under the quad budget documented in
+// kernels.go: a folded accumulator (< 2^33 + 2^31) plus four products
+// (<= 4(P-1)^2) stays below 2^64, so one fold per four coefficient rows
+// keeps every lane exact.
+
+DATA pvec<>+0x00(SB)/8, $0x000000007fffffff
+DATA pvec<>+0x08(SB)/8, $0x000000007fffffff
+DATA pvec<>+0x10(SB)/8, $0x000000007fffffff
+DATA pvec<>+0x18(SB)/8, $0x000000007fffffff
+GLOBL pvec<>(SB), RODATA|NOPTR, $32
+
+DATA pm1vec<>+0x00(SB)/8, $0x000000007ffffffe
+DATA pm1vec<>+0x08(SB)/8, $0x000000007ffffffe
+DATA pm1vec<>+0x10(SB)/8, $0x000000007ffffffe
+DATA pm1vec<>+0x18(SB)/8, $0x000000007ffffffe
+GLOBL pm1vec<>(SB), RODATA|NOPTR, $32
+
+// func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// One coefficient row: broadcast coeffs[k], multiply-accumulate both
+// ymm halves of the 8-point block, advance the cursors.
+#define MULROW \
+	VPBROADCASTQ (R12), Y4 \
+	VPMULUDQ (R11), Y4, Y6 \
+	VPADDQ Y6, Y0, Y0      \
+	VPMULUDQ 32(R11), Y4, Y7 \
+	VPADDQ Y7, Y1, Y1      \
+	ADDQ $8, R12           \
+	ADDQ DX, R11
+
+// Lazy fold of both accumulators: acc = (acc & P) + (acc >> 31).
+#define FOLD \
+	VPSRLQ $31, Y0, Y6 \
+	VPAND Y5, Y0, Y0   \
+	VPADDQ Y6, Y0, Y0  \
+	VPSRLQ $31, Y1, Y7 \
+	VPAND Y5, Y1, Y1   \
+	VPADDQ Y7, Y1, Y1
+
+// func evalColumnsAVX2Blocks(dst, coeffs, tab []Elem, n int)
+// Computes dst[j] = sum_k coeffs[k]*tab[k*n+j] for j in [0, n&^7).
+TEXT ·evalColumnsAVX2Blocks(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ coeffs_base+24(FP), SI
+	MOVQ coeffs_len+32(FP), R8
+	MOVQ tab_base+48(FP), BX
+	MOVQ n+72(FP), CX
+	MOVQ CX, DX
+	SHLQ $3, DX              // DX = row stride in bytes (n*8)
+	MOVQ CX, R13
+	ANDQ $-8, R13            // R13 = n &^ 7 (block end)
+	VMOVDQU pvec<>+0(SB), Y5 // Y5 = P lanes
+	VMOVDQU pm1vec<>+0(SB), Y8 // Y8 = P-1 lanes
+	XORQ R9, R9              // R9 = j
+
+blockloop:
+	CMPQ R9, R13
+	JGE done
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	LEAQ (BX)(R9*8), R11     // R11 = &tab[j] (row k=0)
+	MOVQ SI, R12             // R12 = coeffs cursor
+	MOVQ R8, R10             // R10 = remaining coefficients
+
+quadloop:
+	CMPQ R10, $4
+	JLT pair
+	MULROW
+	MULROW
+	MULROW
+	MULROW
+	FOLD
+	SUBQ $4, R10
+	JMP quadloop
+
+pair:
+	CMPQ R10, $2
+	JLT single
+	MULROW
+	MULROW
+	FOLD
+	SUBQ $2, R10
+
+single:
+	TESTQ R10, R10
+	JEQ finish
+	MULROW
+	FOLD
+
+finish:
+	// Canonicalize: one more fold brings each lane below P+5, then a
+	// single conditional subtract of P.
+	FOLD
+	VPCMPGTQ Y8, Y0, Y6      // lanes where acc > P-1
+	VPAND Y5, Y6, Y6
+	VPSUBQ Y6, Y0, Y0
+	VPCMPGTQ Y8, Y1, Y7
+	VPAND Y5, Y7, Y7
+	VPSUBQ Y7, Y1, Y1
+	VMOVDQU Y0, (DI)(R9*8)
+	VMOVDQU Y1, 32(DI)(R9*8)
+	ADDQ $8, R9
+	JMP blockloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func accumNeqBlocks(bad []uint64, a, b []Elem, n4 int)
+// bad[i] += 1 for every i in [0, n4) where a[i] != b[i].
+TEXT ·accumNeqBlocks(SB), NOSPLIT, $0-80
+	MOVQ bad_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), BX
+	MOVQ n4+72(FP), CX
+	VPCMPEQD Y3, Y3, Y3 // all ones
+	VPSRLQ $63, Y3, Y3  // lane = 1
+	XORQ AX, AX
+
+neqloop:
+	CMPQ AX, CX
+	JGE neqdone
+	VMOVDQU (SI)(AX*8), Y0
+	VMOVDQU (BX)(AX*8), Y1
+	VPCMPEQQ Y1, Y0, Y2 // -1 where equal
+	VPADDQ Y3, Y2, Y2   // 0 where equal, 1 where different
+	VMOVDQU (DI)(AX*8), Y4
+	VPADDQ Y2, Y4, Y4
+	VMOVDQU Y4, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP neqloop
+
+neqdone:
+	VZEROUPPER
+	RET
+
+// func sweepTallyBlocks(agree []uint64, ev, vals []Elem, has []bool, dirBits uint64, n4 int) (hi, borrow uint64)
+// One fused pass over [0, n4): OR-accumulates the canonical-range
+// masks of vals (hi |= v, borrow |= (P-1)-v) and adds (dirBits & mask)
+// to agree[i], where mask is all-ones iff vals[i] == ev[i] && has[i].
+TEXT ·sweepTallyBlocks(SB), NOSPLIT, $0-128
+	MOVQ agree_base+0(FP), DI
+	MOVQ ev_base+24(FP), SI
+	MOVQ vals_base+48(FP), BX
+	MOVQ has_base+72(FP), R8
+	VPBROADCASTQ dirBits+96(FP), Y10
+	MOVQ n4+104(FP), CX
+	VMOVDQU pm1vec<>+0(SB), Y9 // P-1 lanes
+	VPXOR Y11, Y11, Y11        // hi accumulator
+	VPXOR Y12, Y12, Y12        // borrow accumulator
+	VPXOR Y13, Y13, Y13        // zero
+	XORQ AX, AX
+
+swloop:
+	CMPQ AX, CX
+	JGE swdone
+	VMOVDQU (BX)(AX*8), Y0 // vals
+	VPOR Y0, Y11, Y11
+	VPSUBQ Y0, Y9, Y1      // (P-1) - v
+	VPOR Y1, Y12, Y12
+	VMOVDQU (SI)(AX*8), Y2 // ev
+	VPCMPEQQ Y2, Y0, Y3    // -1 where equal
+	VPMOVZXBQ (R8)(AX*1), Y4 // has bytes -> 0/1 lanes
+	VPSUBQ Y4, Y13, Y5     // 0/-1 mask
+	VPAND Y5, Y3, Y3       // -1 iff equal && has
+	VPAND Y10, Y3, Y3      // +1 or -1 (or 0)
+	VMOVDQU (DI)(AX*8), Y6
+	VPADDQ Y3, Y6, Y6
+	VMOVDQU Y6, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP swloop
+
+swdone:
+	VEXTRACTI128 $1, Y11, X0
+	VPOR X0, X11, X11
+	VPSRLDQ $8, X11, X0
+	VPOR X0, X11, X11
+	MOVQ X11, AX
+	MOVQ AX, hi+112(FP)
+	VEXTRACTI128 $1, Y12, X0
+	VPOR X0, X12, X12
+	VPSRLDQ $8, X12, X0
+	VPOR X0, X12, X12
+	MOVQ X12, AX
+	MOVQ AX, borrow+120(FP)
+	VZEROUPPER
+	RET
+
+// func rangeOrBlocks(es []Elem, n4 int) (hi, borrow uint64)
+// OR-accumulates hi |= es[i] and borrow |= (P-1)-es[i] over [0, n4).
+TEXT ·rangeOrBlocks(SB), NOSPLIT, $0-48
+	MOVQ es_base+0(FP), BX
+	MOVQ n4+24(FP), CX
+	VMOVDQU pm1vec<>+0(SB), Y9 // P-1 lanes
+	VPXOR Y11, Y11, Y11        // hi accumulator
+	VPXOR Y12, Y12, Y12        // borrow accumulator
+	XORQ AX, AX
+
+roloop:
+	CMPQ AX, CX
+	JGE rodone
+	VMOVDQU (BX)(AX*8), Y0
+	VPOR Y0, Y11, Y11
+	VPSUBQ Y0, Y9, Y1 // (P-1) - v
+	VPOR Y1, Y12, Y12
+	ADDQ $4, AX
+	JMP roloop
+
+rodone:
+	VEXTRACTI128 $1, Y11, X0
+	VPOR X0, X11, X11
+	VPSRLDQ $8, X11, X0
+	VPOR X0, X11, X11
+	MOVQ X11, AX
+	MOVQ AX, hi+32(FP)
+	VEXTRACTI128 $1, Y12, X0
+	VPOR X0, X12, X12
+	VPSRLDQ $8, X12, X0
+	VPOR X0, X12, X12
+	MOVQ X12, AX
+	MOVQ AX, borrow+40(FP)
+	VZEROUPPER
+	RET
+
+// func accumBoolBlocks(cnt []uint64, bs []bool, n4 int)
+// cnt[i] += bs[i] (0/1) for i in [0, n4).
+TEXT ·accumBoolBlocks(SB), NOSPLIT, $0-56
+	MOVQ cnt_base+0(FP), DI
+	MOVQ bs_base+24(FP), SI
+	MOVQ n4+48(FP), CX
+	XORQ AX, AX
+
+abloop:
+	CMPQ AX, CX
+	JGE abdone
+	VPMOVZXBQ (SI)(AX*1), Y0
+	VMOVDQU (DI)(AX*8), Y1
+	VPADDQ Y0, Y1, Y1
+	VMOVDQU Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP abloop
+
+abdone:
+	VZEROUPPER
+	RET
+
+// func countBoolBlocks(bs []bool, n4 int) uint64
+// Returns the number of true bytes in bs[0:n4].
+TEXT ·countBoolBlocks(SB), NOSPLIT, $0-40
+	MOVQ bs_base+0(FP), SI
+	MOVQ n4+24(FP), CX
+	VPXOR Y1, Y1, Y1
+	XORQ AX, AX
+
+cbloop:
+	CMPQ AX, CX
+	JGE cbdone
+	VPMOVZXBQ (SI)(AX*1), Y0
+	VPADDQ Y0, Y1, Y1
+	ADDQ $4, AX
+	JMP cbloop
+
+cbdone:
+	VEXTRACTI128 $1, Y1, X0
+	VPADDQ X0, X1, X1
+	VPSRLDQ $8, X1, X0
+	VPADDQ X0, X1, X1
+	MOVQ X1, AX
+	MOVQ AX, ret+32(FP)
+	VZEROUPPER
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package field
+
+// archKernels contributes no arch-specific kernels on this GOARCH; the
+// portable 8-wide Go kernel is the dispatch default.
+func archKernels() []kernel { return nil }

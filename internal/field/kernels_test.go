@@ -1,0 +1,236 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// withKernel runs f once per selectable kernel, restoring the default.
+func withKernel(t *testing.T, f func(t *testing.T, name string)) {
+	t.Helper()
+	for _, name := range EvalKernels() {
+		prev, err := SetEvalKernel(name)
+		if err != nil {
+			t.Fatalf("SetEvalKernel(%q): %v", name, err)
+		}
+		t.Run(name, func(t *testing.T) { f(t, name) })
+		if _, err := SetEvalKernel(prev); err != nil {
+			t.Fatalf("restore kernel %q: %v", prev, err)
+		}
+	}
+	if _, err := SetEvalKernel("auto"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hostileTab returns a w×n table salted with boundary values (0, 1, P-1)
+// so the lazy-reduction budgets are exercised at their extremes.
+func hostileTab(rng *rand.Rand, w, n int) []Elem {
+	tab := make([]Elem, w*n)
+	for i := range tab {
+		switch rng.Intn(5) {
+		case 0:
+			tab[i] = Elem(P - 1)
+		case 1:
+			tab[i] = 0
+		case 2:
+			tab[i] = 1
+		default:
+			tab[i] = Elem(rng.Uint64() % P)
+		}
+	}
+	return tab
+}
+
+// TestEvalKernelsMatchRef pins every selectable kernel bit-for-bit
+// against the scalar reference across shapes that hit all block/tail
+// combinations (n mod 8 ∈ 0..7, coefficient counts hitting quad, pair
+// and single remainders, including the empty polynomial).
+func TestEvalKernelsMatchRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type shape struct{ n, w int }
+	var shapes []shape
+	for n := 0; n <= 40; n++ {
+		for _, w := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 11, 13} {
+			shapes = append(shapes, shape{n, w})
+		}
+	}
+	withKernel(t, func(t *testing.T, name string) {
+		for _, s := range shapes {
+			coeffs := make([]Elem, s.w)
+			for i := range coeffs {
+				if rng.Intn(4) == 0 {
+					coeffs[i] = Elem(P - 1)
+				} else {
+					coeffs[i] = Elem(rng.Uint64() % P)
+				}
+			}
+			tab := hostileTab(rng, s.w, s.n)
+			want := make([]Elem, s.n)
+			evalColumnsRef(want, coeffs, tab, s.n)
+			got := make([]Elem, s.n)
+			for i := range got {
+				got[i] = Elem(rng.Uint64()) // poison: kernel must overwrite
+			}
+			activeKernel.fn(got, coeffs, tab, s.n)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("kernel %s n=%d w=%d: dst[%d] = %d, ref %d", name, s.n, s.w, j, got[j], want[j])
+				}
+			}
+		}
+	})
+}
+
+// TestEvalKernelsMaxValues drives every kernel with all inputs at P-1 —
+// the worst case for every overflow budget — at the widest shapes.
+func TestEvalKernelsMaxValues(t *testing.T) {
+	withKernel(t, func(t *testing.T, name string) {
+		for _, n := range []int{8, 16, 33, 64} {
+			for _, w := range []int{1, 2, 4, 23, 64} {
+				coeffs := make([]Elem, w)
+				tab := make([]Elem, w*n)
+				for i := range coeffs {
+					coeffs[i] = Elem(P - 1)
+				}
+				for i := range tab {
+					tab[i] = Elem(P - 1)
+				}
+				want := make([]Elem, n)
+				evalColumnsRef(want, coeffs, tab, n)
+				got := make([]Elem, n)
+				activeKernel.fn(got, coeffs, tab, n)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("kernel %s n=%d w=%d all-max: dst[%d] = %d, ref %d", name, n, w, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestSetEvalKernelUnknown(t *testing.T) {
+	prev, err := SetEvalKernel("no-such-kernel")
+	if err == nil {
+		t.Fatal("expected error for unknown kernel")
+	}
+	if prev != activeKernel.name {
+		t.Fatalf("failed SetEvalKernel changed the active kernel to %q", activeKernel.name)
+	}
+	if _, err := SetEvalKernel("auto"); err != nil {
+		t.Fatal(err)
+	}
+	if activeKernel.name != kernelTable[0].name {
+		t.Fatalf("auto selected %q, want %q", activeKernel.name, kernelTable[0].name)
+	}
+}
+
+// FuzzEvalColumns feeds random (coeffs, table, n) shapes to every
+// selectable kernel and requires bit-for-bit agreement with the scalar
+// reference. Raw bytes map onto elements with a bias toward the P-1
+// boundary so the fold budgets are stressed, not just the happy range.
+func FuzzEvalColumns(f *testing.F) {
+	f.Add(uint8(16), uint8(6), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(7), uint8(3), []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add(uint8(33), uint8(12), []byte{})
+	f.Fuzz(func(t *testing.T, nRaw, wRaw uint8, data []byte) {
+		n := int(nRaw % 65)
+		w := int(wRaw % 17)
+		elemAt := func(i int) Elem {
+			// Deterministic element stream from data: little-endian u32
+			// windows, every 5th element snapped to P-1.
+			var v uint64
+			for b := 0; b < 4; b++ {
+				idx := i*4 + b
+				if idx < len(data) {
+					v |= uint64(data[idx]) << (8 * b)
+				}
+			}
+			if i%5 == 4 {
+				return Elem(P - 1)
+			}
+			return Elem(v % P)
+		}
+		coeffs := make([]Elem, w)
+		for i := range coeffs {
+			coeffs[i] = elemAt(i)
+		}
+		tab := make([]Elem, w*n)
+		for i := range tab {
+			tab[i] = elemAt(w + i)
+		}
+		want := make([]Elem, n)
+		evalColumnsRef(want, coeffs, tab, n)
+		got := make([]Elem, n)
+		for _, name := range EvalKernels() {
+			if name == "ref" {
+				continue
+			}
+			if _, err := SetEvalKernel(name); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				got[i] = 0xdeadbeef
+			}
+			evalColumns(got, coeffs, tab, n)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("kernel %s n=%d w=%d: dst[%d] = %d, ref %d", name, n, w, j, got[j], want[j])
+				}
+			}
+		}
+		if _, err := SetEvalKernel("auto"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkEvalColumns isolates the kernel from protocol noise: one
+// (coeffs, table) shape per protocol size (w = f+1 coefficients, n
+// points — the GVSS row-evaluation shape), every selectable kernel.
+// ns/elem reports time per multiply-add term.
+func BenchmarkEvalColumns(b *testing.B) {
+	shapes := []struct{ n, w int }{
+		{4, 2}, {8, 3}, {16, 6}, {32, 11}, {64, 22},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, name := range EvalKernels() {
+		for _, s := range shapes {
+			coeffs := make([]Elem, s.w)
+			for i := range coeffs {
+				coeffs[i] = Elem(rng.Uint64() % P)
+			}
+			tab := hostileTab(rng, s.w, s.n)
+			dst := make([]Elem, s.n)
+			b.Run(name+"/n="+itoa(s.n)+"/w="+itoa(s.w), func(b *testing.B) {
+				prev, err := SetEvalKernel(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer SetEvalKernel(prev)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					evalColumns(dst, coeffs, tab, s.n)
+				}
+				b.StopTimer()
+				elems := float64(s.n * s.w)
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/elems, "ns/elem")
+			})
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -9,6 +9,8 @@ import "sync"
 // GVSS echo round evaluates each of its n² row polynomials at all n share
 // points every beat — n³ evaluations that previously went through n
 // independent Poly.Eval calls and dominated the post-PR-1 profile.
+// The inner kernel itself (evalColumns) lives in kernels.go behind a
+// small dispatch layer (8-wide unrolled Go default, AVX2 slot on amd64).
 
 // multiEvalCache caches the tables for the point sets 1..n the coin
 // pipeline uses, keyed by (n, deg). Tables are immutable once published.
@@ -29,10 +31,10 @@ type MultiEval struct {
 	// unlike Horner, where every multiply sits on the accumulator's
 	// critical path.
 	pows []Elem
-	// powsT[k*n+i] = xs[i]^k, the transposed layout the 4-wide EvalInto
-	// kernel streams: four points' powers of x^k are adjacent, and the
-	// four accumulator chains are independent, so the CPU overlaps their
-	// latencies.
+	// powsT[k*n+i] = xs[i]^k, the transposed layout the evalColumns
+	// kernels stream (kernels.go): a block of points' powers of x^k are
+	// adjacent, and the per-point accumulator chains are independent, so
+	// the CPU (or a ymm register) overlaps their latencies.
 	powsT []Elem
 }
 
@@ -87,11 +89,8 @@ func (m *MultiEval) N() int { return m.n }
 
 // EvalInto writes p(xs[i]) into dst[i] for every point; dst must have
 // length >= N() and p degree <= the table's bound. Concurrent callers
-// with distinct dst never interfere.
-//
-// Points are processed four at a time with independent accumulators (one
-// fold per term each; acc < 2^33 plus a 62-bit product stays below 2^63),
-// so the fold chains of the four points overlap instead of serializing.
+// with distinct dst never interfere. Dispatches to the active
+// evalColumns kernel (see kernels.go).
 func (m *MultiEval) EvalInto(dst []Elem, p Poly) {
 	if len(p) > m.deg+1 {
 		panic("field: MultiEval degree exceeded")
@@ -99,50 +98,20 @@ func (m *MultiEval) EvalInto(dst []Elem, p Poly) {
 	evalColumns(dst[:m.n], p, m.powsT, m.n)
 }
 
-// evalColumns computes dst[j] = sum_k coeffs[k] * tab[k*n+j] for j in
-// [0, n) — the shared inner kernel of batched evaluation: tab holds one
-// n-wide column per coefficient, four output accumulators run per step
-// so their fold chains overlap instead of serializing, and coefficients
-// are consumed in pairs with one fold per pair: each product is at most
-// (P-1)² = 2^62 - 2^33 + 4, so two products plus a folded (< 2^33)
-// accumulator stay below 2^63, the folding precondition.
-func evalColumns(dst []Elem, coeffs []Elem, tab []Elem, n int) {
-	j := 0
-	for ; j+4 <= n; j += 4 {
-		var a0, a1, a2, a3 uint64
-		k := 0
-		for ; k+2 <= len(coeffs); k += 2 {
-			c0, c1 := uint64(coeffs[k]), uint64(coeffs[k+1])
-			col0 := tab[k*n+j : k*n+j+4 : k*n+j+4]
-			col1 := tab[(k+1)*n+j : (k+1)*n+j+4 : (k+1)*n+j+4]
-			a0 = fold(a0 + c0*uint64(col0[0]) + c1*uint64(col1[0]))
-			a1 = fold(a1 + c0*uint64(col0[1]) + c1*uint64(col1[1]))
-			a2 = fold(a2 + c0*uint64(col0[2]) + c1*uint64(col1[2]))
-			a3 = fold(a3 + c0*uint64(col0[3]) + c1*uint64(col1[3]))
-		}
-		if k < len(coeffs) {
-			cc := uint64(coeffs[k])
-			col := tab[k*n+j : k*n+j+4 : k*n+j+4]
-			a0 = fold(a0 + cc*uint64(col[0]))
-			a1 = fold(a1 + cc*uint64(col[1]))
-			a2 = fold(a2 + cc*uint64(col[2]))
-			a3 = fold(a3 + cc*uint64(col[3]))
-		}
-		dst[j] = reduceWide(a0)
-		dst[j+1] = reduceWide(a1)
-		dst[j+2] = reduceWide(a2)
-		dst[j+3] = reduceWide(a3)
+// EvalGridT evaluates a family of polynomials at every table point,
+// writing the results in transposed (point-major) order. coefT holds
+// the family's coefficients degree-major, coefT[k*nR+r] = poly_r[k] for
+// r in [0,nR), k in [0,w); dst[i*nR+r] receives poly_r(xs[i]). One
+// full-width kernel pass per point replaces nR per-polynomial EvalInto
+// calls — and because every kernel computes the exact canonical sum,
+// the values are bit-identical to per-row evaluation.
+func (m *MultiEval) EvalGridT(dst, coefT []Elem, w, nR int) {
+	if w > m.deg+1 {
+		panic("field: MultiEval degree exceeded")
 	}
-	for ; j < n; j++ {
-		var acc uint64
-		k := 0
-		for ; k+2 <= len(coeffs); k += 2 {
-			acc = fold(acc + uint64(coeffs[k])*uint64(tab[k*n+j]) + uint64(coeffs[k+1])*uint64(tab[(k+1)*n+j]))
-		}
-		if k < len(coeffs) {
-			acc = fold(acc + uint64(coeffs[k])*uint64(tab[k*n+j]))
-		}
-		dst[j] = reduceWide(acc)
+	stride := m.deg + 1
+	for i := 0; i < m.n; i++ {
+		evalColumns(dst[i*nR:(i+1)*nR], m.pows[i*stride:i*stride+w], coefT, nR)
 	}
 }
 
@@ -167,44 +136,72 @@ func (m *MultiEval) At(p Poly, i int) Elem {
 // cache) instead of growing the map.
 const secretDecoderMaxTables = 512
 
-// sdTable is the per-point-set half of a SecretDecoder: the Lagrange
-// data (r) and the basis-evaluation table (vtT) for one interpolation
-// set S, immutable once built.
+// sdKey identifies a decoder table: the bitmask of the full present
+// set AND the interpolation prefix length k (the same point set decoded
+// at a different degree needs different verification rows).
+type sdKey struct {
+	mask uint64
+	k    uint8
+}
+
+// sdTable is the per-(point set, degree) half of a SecretDecoder: the
+// Lagrange data (r) for the interpolation prefix and the suffix
+// verification table, immutable once built.
 type sdTable struct {
 	r *Recon
-	// vtT[i*N+j] = L_i^S(x_j), the Lagrange basis evaluated at every
-	// table point, column-major so one pass of the shared 4-wide kernel
-	// yields the candidate interpolant's value at every point — no
-	// coefficient interpolation at all.
-	vtT []Elem
+	// vfyT[c*(m-k)+i] = L_c^S(xs[k+i]): the prefix Lagrange basis
+	// evaluated at the m-k SUFFIX points only, column-major so one
+	// evalColumns pass yields the candidate interpolant's value at every
+	// suffix point. The prefix points need no verification at all — the
+	// interpolant passes through them exactly by construction, so
+	// DecodeFast's disagreement count over all m points equals the count
+	// over the suffix. This cuts the verification kernel from m columns
+	// to m-k (~40% of the recover round's kernel work at n=16).
+	vfyT []Elem
+	// vfyR is the same data suffix-point-major — vfyR[i*k+c] =
+	// L_c^S(xs[k+i]) — the coefficient layout DecodeAt0Block feeds the
+	// kernel when it verifies a whole dealer block against suffix point
+	// xs[k+i] in one full-width pass.
+	vfyR []Elem
 }
 
 // SecretDecoder decodes a batch of Reed–Solomon share vectors whose
 // present-point sets repeat (the GVSS recover round: per-dealing sender
 // sets, n² dealings), returning only the interpolant's value at 0. It
-// fuses DecodeFast's happy path through two cached tables per point set
-// S = xs[:degree+1]:
+// fuses DecodeFast's happy path through two cached tables per
+// (point set, degree):
 //
-//   - the basis-evaluation table vtT (see sdTable), so verifying a
-//     candidate costs one kernel pass;
+//   - the suffix verification table vfyT (see sdTable), so verifying a
+//     candidate costs one kernel pass over the m-k suffix points;
 //   - the Recon's w0 weights, so the accepted secret is Dot(w0, ys[:k]).
 //
-// Tables are keyed by the point-set bitmask (like ReconFor), so a
-// Byzantine RecoverMsg alternating per-dealing present sets hits the
-// cache instead of forcing an O(n·k²) table rebuild per dealing; sets
-// outside the mask domain, or beyond the cache bound, fall back to
-// DecodeFastInto with identical accept/reject behaviour.
+// Tables are keyed by the full present-set bitmask plus prefix length
+// (like ReconFor), so a Byzantine RecoverMsg alternating per-dealing
+// present sets hits the cache instead of forcing an O(n·k²) table
+// rebuild per dealing; a one-entry hot cache in front of the map serves
+// the steady state (every dealing of a beat shares one sender set)
+// without a map lookup. Sets outside the mask domain, or beyond the
+// cache bound, fall back to DecodeFastInto with identical accept/reject
+// behaviour.
 //
-// The exact Lagrange identities make both tables bit-equivalent to
+// The exact Lagrange identities make the tables bit-equivalent to
 // interpolating and evaluating (validated by the differential test
 // against DecodeFast). The fallback under too many errors is the full
 // Berlekamp–Welch Decode, unchanged. The zero value is not usable; bind
 // with NewSecretDecoder. Not safe for concurrent use — hold one per node.
 type SecretDecoder struct {
 	me      *MultiEval
-	tables  map[uint64]*sdTable
+	tables  map[sdKey]*sdTable
 	ev      []Elem
 	scratch Poly
+	// Block-decode scratch (DecodeAt0Block): the gathered prefix rows,
+	// per-column disagreement tallies, and a ys gather buffer.
+	tabScratch []Elem
+	badScratch []uint64
+	ysScratch  []Elem
+	// hot one-entry cache: the last (mask, k) resolved and its table.
+	lastKey sdKey
+	lastT   *sdTable
 	// rebuilds counts table constructions (test instrumentation for the
 	// alternating-set regression).
 	rebuilds int
@@ -212,14 +209,15 @@ type SecretDecoder struct {
 
 // NewSecretDecoder returns a decoder verifying against m's point set.
 func NewSecretDecoder(m *MultiEval) *SecretDecoder {
-	return &SecretDecoder{me: m, ev: make([]Elem, m.n), tables: make(map[uint64]*sdTable)}
+	return &SecretDecoder{me: m, ev: make([]Elem, m.n), tables: make(map[sdKey]*sdTable)}
 }
 
-// tableFor returns the cached table for the point set xs, building it on
-// first sight. It returns nil when the set is outside the bitmask domain
-// (not strictly ascending in [1, N()]) or the cache is full — callers
-// then take the DecodeFastInto path.
-func (sd *SecretDecoder) tableFor(xs []Elem) *sdTable {
+// tableFor returns the cached table for the full point set xs with
+// interpolation prefix length k, building it on first sight. It returns
+// nil when the set is outside the bitmask domain (not strictly ascending
+// in [1, min(N(), 64)]) or the cache is full — callers then take the
+// DecodeFastInto path.
+func (sd *SecretDecoder) tableFor(xs []Elem, k int) *sdTable {
 	mask := uint64(0)
 	prev := Elem(0)
 	for _, x := range xs {
@@ -229,25 +227,31 @@ func (sd *SecretDecoder) tableFor(xs []Elem) *sdTable {
 		mask |= 1 << (x - 1)
 		prev = x
 	}
-	if t := sd.tables[mask]; t != nil {
-		return t
+	key := sdKey{mask: mask, k: uint8(k)}
+	if key == sd.lastKey && sd.lastT != nil {
+		return sd.lastT
 	}
-	if len(sd.tables) >= secretDecoderMaxTables {
-		return nil
-	}
-	sd.rebuilds++
-	k := len(xs)
-	n := sd.me.n
-	t := &sdTable{r: ReconFor(xs), vtT: make([]Elem, n*k)}
-	for i := 0; i < k; i++ {
-		// Row i of vtT is the basis polynomial L_i evaluated at every
-		// table point.
-		basis := Poly(t.r.basis[i*k : (i+1)*k])
-		for j := 0; j < n; j++ {
-			t.vtT[i*n+j] = sd.me.At(basis, j)
+	t := sd.tables[key]
+	if t == nil {
+		if len(sd.tables) >= secretDecoderMaxTables {
+			return nil
 		}
+		sd.rebuilds++
+		m := len(xs)
+		t = &sdTable{r: ReconFor(xs[:k]), vfyT: make([]Elem, k*(m-k)), vfyR: make([]Elem, (m-k)*k)}
+		for c := 0; c < k; c++ {
+			// Row c of vfyT is the basis polynomial L_c evaluated at the
+			// suffix points; vfyR mirrors it point-major.
+			basis := Poly(t.r.basis[c*k : (c+1)*k])
+			for i := k; i < m; i++ {
+				v := sd.me.At(basis, int(xs[i])-1)
+				t.vfyT[c*(m-k)+(i-k)] = v
+				t.vfyR[(i-k)*k+c] = v
+			}
+		}
+		sd.tables[key] = t
 	}
-	sd.tables[mask] = t
+	sd.lastKey, sd.lastT = key, t
 	return t
 }
 
@@ -262,7 +266,7 @@ func (sd *SecretDecoder) DecodeAt0(xs, ys []Elem, degree, maxErrors int) (Elem, 
 	}
 	if degree >= 0 && maxErrors >= 0 && len(xs) == len(ys) && len(xs) > degree {
 		k := degree + 1
-		t := sd.tableFor(xs[:k])
+		t := sd.tableFor(xs, k)
 		if t == nil {
 			// Uncacheable or cache-full set: the unfused fast path, same
 			// accept/reject decisions, no table build.
@@ -276,16 +280,15 @@ func (sd *SecretDecoder) DecodeAt0(xs, ys []Elem, degree, maxErrors int) (Elem, 
 			return p.Eval(0), nil
 		}
 		// One kernel pass gives the candidate interpolant's value at every
-		// table point: p(x_j) = sum_i ys[i] * L_i(x_j).
-		evalColumns(sd.ev, ys[:k], t.vtT, sd.me.n)
+		// SUFFIX point: p(xs[k+i]) = sum_c ys[c] * L_c(xs[k+i]). The
+		// prefix points agree by construction, so the branch-free
+		// disagreement count below equals DecodeFast's count over all m.
+		sfx := len(xs) - k
+		evalColumns(sd.ev[:sfx], ys[:k], t.vfyT, sfx)
 		bad := 0
-		for i := range xs {
-			if sd.ev[xs[i]-1] != ys[i] {
-				bad++
-				if bad > maxErrors {
-					break
-				}
-			}
+		for i := 0; i < sfx; i++ {
+			x := uint64(sd.ev[i] ^ ys[k+i])
+			bad += int((x | -x) >> 63) // 1 iff the point disagrees
 		}
 		if bad <= maxErrors {
 			return t.r.SecretAt0(ys[:k]), nil
@@ -296,4 +299,174 @@ func (sd *SecretDecoder) DecodeAt0(xs, ys []Elem, degree, maxErrors int) (Elem, 
 		return 0, err
 	}
 	return p.Eval(0), nil
+}
+
+// DecodeAt0Block decodes a whole dealer block at once: rows[i] holds
+// sender xs[i]'s share for each of the nT targets (len(rows[i]) >= nT),
+// so column t of the block is exactly the ys vector a per-dealing call
+// would pass. For every t in [0, nT) it behaves like
+//
+//	if v, err := sd.DecodeAt0(xs, column t, degree, maxErrors); err == nil {
+//		out[t], okOut[t] = v, true
+//	}
+//
+// leaving out[t]/okOut[t] untouched on error — but the happy path is
+// batched: the interpolation prefix is gathered into one contiguous
+// k×nT block and each SUFFIX point verifies all nT candidates with a
+// single full-width kernel pass (m-k passes total instead of nT
+// per-column calls), with a branch-free per-column disagreement tally.
+// Columns whose tally exceeds maxErrors fall back to the full
+// Berlekamp–Welch Decode individually, exactly as DecodeAt0 would.
+func (sd *SecretDecoder) DecodeAt0Block(xs []Elem, rows [][]Elem, nT, degree, maxErrors int, out []Elem, okOut []bool) {
+	if cap := (len(xs) - degree - 1) / 2; maxErrors > cap {
+		maxErrors = cap
+	}
+	m := len(xs)
+	if len(sd.ysScratch) < m || len(sd.ysScratch) < len(rows) {
+		sd.ysScratch = make([]Elem, max(m, len(rows)))
+	}
+	ys := sd.ysScratch[:len(rows)]
+	var t *sdTable
+	if degree >= 0 && maxErrors >= 0 && m == len(rows) && m > degree {
+		t = sd.tableFor(xs, degree+1)
+	}
+	if t == nil {
+		// Uncacheable set (or malformed shape): per-column decoding,
+		// identical to the callers' previous loop.
+		for tt := 0; tt < nT; tt++ {
+			for i := range rows {
+				ys[i] = rows[i][tt]
+			}
+			if v, err := sd.DecodeAt0(xs, ys, degree, maxErrors); err == nil {
+				out[tt], okOut[tt] = v, true
+			}
+		}
+		return
+	}
+	k := degree + 1
+	sfx := m - k
+	if len(sd.tabScratch) < k*nT {
+		sd.tabScratch = make([]Elem, k*nT)
+	}
+	if len(sd.badScratch) < nT {
+		sd.badScratch = make([]uint64, nT)
+	}
+	if len(sd.ev) < nT {
+		sd.ev = make([]Elem, nT)
+	}
+	tab := sd.tabScratch[:k*nT]
+	for c := 0; c < k; c++ {
+		copy(tab[c*nT:(c+1)*nT], rows[c][:nT])
+	}
+	bad := sd.badScratch[:nT]
+	clear(bad)
+	resid := sd.ev[:nT]
+	for i := 0; i < sfx; i++ {
+		// Candidate interpolants' values at suffix point xs[k+i] for all
+		// nT columns in one kernel pass, compared against the suffix
+		// sender's delivered row by the branch-free disagreement sweep.
+		evalColumns(resid, t.vfyR[i*k:(i+1)*k], tab, nT)
+		AccumNeq(bad, resid, rows[k+i][:nT])
+	}
+	// One more full-width pass computes every column's would-be secret
+	// Dot(w0, column) at once — the same exact canonical sum SecretAt0
+	// produces — into resid, which is dead after the tally above. The
+	// accept loop below then just picks the columns whose tally passed.
+	evalColumns(resid, t.r.w0, tab, nT)
+	for tt := 0; tt < nT; tt++ {
+		if int(bad[tt]) <= maxErrors {
+			out[tt], okOut[tt] = resid[tt], true
+			continue
+		}
+		// Too many errors for the fast accept: the full decoder, exactly
+		// as DecodeAt0's tail.
+		for i := range rows {
+			ys[i] = rows[i][tt]
+		}
+		if p, err := Decode(xs, ys, degree, maxErrors); err == nil {
+			out[tt], okOut[tt] = p.Eval(0), true
+		}
+	}
+}
+
+// DecodeAt0Grid decodes a whole nD×nT grid of dealings at once:
+// grids[i] is sender xs[i]'s full share matrix in flat row-major form
+// (grids[i][d*nT+t] is its share for dealing (d,t), len >= nD*nT), so
+// for every (d,t) it behaves exactly like DecodeAt0Block column t of
+// dealer d's block — equivalently, like a per-dealing DecodeAt0 —
+// writing out[d][t]/okOut[d][t] and leaving them untouched on error.
+// The point of the grid shape is kernel width: each suffix sender
+// verifies all nD·nT candidate columns with ONE full-width evalColumns
+// pass and ONE full-width disagreement sweep (m-k of each for the
+// entire grid, instead of nD blocks of narrow passes), which amortizes
+// per-call dispatch overhead and runs the wide kernels in their
+// long-vector regime; the flat sender matrices load into the kernel
+// table with a single copy each.
+func (sd *SecretDecoder) DecodeAt0Grid(xs []Elem, grids [][]Elem, nD, nT, degree, maxErrors int, out [][]Elem, okOut [][]bool) {
+	if cap := (len(xs) - degree - 1) / 2; maxErrors > cap {
+		maxErrors = cap
+	}
+	m := len(xs)
+	if len(sd.ysScratch) < m || len(sd.ysScratch) < len(grids) {
+		sd.ysScratch = make([]Elem, max(m, len(grids)))
+	}
+	ys := sd.ysScratch[:len(grids)]
+	var t *sdTable
+	if degree >= 0 && maxErrors >= 0 && m == len(grids) && m > degree {
+		t = sd.tableFor(xs, degree+1)
+	}
+	if t == nil {
+		// Uncacheable set (or malformed shape): per-dealing decoding,
+		// identical to a per-column DecodeAt0 loop.
+		for d := 0; d < nD; d++ {
+			for tt := 0; tt < nT; tt++ {
+				for i := range grids {
+					ys[i] = grids[i][d*nT+tt]
+				}
+				if v, err := sd.DecodeAt0(xs, ys, degree, maxErrors); err == nil {
+					out[d][tt], okOut[d][tt] = v, true
+				}
+			}
+		}
+		return
+	}
+	k := degree + 1
+	sfx := m - k
+	wide := nD * nT
+	if len(sd.tabScratch) < k*wide {
+		sd.tabScratch = make([]Elem, k*wide)
+	}
+	if len(sd.badScratch) < wide {
+		sd.badScratch = make([]uint64, wide)
+	}
+	if len(sd.ev) < wide {
+		sd.ev = make([]Elem, wide)
+	}
+	tab := sd.tabScratch[:k*wide]
+	for c := 0; c < k; c++ {
+		copy(tab[c*wide:(c+1)*wide], grids[c][:wide])
+	}
+	bad := sd.badScratch[:wide]
+	clear(bad)
+	resid := sd.ev[:wide]
+	for i := 0; i < sfx; i++ {
+		evalColumns(resid, t.vfyR[i*k:(i+1)*k], tab, wide)
+		AccumNeq(bad, resid, grids[k+i][:wide])
+	}
+	// As in DecodeAt0Block: one full-width pass computes every column's
+	// would-be secret Dot(w0, column) into the now-dead resid buffer.
+	evalColumns(resid, t.r.w0, tab, wide)
+	for col := 0; col < wide; col++ {
+		d, tt := col/nT, col%nT
+		if int(bad[col]) <= maxErrors {
+			out[d][tt], okOut[d][tt] = resid[col], true
+			continue
+		}
+		for i := range grids {
+			ys[i] = grids[i][d*nT+tt]
+		}
+		if p, err := Decode(xs, ys, degree, maxErrors); err == nil {
+			out[d][tt], okOut[d][tt] = p.Eval(0), true
+		}
+	}
 }

@@ -1,0 +1,156 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sweepElems builds a hostile element stream: random values salted
+// with canonical boundaries and out-of-range values (P, 2^31, huge).
+func sweepElems(rng *rand.Rand, n int) []Elem {
+	es := make([]Elem, n)
+	for i := range es {
+		switch rng.Intn(8) {
+		case 0:
+			es[i] = Elem(P - 1)
+		case 1:
+			es[i] = 0
+		case 2:
+			es[i] = Elem(P) // first non-canonical value
+		case 3:
+			es[i] = Elem(1) << 31
+		case 4:
+			es[i] = Elem(rng.Uint64()) // arbitrary garbage
+		default:
+			es[i] = Elem(rng.Uint64() % P)
+		}
+	}
+	return es
+}
+
+// TestSweepPrimitivesMatchRef pins the installed (possibly AVX2)
+// implementations bit-for-bit against the scalar references across
+// lengths covering every block/tail split.
+func TestSweepPrimitivesMatchRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 63, 256, 257} {
+		a := sweepElems(rng, n)
+		b := sweepElems(rng, n)
+		for i := range b {
+			if rng.Intn(3) == 0 {
+				b[i] = a[i] // force equal positions
+			}
+		}
+		has := make([]bool, n)
+		for i := range has {
+			has[i] = rng.Intn(4) != 0
+		}
+
+		badW := make([]uint64, n)
+		badR := make([]uint64, n)
+		for i := range badW {
+			badW[i] = uint64(rng.Intn(5))
+			badR[i] = badW[i]
+		}
+		AccumNeq(badW, a, b)
+		accumNeqRef(badR, a, b)
+		for i := range badW {
+			if badW[i] != badR[i] {
+				t.Fatalf("AccumNeq n=%d: bad[%d]=%d, ref %d", n, i, badW[i], badR[i])
+			}
+		}
+
+		for _, negate := range []bool{false, true} {
+			agW := make([]uint64, n)
+			agR := make([]uint64, n)
+			for i := range agW {
+				agW[i] = uint64(rng.Intn(3))
+				agR[i] = agW[i]
+			}
+			hiW, boW := SweepTally(agW, a, b, has, negate)
+			dir := uint64(1)
+			if negate {
+				dir = ^uint64(0)
+			}
+			hiR, boR := sweepTallyRef(agR, a, b, has, dir)
+			if hiW != hiR || boW != boR {
+				t.Fatalf("SweepTally n=%d negate=%v: masks (%x,%x), ref (%x,%x)", n, negate, hiW, boW, hiR, boR)
+			}
+			for i := range agW {
+				if agW[i] != agR[i] {
+					t.Fatalf("SweepTally n=%d negate=%v: agree[%d]=%d, ref %d", n, negate, i, agW[i], agR[i])
+				}
+			}
+		}
+
+		hiW, boW := RangeOr(a)
+		hiR, boR := rangeOrRef(a)
+		if hiW != hiR || boW != boR {
+			t.Fatalf("RangeOr n=%d: (%x,%x), ref (%x,%x)", n, hiW, boW, hiR, boR)
+		}
+
+		cntW := make([]uint64, n)
+		cntR := make([]uint64, n)
+		AccumBool(cntW, has)
+		accumBoolRef(cntR, has)
+		for i := range cntW {
+			if cntW[i] != cntR[i] {
+				t.Fatalf("AccumBool n=%d: cnt[%d]=%d, ref %d", n, i, cntW[i], cntR[i])
+			}
+		}
+		if got, want := CountBool(has), countBoolRef(has); got != want {
+			t.Fatalf("CountBool n=%d: %d, ref %d", n, got, want)
+		}
+	}
+}
+
+// FuzzSweepTally feeds arbitrary byte-derived (vals, ev, has) triples
+// to the installed SweepTally and requires exact agreement with the
+// scalar reference — masks and every tally slot.
+func FuzzSweepTally(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, false)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 1, 0, 1}, true)
+	f.Fuzz(func(t *testing.T, data []byte, negate bool) {
+		n := len(data) / 10
+		vals := make([]Elem, n)
+		ev := make([]Elem, n)
+		has := make([]bool, n)
+		for i := 0; i < n; i++ {
+			var v, e uint64
+			for b := 0; b < 4; b++ {
+				v |= uint64(data[i*10+b]) << (8 * b)
+				e |= uint64(data[i*10+4+b]) << (8 * b)
+			}
+			// Stretch some values far outside the canonical range.
+			v <<= uint(data[i*10+8] % 33)
+			vals[i] = Elem(v)
+			if data[i*10+8]%3 == 0 {
+				ev[i] = vals[i] // force agreement positions
+			} else {
+				ev[i] = Elem(e % P)
+			}
+			has[i] = data[i*10+9]&1 == 1
+		}
+		agW := make([]uint64, n)
+		agR := make([]uint64, n)
+		hiW, boW := SweepTally(agW, ev, vals, has, negate)
+		dir := uint64(1)
+		if negate {
+			dir = ^uint64(0)
+		}
+		hiR, boR := sweepTallyRef(agR, ev, vals, has, dir)
+		if hiW != hiR || boW != boR {
+			t.Fatalf("masks (%x,%x), ref (%x,%x)", hiW, boW, hiR, boR)
+		}
+		roW, roBW := RangeOr(vals)
+		roR, roBR := rangeOrRef(vals)
+		if roW != roR || roBW != roBR {
+			t.Fatalf("RangeOr (%x,%x), ref (%x,%x)", roW, roBW, roR, roBR)
+		}
+		for i := range agW {
+			if agW[i] != agR[i] {
+				t.Fatalf("agree[%d]=%d, ref %d", i, agW[i], agR[i])
+			}
+		}
+	})
+}

@@ -95,6 +95,15 @@ func AsShare(m proto.Message) (ShareMsg, bool) {
 type EchoMsg struct {
 	Vals [][]field.Elem // [dealer][target]
 	Has  [][]bool       // [dealer][target]
+	// ValsFlat/HasFlat are the same matrices in flat row-major form
+	// (index d*n+t). When both have length n² they are authoritative and
+	// the receiver's fused sweep runs over them directly, one wide pass
+	// per matrix; otherwise the receiver gathers the row views. Composed
+	// messages always set them aliasing the row views' backing. The wire
+	// codec transmits the row views only, so decoded messages take the
+	// gather path.
+	ValsFlat []field.Elem
+	HasFlat  []bool
 }
 
 // Kind implements proto.Message.
@@ -115,6 +124,9 @@ func AsEcho(m proto.Message) (EchoMsg, bool) {
 // a validated row for dealing (d,t).
 type VoteMsg struct {
 	OK [][]bool // [dealer][target]
+	// OKFlat is OK in flat row-major form (index d*n+t); authoritative
+	// when its length is n² (see EchoMsg).
+	OKFlat []bool
 }
 
 // Kind implements proto.Message.
@@ -138,6 +150,10 @@ func AsVote(m proto.Message) (VoteMsg, bool) {
 type RecoverMsg struct {
 	Shares [][]field.Elem // [dealer][target]
 	HasRow [][]bool       // [dealer][target]
+	// SharesFlat/HasRowFlat are the flat row-major forms (index d*n+t);
+	// authoritative when both have length n² (see EchoMsg).
+	SharesFlat []field.Elem
+	HasRowFlat []bool
 }
 
 // Kind implements proto.Message.
@@ -201,6 +217,16 @@ type Instance struct {
 	// Compose falls back to fresh evaluation.
 	echoVals   []field.Elem
 	echoCached bool
+	// echoValsT is echoVals transposed to sender-major [j*n*n + d*n+t] —
+	// the exact per-destination payload ComposeEcho scatters, retained so
+	// DeliverEcho's fused validate+tally sweep streams one sequential row
+	// per sender instead of striding through echoVals. Both views are
+	// carved from echoBuf, a single 2n³ pool checkout, so the pool sees
+	// one Get/Put per echo round (each sync.Pool.Put boxes its slice
+	// header — one heap allocation — so halving Put traffic matters on
+	// the beat's allocation budget).
+	echoValsT []field.Elem
+	echoBuf   []field.Elem
 
 	// Reusable scratch for the echo and recover rounds' per-dealing point
 	// collection and happy-path decoding; one instance processes n^2
@@ -210,22 +236,42 @@ type Instance struct {
 	polyScratch          field.Poly
 	ev                   []field.Elem // n-point batch-eval scratch
 
-	// Per-sender matrix pointers and vote tallies, reused across the
-	// deliver rounds (cleared per call) so steady-state delivery does not
-	// allocate.
-	echoM, recM [][][]field.Elem
-	echoH, recH [][][]bool
-	voteCounts  []int
-	voteRows    [][]int
-	voteSeen    []bool
+	// Per-sender flat matrix pointers and vote tallies, reused across
+	// the deliver rounds (cleared per call) so steady-state delivery does
+	// not allocate.
+	echoM, recM [][]field.Elem
+	echoH, recH [][]bool
+	// stageE/stageB hold gathered copies of delivered matrices whose
+	// messages lack flat payloads (hand-built or wire-decoded forms), one
+	// n² region per sender; inElem/inBool stage a single incoming matrix
+	// before it may overwrite a sender's region. All four are lazily
+	// allocated — honest in-process traffic never needs them.
+	stageE     []field.Elem
+	stageB     []bool
+	inElem     []field.Elem
+	inBool     []bool
+	voteCounts []uint64
+	voteRows   [][]uint64
+	voteSeen   []bool
 	// rowPtrE/rowPtrB hold the per-sender row slices of the current
 	// dealer while scanning, and secDec fuses the recover round's
 	// repeated-sender-set decodes through cached basis tables.
-	rowPtrE   [][]field.Elem
-	rowPtrB   [][]bool
+	rowPtrE [][]field.Elem
+	rowPtrB [][]bool
+	// gridPtr holds the present senders' flat share matrices for the
+	// recover round's grid decode (reused across beats).
+	gridPtr [][]field.Elem
+	// coefShare is ComposeShare's degree-major coefficient gather for
+	// the grid evaluation of all dealt polynomials (lazily sized).
+	coefShare []field.Elem
 	senderIdx []int
 	secDec    *field.SecretDecoder
 	allTrue   []bool // n² of true, for the all-held echo fast path
+	// echoAgree[d*n+t] is the echo agreement tally the fused
+	// validate+tally sweep accumulates per delivered matrix. uint64 so
+	// the sweep's wrapping ±1 adds (field.SweepTally) settle to the
+	// exact non-negative count by the time the resolution loop reads it.
+	echoAgree []uint64
 
 	// Per-destination flat pointers used while scattering batched
 	// evaluations into outgoing messages.
@@ -270,12 +316,12 @@ func New(env proto.Env, rng *rand.Rand) *Instance {
 	ins.ysScratch = make([]field.Elem, 0, n)
 	ins.polyScratch = make(field.Poly, f+1)
 	ins.ev = make([]field.Elem, n)
-	ins.echoM = make([][][]field.Elem, n)
-	ins.echoH = make([][][]bool, n)
-	ins.recM = make([][][]field.Elem, n)
-	ins.recH = make([][][]bool, n)
-	ins.voteCounts = make([]int, n*n)
-	ins.voteRows = make([][]int, n)
+	ins.echoM = make([][]field.Elem, n)
+	ins.echoH = make([][]bool, n)
+	ins.recM = make([][]field.Elem, n)
+	ins.recH = make([][]bool, n)
+	ins.voteCounts = make([]uint64, n*n)
+	ins.voteRows = make([][]uint64, n)
 	for d := range ins.voteRows {
 		ins.voteRows[d] = ins.voteCounts[d*n : (d+1)*n : (d+1)*n]
 	}
@@ -284,7 +330,9 @@ func New(env proto.Env, rng *rand.Rand) *Instance {
 	ins.dstBool = make([][]bool, n)
 	ins.rowPtrE = make([][]field.Elem, n)
 	ins.rowPtrB = make([][]bool, n)
+	ins.gridPtr = make([][]field.Elem, 0, n)
 	ins.senderIdx = make([]int, 0, n)
+	ins.echoAgree = make([]uint64, n*n)
 	ins.shareMsgs = make([]ShareMsg, n)
 	ins.shareSends = make([]proto.Send, n)
 	ins.echoMsgs = make([]EchoMsg, n)
@@ -418,12 +466,43 @@ func (ins *Instance) ComposeShare() []proto.Send {
 		flats[i] = flat
 		ins.shareMsgs[i].Rows = rows
 	}
-	for t := 0; t < n; t++ {
+	// Evaluate all n·w coefficient polynomials at all n points with one
+	// full-width kernel call per destination: the payload block is
+	// contiguous with destination-major stride n·w, and flats[i][t*w+k] =
+	// c_{t,k}(x_i) is exactly EvalGridT's transposed output for the
+	// polynomial family indexed r = t*w+k. This replaces n·w narrow
+	// EvalInto calls plus an n²·w strided scatter.
+	nR := n * w
+	if len(ins.coefShare) < w*nR {
+		ins.coefShare = make([]field.Elem, w*nR)
+	}
+	coefG := ins.coefShare[:w*nR]
+	gemm := true
+	for t := 0; t < n && gemm; t++ {
 		c := ins.dealt[t].C
 		for k := 0; k < w; k++ {
-			ins.me.EvalInto(ev, field.Poly(c[k]))
-			for i := 0; i < n; i++ {
-				flats[i][t*w+k] = ev[i]
+			row := c[k]
+			if len(row) != w {
+				gemm = false
+				break
+			}
+			for k2 := 0; k2 < w; k2++ {
+				coefG[k2*nR+t*w+k] = row[k2]
+			}
+		}
+	}
+	if gemm {
+		ins.me.EvalGridT(elems[:n*nR], coefG, w, nR)
+	} else {
+		// Defensive fallback (dealt rows are always w long): per-poly
+		// evaluation with the strided scatter.
+		for t := 0; t < n; t++ {
+			c := ins.dealt[t].C
+			for k := 0; k < w; k++ {
+				ins.me.EvalInto(ev, field.Poly(c[k]))
+				for i := 0; i < n; i++ {
+					flats[i][t*w+k] = ev[i]
+				}
 			}
 		}
 	}
@@ -448,16 +527,9 @@ func (ins *Instance) DeliverShare(inbox []proto.Recv) {
 		}
 		if seen[r.From] {
 			// A (Byzantine) duplicate may not clobber already-installed
-			// rows with a half-copied invalid message, so it pays for the
-			// separate validation pass the common path fuses away.
-			valid := true
-			for _, row := range m.Rows {
-				if len(row) != f+1 || !elemsValid(row) {
-					valid = false
-					break
-				}
-			}
-			if !valid {
+			// rows with a half-copied invalid message, so it runs the
+			// fused validator in validate-only mode before any copy.
+			if !rowsValid(m.Rows, f+1) {
 				continue
 			}
 			for t := 0; t < n; t++ {
@@ -468,27 +540,95 @@ func (ins *Instance) DeliverShare(inbox []proto.Recv) {
 			continue
 		}
 		seen[r.From] = true
-		// First message from this sender: validate and copy in one pass
-		// over the (cache-cold) payload; an invalid row found mid-way
-		// uninstalls the whole dealer again, so the observable behavior
-		// matches validate-then-copy.
-		valid := true
-		for t := 0; t < n; t++ {
-			row := m.Rows[t]
-			if len(row) != f+1 || !elemsValid(row) {
-				valid = false
-				break
-			}
-			slot := ins.rowSlot(r.From, t)
-			copy(slot, row)
-			ins.rows[r.From][t] = slot
+		ins.installRows(r.From, m.Rows)
+	}
+}
+
+// rowsValid is the fused row validator: one branch-free pass OR-
+// accumulating a validity mask over whole rows (see elemsValid for the
+// hi/borrow range check); only the per-row length check branches.
+func rowsValid(rows []field.Poly, w int) bool {
+	const max = uint64(field.P - 1)
+	var hi, borrow uint64
+	for _, row := range rows {
+		if len(row) != w {
+			return false
 		}
-		if !valid {
-			for t := 0; t < n; t++ {
-				ins.rows[r.From][t] = nil
+		for _, e := range row {
+			hi |= uint64(e)
+			borrow |= max - uint64(e)
+		}
+	}
+	return hi>>31 == 0 && borrow>>63 == 0
+}
+
+// installRows is the first-sender share path: validate and copy fused
+// into one pass over the (cache-cold) payload, accumulating the same
+// mask as rowsValid while the copy streams. Only when the mask trips —
+// a Byzantine sender — does the slow uninstall path run, so the
+// observable behavior matches validate-then-copy. Reports whether the
+// rows were installed.
+func (ins *Instance) installRows(d int, rows []field.Poly) bool {
+	n, w := ins.env.N, ins.env.F+1
+	const max = uint64(field.P - 1)
+	var hi, borrow uint64
+	for t := 0; t < n; t++ {
+		row := rows[t]
+		if len(row) != w {
+			ins.uninstallRows(d)
+			return false
+		}
+		slot := ins.rowSlot(d, t)
+		for i, e := range row {
+			hi |= uint64(e)
+			borrow |= max - uint64(e)
+			slot[i] = e
+		}
+		ins.rows[d][t] = slot
+	}
+	if hi>>31 != 0 || borrow>>63 != 0 {
+		ins.uninstallRows(d)
+		return false
+	}
+	return true
+}
+
+func (ins *Instance) uninstallRows(d int) {
+	for t := 0; t < ins.env.N; t++ {
+		ins.rows[d][t] = nil
+	}
+}
+
+// gatherCoefT transposes every held row's coefficients into the
+// degree-major layout EvalGridT consumes — coefT[k*n²+dt] = row_dt[k],
+// zero-padded, so trimmed fixed rows evaluate identically — carved
+// from the tail of the pooled echo buffer. Returns nil if any row
+// exceeds the f+1 coefficient bound (impossible for validated or dealt
+// rows; the caller then falls back to per-row evaluation). Callers
+// must have verified every row is held.
+func (ins *Instance) gatherCoefT() []field.Elem {
+	n, w := ins.env.N, ins.env.F+1
+	nn := n * n
+	coefT := ins.echoBuf[2*n*nn : 2*n*nn+w*nn]
+	rowsFlat := ins.rowsFlat
+	for _, row := range rowsFlat {
+		if len(row) > w {
+			return nil
+		}
+	}
+	// k-outer order keeps the destination writes sequential (the strided
+	// accesses fall on the reads, which all hit the compact row storage).
+	for k := 0; k < w; k++ {
+		dst := coefT[k*nn : (k+1)*nn]
+		for dt, row := range rowsFlat {
+			if k < len(row) {
+				dst[dt] = row[k]
+			} else {
+				dst[dt] = 0
 			}
 		}
 	}
+	return coefT
 }
 
 // ComposeEcho produces round 2: cross-check points of my rows, one message
@@ -499,8 +639,10 @@ func (ins *Instance) DeliverShare(inbox []proto.Recv) {
 // for agreement counting later the same beat.
 func (ins *Instance) ComposeEcho() []proto.Send {
 	n := ins.env.N
-	if ins.echoVals == nil {
-		ins.echoVals = getEchoVals(n * n * n)
+	if ins.echoBuf == nil {
+		ins.echoBuf = getEchoVals(2*n*n*n + (ins.env.F+1)*n*n)
+		ins.echoVals = ins.echoBuf[:n*n*n]
+		ins.echoValsT = ins.echoBuf[n*n*n : 2*n*n*n]
 	}
 	valsFlats := ins.dstElem
 	hasFlats := ins.dstBool
@@ -524,55 +666,61 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 		hasFlats[j] = hasFlat
 		ins.echoMsgs[j].Vals = vals
 		ins.echoMsgs[j].Has = has
+		ins.echoMsgs[j].ValsFlat = valsFlat
+		ins.echoMsgs[j].HasFlat = hasFlat
 	}
-	// Pass 1: evaluate every held row at all n points, streaming into the
-	// contiguous echoVals cache (DeliverEcho reads it back later this
-	// beat).
+	// Count the held rows up front: the steady state (every row held)
+	// takes the grid-evaluation fast path below; anything sparser falls
+	// back to per-row evaluation plus scattering.
 	held := 0
 	for d := 0; d < n; d++ {
 		for t := 0; t < n; t++ {
-			row := ins.rows[d][t]
-			if row == nil {
-				continue
+			if ins.rows[d][t] != nil {
+				held++
 			}
-			ins.me.EvalInto(ins.echoVals[(d*n+t)*n:(d*n+t+1)*n], row)
-			held++
 		}
 	}
-	// Pass 2: scatter into the per-destination payloads. With every row
-	// held (the steady state), this is a cache-blocked transpose of
-	// echoVals plus a memset of the has bits; per-dealing scattering —
-	// which cycles the full n³ destination footprint through L1 once per
-	// dealing — only runs for the sparse shapes missing dealers cause.
+	var coefT []field.Elem
 	if held == n*n {
+		coefT = ins.gatherCoefT()
+	}
+	if coefT != nil {
+		// Steady state: evaluate the whole row family directly in
+		// transposed order — for each destination j, ONE full-width
+		// kernel call computes row_{d,t}(j+1) for all n² dealings
+		// straight into echoValsT's sender-major layout, which is
+		// simultaneously the destination-j payload and the exact
+		// sequential stream DeliverEcho's fused sweep reads. This
+		// replaces n² narrow per-row evaluations plus an n³ strided
+		// transpose. The row-major echoVals cache is left stale, which
+		// is safe: the cached delivery path only reads echoValsT (the
+		// fix path reads the delivered matrices themselves).
+		ins.me.EvalGridT(ins.echoValsT, coefT, ins.env.F+1, n*n)
 		if ins.allTrue == nil {
 			ins.allTrue = make([]bool, n*n)
 			for i := range ins.allTrue {
 				ins.allTrue[i] = true
 			}
 		}
-		const tile = 64
-		for base := 0; base < n*n; base += tile {
-			end := base + tile
-			if end > n*n {
-				end = n * n
-			}
-			for j := 0; j < n; j++ {
-				dst := valsFlats[j]
-				for idx := base; idx < end; idx++ {
-					dst[idx] = ins.echoVals[idx*n+j]
-				}
-			}
-		}
 		for j := 0; j < n; j++ {
+			copy(valsFlats[j], ins.echoValsT[j*n*n:(j+1)*n*n])
 			copy(hasFlats[j], ins.allTrue)
 		}
 	} else {
-		// Sparse shape (missing dealers): entries without a row stay zero
-		// with has=false, so the leased blocks must be scrubbed of their
-		// recycled contents before scattering — stale bytes here would
-		// leak into the wire encoding and break pooled/unpooled replay
-		// equivalence.
+		// Pass 1: evaluate every held row at all n points, streaming into
+		// the contiguous echoVals cache.
+		for d := 0; d < n; d++ {
+			for t := 0; t < n; t++ {
+				if row := ins.rows[d][t]; row != nil {
+					ins.me.EvalInto(ins.echoVals[(d*n+t)*n:(d*n+t+1)*n], row)
+				}
+			}
+		}
+		// Pass 2: scatter into the per-destination payloads. Entries
+		// without a row stay zero with has=false, so the leased blocks
+		// must be scrubbed of their recycled contents before scattering —
+		// stale bytes here would leak into the wire encoding and break
+		// pooled/unpooled replay equivalence.
 		clear(elems)
 		clear(bools)
 		for idx := 0; idx < n*n; idx++ {
@@ -584,6 +732,13 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 				valsFlats[j][idx] = slot[j]
 				hasFlats[j][idx] = true
 			}
+		}
+		// Retain the transposed evaluations: destination j's payload IS
+		// the sender-major row the delivery sweep wants (for the loopback
+		// matrix it will receive from sender j), so one copy per
+		// destination saves DeliverEcho a strided n³ re-transpose.
+		for j := 0; j < n; j++ {
+			copy(ins.echoValsT[j*n*n:(j+1)*n*n], valsFlats[j])
 		}
 	}
 	for j := range valsFlats {
@@ -599,6 +754,13 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 // a row that disagrees with the quorum is re-decoded from the echoes,
 // tolerating f Byzantine points. rowOK[d][t] records whether I now hold a
 // row consistent with at least n-f echo points.
+//
+// Delivery is a fused validate+tally sweep: each matrix is traversed
+// exactly once, OR-accumulating the element-validity mask while counting
+// agreement with my rows' compose-time evaluations. The slow rollback
+// path (subtracting a matrix's tallies back out) only runs when the mask
+// trips — a Byzantine sender — or a duplicate replaces an installed
+// matrix, so honest traffic never branches per element.
 func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 	n, f := ins.env.N, ins.env.F
 	quorum := ins.env.Quorum()
@@ -609,26 +771,81 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 		echo[w] = nil
 		echoHas[w] = nil
 	}
-	for _, r := range inbox {
-		m, ok := AsEcho(r.Msg)
-		if !ok || r.From < 0 || r.From >= n ||
-			!matrixValid(m.Vals, n) || !boolMatrixValid(m.Has, n) {
-			continue
+	// The tally sweep compares delivered points against my rows' values
+	// at every sender's point — exactly what ComposeEcho evaluated and
+	// transposed into echoValsT this beat. Without a matching compose
+	// (direct harness use), fill the caches now so delivery has one
+	// uniform path.
+	if !ins.echoCached {
+		if ins.echoBuf == nil {
+			ins.echoBuf = getEchoVals(2*n*n*n + (f+1)*n*n)
+			ins.echoVals = ins.echoBuf[:n*n*n]
+			ins.echoValsT = ins.echoBuf[n*n*n : 2*n*n*n]
 		}
-		echo[r.From] = m.Vals
-		echoHas[r.From] = m.Has
+		clear(ins.echoValsT)
+		for d := 0; d < n; d++ {
+			for t := 0; t < n; t++ {
+				if row := ins.rows[d][t]; row != nil {
+					slot := ins.echoVals[(d*n+t)*n : (d*n+t+1)*n]
+					ins.me.EvalInto(slot, row)
+					for j := 0; j < n; j++ {
+						ins.echoValsT[j*n*n+d*n+t] = slot[j]
+					}
+				}
+			}
+		}
 	}
-	cached := ins.echoCached
 	ins.echoCached = false
 	defer func() {
 		// The compose-time evaluations are dead after this round; hand
-		// the buffer back for the next instance entering its echo round.
-		putEchoVals(ins.echoVals)
+		// the backing buffer back for the next instance entering its
+		// echo round.
+		putEchoVals(ins.echoBuf)
+		ins.echoBuf = nil
 		ins.echoVals = nil
+		ins.echoValsT = nil
 	}()
+	agree := ins.echoAgree
+	clear(agree)
+	for _, r := range inbox {
+		m, ok := AsEcho(r.Msg)
+		if !ok || r.From < 0 || r.From >= n {
+			continue
+		}
+		valsFlat, hasFlat := m.ValsFlat, m.HasFlat
+		gathered := false
+		if len(valsFlat) != n*n || len(hasFlat) != n*n {
+			// No (or malformed) flat payload: gather the row views into
+			// the incoming staging pair, rejecting malformed shapes.
+			valsFlat, hasFlat = ins.gatherMatrix(m.Vals, m.Has)
+			if valsFlat == nil {
+				continue
+			}
+			gathered = true
+		}
+		if ins.sweepEchoFlat(r.From, valsFlat, hasFlat, false) {
+			if echo[r.From] != nil {
+				// Duplicate sender: only the LAST valid matrix counts, so
+				// back the earlier one's contributions out (rare path).
+				ins.sweepEchoFlat(r.From, echo[r.From], echoHas[r.From], true)
+			}
+			if gathered {
+				// Move the staged copy into the sender's own region (the
+				// incoming scratch is reused by the next message).
+				valsFlat, hasFlat = ins.stageSender(r.From, valsFlat, hasFlat)
+			}
+			echo[r.From] = valsFlat
+			echoHas[r.From] = hasFlat
+		} else {
+			// Validity mask tripped: this matrix contributes nothing, so
+			// re-sweep to subtract the tallies just added (rare path);
+			// an earlier valid matrix from this sender stays in force.
+			ins.sweepEchoFlat(r.From, valsFlat, hasFlat, true)
+		}
+	}
 	// Hoist the present-sender list once, and per dealer the senders' row
-	// slices, so the inner scans index flat rows instead of chasing three
-	// levels of slice headers (and skip absent senders entirely).
+	// slices, so the (rare) fix path indexes flat rows instead of chasing
+	// three levels of slice headers.
 	senders := ins.senderIdx[:0]
 	for w := 0; w < n; w++ {
 		if echo[w] != nil {
@@ -640,36 +857,13 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 	hasRow := ins.rowPtrB
 	for d := 0; d < n; d++ {
 		for i, w := range senders {
-			evRow[i] = echo[w][d]
-			hasRow[i] = echoHas[w][d]
+			evRow[i] = echo[w][d*n : (d+1)*n]
+			hasRow[i] = echoHas[w][d*n : (d+1)*n]
 		}
 		for t := 0; t < n; t++ {
-			row := ins.rows[d][t]
-			if row != nil {
-				// My row's value at every echoer's point: ComposeEcho
-				// already evaluated exactly these this beat, so the common
-				// path is a lookup (and needs no point collection at all);
-				// without a matching compose, evaluate fresh.
-				var rowVals []field.Elem
-				if cached {
-					rowVals = ins.echoVals[(d*n+t)*n : (d*n+t+1)*n]
-				} else {
-					ins.me.EvalInto(ins.ev, row)
-					rowVals = ins.ev
-				}
-				agree := 0
-				for i, w := range senders {
-					if hasRow[i][t] && rowVals[w] == evRow[i][t] {
-						agree++
-						if agree >= quorum {
-							break
-						}
-					}
-				}
-				if agree >= quorum {
-					ins.rowOK[d][t] = true
-					continue
-				}
+			if ins.rows[d][t] != nil && agree[d*n+t] >= uint64(quorum) {
+				ins.rowOK[d][t] = true
+				continue
 			}
 			// Row missing or inconsistent: collect the echo points and try
 			// to fix it from them. The fixed row is retained across
@@ -699,6 +893,80 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 	}
 }
 
+// sweepEchoFlat is the fused validate+tally pass over one sender's
+// flat echo matrix: a single traversal OR-accumulates the canonical-
+// range mask (the elemsValid hi/borrow trick) while adding ±1 to the
+// agreement tally of every (d,t) whose delivered point matches my row's
+// value at this sender's coordinate — branch-free via an equality mask
+// and the Has bit. It reports whether every element was canonical.
+//
+// Tallies for dealings without an installed row compare against stale
+// echoValsT entries; the counts are deterministic garbage that the
+// resolution loop never consults (it checks rows[d][t] != nil first),
+// and a rollback re-sweep subtracts the identical values.
+func (ins *Instance) sweepEchoFlat(w0 int, valsFlat []field.Elem, hasFlat []bool, negate bool) bool {
+	n := ins.env.N
+	// My rows' values at sender w0's point, sender-major: one sequential
+	// stream, in step with the delivered flat matrix — the whole n²
+	// traversal is a single wide SweepTally call.
+	ev := ins.echoValsT[w0*n*n : (w0+1)*n*n]
+	hi, borrow := field.SweepTally(ins.echoAgree, ev, valsFlat, hasFlat, negate)
+	return hi>>31 == 0 && borrow>>63 == 0
+}
+
+// gatherMatrix copies an n×n row-view matrix pair into the incoming
+// staging pair, returning (nil, nil) if either matrix is malformed. It
+// serves messages without flat payloads (hand-built or wire-decoded);
+// the result is only valid until the next gatherMatrix call — callers
+// that retain it move it aside with stageSender first.
+func (ins *Instance) gatherMatrix(vals [][]field.Elem, has [][]bool) ([]field.Elem, []bool) {
+	n := ins.env.N
+	if len(vals) != n || len(has) != n {
+		return nil, nil
+	}
+	for d := 0; d < n; d++ {
+		if len(vals[d]) != n || len(has[d]) != n {
+			return nil, nil
+		}
+	}
+	if ins.inElem == nil {
+		ins.inElem = make([]field.Elem, n*n)
+		ins.inBool = make([]bool, n*n)
+	}
+	for d := 0; d < n; d++ {
+		copy(ins.inElem[d*n:(d+1)*n], vals[d])
+		copy(ins.inBool[d*n:(d+1)*n], has[d])
+	}
+	return ins.inElem, ins.inBool
+}
+
+// stageSender moves a gathered matrix pair from the incoming scratch
+// into sender w's own staging region, whose contents stay valid for the
+// rest of the round.
+func (ins *Instance) stageSender(w int, valsFlat []field.Elem, hasFlat []bool) ([]field.Elem, []bool) {
+	n := ins.env.N
+	nn := n * n
+	if ins.stageE == nil {
+		ins.stageE = make([]field.Elem, n*nn)
+		ins.stageB = make([]bool, n*nn)
+	}
+	ev := ins.stageE[w*nn : (w+1)*nn]
+	bv := ins.stageB[w*nn : (w+1)*nn]
+	copy(ev, valsFlat)
+	copy(bv, hasFlat)
+	return ev, bv
+}
+
+// b2i converts a bool to 0/1 without a branch (the compiler emits a
+// zero-extending byte load, keeping the tally loops free of
+// mispredictable per-element branches).
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // ComposeVote produces the round-3 broadcast of per-dealing validity.
 func (ins *Instance) ComposeVote() []proto.Send {
 	n := ins.env.N
@@ -709,6 +977,7 @@ func (ins *Instance) ComposeVote() []proto.Send {
 		copy(ok[d], ins.rowOK[d])
 	}
 	ins.voteMsg.OK = ok
+	ins.voteMsg.OKFlat = flat
 	return ins.voteSends
 }
 
@@ -726,26 +995,29 @@ func (ins *Instance) DeliverVote(inbox []proto.Recv) {
 	}
 	for _, r := range inbox {
 		m, ok := AsVote(r.Msg)
-		if !ok || r.From < 0 || r.From >= n || seen[r.From] || !boolMatrixValid(m.OK, n) {
+		if !ok || r.From < 0 || r.From >= n || seen[r.From] {
+			continue
+		}
+		if len(m.OKFlat) == n*n {
+			// Flat payload: the whole n² grid tallies in ONE wide sweep.
+			seen[r.From] = true
+			field.AccumBool(ins.voteCounts, m.OKFlat)
+			continue
+		}
+		if !boolMatrixValid(m.OK, n) {
 			continue
 		}
 		seen[r.From] = true
 		for d := 0; d < n; d++ {
-			okRow := m.OK[d]
-			cnt := counts[d]
-			for t, ok := range okRow {
-				if ok {
-					cnt[t]++
-				}
-			}
+			field.AccumBool(counts[d], m.OK[d][:n])
 		}
 	}
 	for d := 0; d < n; d++ {
 		for t := 0; t < n; t++ {
 			switch {
-			case counts[d][t] >= quorum:
+			case counts[d][t] >= uint64(quorum):
 				ins.grades[d][t] = GradeHigh
-			case counts[d][t] >= f+1:
+			case counts[d][t] >= uint64(f+1):
 				ins.grades[d][t] = GradeLow
 			default:
 				ins.grades[d][t] = GradeNone
@@ -798,6 +1070,8 @@ func (ins *Instance) ComposeRecover() []proto.Send {
 	}
 	ins.recoverMsg.Shares = shares
 	ins.recoverMsg.HasRow = has
+	ins.recoverMsg.SharesFlat = sharesFlat
+	ins.recoverMsg.HasRowFlat = hasFlat
 	return ins.recoverSends
 }
 
@@ -814,62 +1088,60 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 	}
 	for _, r := range inbox {
 		m, ok := AsRecover(r.Msg)
-		if !ok || r.From < 0 || r.From >= n ||
-			!matrixValid(m.Shares, n) || !boolMatrixValid(m.HasRow, n) {
+		if !ok || r.From < 0 || r.From >= n {
 			continue
 		}
-		shares[r.From] = m.Shares
-		has[r.From] = m.HasRow
+		sharesFlat, hasFlat := m.SharesFlat, m.HasRowFlat
+		gathered := false
+		if len(sharesFlat) != n*n || len(hasFlat) != n*n {
+			sharesFlat, hasFlat = ins.gatherMatrix(m.Shares, m.HasRow)
+			if sharesFlat == nil {
+				continue
+			}
+			gathered = true
+		}
+		// One wide range check validates the whole matrix.
+		if !elemsValid(sharesFlat) {
+			continue
+		}
+		if gathered {
+			sharesFlat, hasFlat = ins.stageSender(r.From, sharesFlat, hasFlat)
+		}
+		shares[r.From] = sharesFlat
+		has[r.From] = hasFlat
 	}
 	// Hoist the present-sender list; when additionally every present
-	// sender claims a share for every dealing (the steady state — checked
-	// with one linear sweep per sender), the per-dealing point set is
+	// sender claims a share for every dealing (the steady state — counted
+	// with one branch-free sweep per sender), the per-dealing point set is
 	// constant and the gather loop drops its per-point branches.
 	senders := ins.senderIdx[:0]
-	allHas := true
+	claimed := 0
 	for w := 0; w < n; w++ {
 		if shares[w] == nil {
 			continue
 		}
 		senders = append(senders, w)
-		for _, hr := range has[w] {
-			for _, b := range hr {
-				if !b {
-					allHas = false
-					break
-				}
-			}
-			if !allHas {
-				break
-			}
-		}
+		claimed += int(field.CountBool(has[w]))
 	}
 	ins.senderIdx = senders
+	allHas := claimed == len(senders)*n*n
 	evRow := ins.rowPtrE
 	hasRow := ins.rowPtrB
 	if allHas && len(senders) >= 2*f+1 {
 		m := len(senders)
 		xs := ins.xsScratch[:m]
+		grids := ins.gridPtr[:0]
 		for i, w := range senders {
 			xs[i] = field.Elem(w + 1)
+			grids = append(grids, shares[w])
 		}
-		ys := ins.ysScratch[:m]
-		for d := 0; d < n; d++ {
-			for i, w := range senders {
-				evRow[i] = shares[w][d]
-			}
-			for t := 0; t < n; t++ {
-				for i := 0; i < m; i++ {
-					ys[i] = evRow[i][t]
-				}
-				v, err := ins.secDec.DecodeAt0(xs, ys, f, f)
-				if err != nil {
-					continue
-				}
-				ins.recovered[d][t] = v
-				ins.recOK[d][t] = true
-			}
-		}
+		ins.gridPtr = grids
+		// Decode the whole n×n dealing grid at once: the senders'
+		// matrices go in as-is (column (d,t) is that dealing's share
+		// vector) and the grid decoder verifies all n² candidates per
+		// suffix sender with one full-width kernel pass — m-f-1 wide
+		// passes for the entire round instead of n narrow blocks.
+		ins.secDec.DecodeAt0Grid(xs, grids[:m], n, n, f, f, ins.recovered, ins.recOK)
 		return
 	}
 	for d := 0; d < n; d++ {
@@ -877,7 +1149,7 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 			if shares[w] == nil {
 				evRow[w], hasRow[w] = nil, nil
 			} else {
-				evRow[w], hasRow[w] = shares[w][d], has[w][d]
+				evRow[w], hasRow[w] = shares[w][d*n:(d+1)*n], has[w][d*n:(d+1)*n]
 			}
 		}
 		for t := 0; t < n; t++ {
@@ -929,33 +1201,12 @@ func agreeCount(p field.Poly, xs, ys []field.Elem) int {
 }
 
 // elemsValid reports whether every element is canonical (< P). The scan
-// is branchless because it runs over every delivered matrix entry (n⁴
-// elements per echo round) and honest traffic never trips it. Two
-// accumulators make it sound for the full uint64 range: `hi` catches any
-// value with a bit at or above 2^31 (all invalid values except P
-// itself — P = 2^31−1 is the only non-canonical value below 2^31), and
-// `borrow` underflows on P (the subtraction also wraps for huge values,
-// but those are already caught by hi).
+// is branchless (and wide, via field.RangeOr) because it runs over every
+// delivered matrix entry and honest traffic never trips it; see RangeOr
+// for why the hi/borrow pair is sound over the full uint64 range.
 func elemsValid(es []field.Elem) bool {
-	const max = uint64(field.P - 1)
-	var hi, borrow uint64
-	for _, e := range es {
-		hi |= uint64(e)
-		borrow |= max - uint64(e)
-	}
+	hi, borrow := field.RangeOr(es)
 	return hi>>31 == 0 && borrow>>63 == 0
-}
-
-func matrixValid(m [][]field.Elem, n int) bool {
-	if len(m) != n {
-		return false
-	}
-	for _, row := range m {
-		if len(row) != n || !elemsValid(row) {
-			return false
-		}
-	}
-	return true
 }
 
 func boolMatrixValid(m [][]bool, n int) bool {

@@ -89,11 +89,20 @@ func canonEnvelopes(m proto.Message) proto.Message {
 	case *gvss.ShareMsg:
 		return *v
 	case *gvss.EchoMsg:
-		return *v
+		// The codec transmits the row views only; composed messages
+		// additionally carry the flat performance mirrors, which the
+		// canonical decoded form does not have.
+		c := *v
+		c.ValsFlat, c.HasFlat = nil, nil
+		return c
 	case *gvss.VoteMsg:
-		return *v
+		c := *v
+		c.OKFlat = nil
+		return c
 	case *gvss.RecoverMsg:
-		return *v
+		c := *v
+		c.SharesFlat, c.HasRowFlat = nil, nil
+		return c
 	case *coin.AcceptMsg:
 		return *v
 	}
