@@ -21,6 +21,7 @@ import (
 	"ssbyzclock/internal/baseline"
 	"ssbyzclock/internal/coin"
 	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/multi"
 	"ssbyzclock/internal/proto"
 	"ssbyzclock/internal/sim"
 	"ssbyzclock/internal/sscoin"
@@ -307,6 +308,34 @@ func BenchmarkBeat(b *testing.B) {
 				e.Step()
 			}
 		})
+	}
+}
+
+// BenchmarkBeatMultiTenant is the aggregate-throughput series for the
+// multi-tenant multiplexer: one op is one lockstep beat of T
+// independent n-node instances on one engine (shared scheduler, shared
+// pool arenas, stacked kernel passes), so ns/op ÷ T is the marginal
+// per-instance beat cost and tenant-beats/sec is the service-scale
+// throughput number. Compare against T × the single-instance
+// ClockSyncFM rows to read the multiplexing win; B/op and allocs/op
+// sit under the same gate as every other BenchmarkBeat series, pinning
+// the per-instance marginal allocation cost.
+func BenchmarkBeatMultiTenant(b *testing.B) {
+	for _, cse := range []struct{ n, f int }{{4, 1}, {7, 2}} {
+		for _, tenants := range []int{100, 1000, 10000} {
+			b.Run(fmt.Sprintf("ClockSyncFM/n=%d/T=%d", cse.n, tenants), func(b *testing.B) {
+				m := multi.New(multi.Config{
+					Tenants: tenants,
+					Node:    sim.Config{N: cse.n, F: cse.f, Seed: 1},
+				}, core.NewClockSyncProtocolLayout(64, coin.FMFactory{}, core.LayoutShared))
+				m.Run(2)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Step()
+				}
+				b.ReportMetric(float64(tenants)*float64(b.N)/b.Elapsed().Seconds(), "tenant-beats/sec")
+			})
+		}
 	}
 }
 

@@ -85,7 +85,7 @@ func run() int {
 	case "udp":
 		tr, err = net.NewLoopbackUDP(*n, 0)
 	case "tcp":
-		tr, err = net.NewLoopbackTCP(*n, 0)
+		tr, err = net.NewLoopbackTCPSeeded(*n, 0, *seed)
 	default:
 		err = fmt.Errorf("unknown transport %q", *transport)
 	}

@@ -91,7 +91,7 @@ func run() int {
 	case "udp":
 		ep, err = net.NewUDPEndpoint(*id, addr, peers, 0)
 	case "tcp":
-		ep, err = net.NewTCPEndpoint(*id, addr, peers, 0)
+		ep, err = net.NewTCPEndpointSeeded(*id, addr, peers, 0, *seed)
 	default:
 		err = fmt.Errorf("unknown transport %q", *transport)
 	}

@@ -598,14 +598,32 @@ func SweepGrid(name string, p Params) (sweep.Grid, error) {
 			Faults:      []string{"none", "loss10", "loss20", "loss30", "loss30+reorder"},
 			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
 		}, nil
+	case "multitenant": // the "millions of users" workload: every unit
+		// multiplexes 100 tenant instances lockstep on one internal/multi
+		// engine, so one grid cell measures a hundred independent seeded
+		// runs' aggregate — all-converged, slowest tenant, traffic per
+		// node-beat — while exercising the shared arenas and stacked
+		// kernel passes at service scale. Per-tenant results are
+		// byte-identical to standalone runs (the multi differential
+		// harness), so this grid's distribution claims compose with the
+		// single-instance ones.
+		p = p.orDefault(3, 700, 12)
+		return sweep.Grid{
+			Protocol: "clocksync", Coin: "fm", K: 16,
+			Ns:          []int{4, 7},
+			Adversaries: []string{"passive", "splitter", "replayer"},
+			Layouts:     []string{"shared"},
+			Tenants:     100,
+			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
+		}, nil
 	default:
-		return sweep.Grid{}, fmt.Errorf("experiments: no sweep grid named %q (want twoclock, fourclock, clocksync, clocksync32, resilience, remark31 or netloss)", name)
+		return sweep.Grid{}, fmt.Errorf("experiments: no sweep grid named %q (want twoclock, fourclock, clocksync, clocksync32, resilience, remark31, netloss or multitenant)", name)
 	}
 }
 
 // SweepGridNames lists the experiment names SweepGrid accepts.
 func SweepGridNames() []string {
-	return []string{"twoclock", "fourclock", "clocksync", "clocksync32", "resilience", "remark31", "netloss"}
+	return []string{"twoclock", "fourclock", "clocksync", "clocksync32", "resilience", "remark31", "netloss", "multitenant"}
 }
 
 // ReportStore renders the aggregate tables of a completed (merged) sweep

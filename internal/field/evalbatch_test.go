@@ -1,0 +1,88 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type recordFinisher struct {
+	order *[]int
+}
+
+func (r recordFinisher) FinishEval(tag int) { *r.order = append(*r.order, tag) }
+
+// TestEvalBatchMatchesDirect stacks a mixed bag of job shapes — several
+// tables, several widths, varying nR, enough volume to split into
+// multiple stacked groups — and requires the flushed destinations to be
+// bit-identical to immediate EvalGridT calls, with finishers invoked in
+// enqueue order.
+func TestEvalBatchMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type shape struct{ n, deg, w, nR int }
+	shapes := []shape{
+		{4, 1, 2, 16},
+		{4, 1, 2, 8},
+		{7, 2, 3, 49},
+		{16, 5, 6, 256},
+		{4, 1, 2, batchMaxCols + 5}, // singleton: exceeds the stacking cap
+	}
+	var batch EvalBatch
+	var order []int
+	var want [][]Elem
+	var got [][]Elem
+	jobs := 0
+	for rep := 0; rep < 40; rep++ {
+		s := shapes[rng.Intn(len(shapes))]
+		me := MultiEvalFor(s.n, s.deg)
+		coefT := make([]Elem, s.w*s.nR)
+		for i := range coefT {
+			coefT[i] = Elem(rng.Intn(int(P)))
+		}
+		ref := make([]Elem, s.n*s.nR)
+		me.EvalGridT(ref, coefT, s.w, s.nR)
+		dst := make([]Elem, s.n*s.nR)
+		batch.Enqueue(me, dst, coefT, s.w, s.nR, recordFinisher{&order}, jobs)
+		want = append(want, ref)
+		got = append(got, dst)
+		jobs++
+	}
+	if batch.Len() != jobs {
+		t.Fatalf("Len() = %d, want %d", batch.Len(), jobs)
+	}
+	batch.Flush()
+	if batch.Len() != 0 {
+		t.Fatalf("Len() = %d after Flush, want 0", batch.Len())
+	}
+	for j := range want {
+		for i := range want[j] {
+			if got[j][i] != want[j][i] {
+				t.Fatalf("job %d: dst[%d] = %d, want %d", j, i, got[j][i], want[j][i])
+			}
+		}
+	}
+	if len(order) != jobs {
+		t.Fatalf("finishers ran %d times, want %d", len(order), jobs)
+	}
+	for i, tag := range order {
+		if tag != i {
+			t.Fatalf("finisher order[%d] = %d, want %d (enqueue order)", i, tag, i)
+		}
+	}
+	// A second round on the same batch reuses the scratch without
+	// interference from the first.
+	me := MultiEvalFor(4, 1)
+	coefT := make([]Elem, 2*16)
+	for i := range coefT {
+		coefT[i] = Elem(rng.Intn(int(P)))
+	}
+	ref := make([]Elem, 4*16)
+	me.EvalGridT(ref, coefT, 2, 16)
+	dst := make([]Elem, 4*16)
+	batch.Enqueue(me, dst, coefT, 2, 16, nil, 0)
+	batch.Flush()
+	for i := range ref {
+		if dst[i] != ref[i] {
+			t.Fatalf("second flush: dst[%d] = %d, want %d", i, dst[i], ref[i])
+		}
+	}
+}

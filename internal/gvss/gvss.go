@@ -266,7 +266,6 @@ type Instance struct {
 	coefShare []field.Elem
 	senderIdx []int
 	secDec    *field.SecretDecoder
-	allTrue   []bool // n² of true, for the all-held echo fast path
 	// echoAgree[d*n+t] is the echo agreement tally the fused
 	// validate+tally sweep accumulates per delivered matrix. uint64 so
 	// the sweep's wrapping ±1 adds (field.SweepTally) settle to the
@@ -277,6 +276,12 @@ type Instance struct {
 	// evaluations into outgoing messages.
 	dstElem [][]field.Elem
 	dstBool [][]bool
+
+	// batchElems/batchBools hold ComposeEcho's leased payload blocks
+	// between a deferred enqueue (env.Batch non-nil) and FinishEval,
+	// which runs the payload copies the immediate path does inline.
+	batchElems []field.Elem
+	batchBools []bool
 
 	// Persistent message slots and send lists for the four rounds. Each
 	// Compose* overwrites its slots' slice headers (pointing them at
@@ -492,7 +497,15 @@ func (ins *Instance) ComposeShare() []proto.Send {
 		}
 	}
 	if gemm {
-		ins.me.EvalGridT(elems[:n*nR], coefG, w, nR)
+		if b := ins.env.Batch; b != nil {
+			// Deferred: the driver flushes after the compose fan-out and
+			// before anything reads the payload, stacking this family with
+			// same-shaped ones from other instances (see proto.Env.Batch).
+			// Both coefG and the payload block stay valid until then.
+			b.Enqueue(ins.me, elems[:n*nR], coefG, w, nR, nil, 0)
+		} else {
+			ins.me.EvalGridT(elems[:n*nR], coefG, w, nR)
+		}
 	} else {
 		// Defensive fallback (dealt rows are always w long): per-poly
 		// evaluation with the strided scatter.
@@ -695,16 +708,17 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 		// transpose. The row-major echoVals cache is left stale, which
 		// is safe: the cached delivery path only reads echoValsT (the
 		// fix path reads the delivered matrices themselves).
-		ins.me.EvalGridT(ins.echoValsT, coefT, ins.env.F+1, n*n)
-		if ins.allTrue == nil {
-			ins.allTrue = make([]bool, n*n)
-			for i := range ins.allTrue {
-				ins.allTrue[i] = true
-			}
-		}
-		for j := 0; j < n; j++ {
-			copy(valsFlats[j], ins.echoValsT[j*n*n:(j+1)*n*n])
-			copy(hasFlats[j], ins.allTrue)
+		if b := ins.env.Batch; b != nil {
+			// Deferred: enqueue the grid evaluation and run the payload
+			// copies in FinishEval once the driver's flush has filled
+			// echoValsT. coefT lives in echoBuf's tail, which stays checked
+			// out until this round's DeliverEcho — well past the flush.
+			ins.batchElems = elems
+			ins.batchBools = bools
+			b.Enqueue(ins.me, ins.echoValsT, coefT, ins.env.F+1, n*n, ins, 0)
+		} else {
+			ins.me.EvalGridT(ins.echoValsT, coefT, ins.env.F+1, n*n)
+			ins.finishEchoPayload(elems, bools)
 		}
 	} else {
 		// Pass 1: evaluate every held row at all n points, streaming into
@@ -747,6 +761,29 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 	}
 	ins.echoCached = true
 	return sends
+}
+
+// finishEchoPayload runs the steady-state echo path's payload copies
+// once echoValsT holds the grid evaluation: destination j's payload is
+// echoValsT's slab j (the transposed layout IS the per-destination
+// sender-major matrix), and every presence flag is true since every row
+// was held. elems/bools are the beat-leased blocks backing all n
+// outgoing messages.
+func (ins *Instance) finishEchoPayload(elems []field.Elem, bools []bool) {
+	n := ins.env.N
+	copy(elems[:n*n*n], ins.echoValsT[:n*n*n])
+	bools = bools[:n*n*n]
+	for i := range bools {
+		bools[i] = true
+	}
+}
+
+// FinishEval implements field.Finisher: the deferred tail of the
+// steady-state ComposeEcho path, invoked by the driver's batch flush
+// after the enqueued grid evaluation has filled echoValsT.
+func (ins *Instance) FinishEval(int) {
+	ins.finishEchoPayload(ins.batchElems, ins.batchBools)
+	ins.batchElems, ins.batchBools = nil, nil
 }
 
 // DeliverEcho ingests round-2 messages and row-fixes: for each dealing,

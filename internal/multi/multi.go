@@ -1,0 +1,292 @@
+// Package multi multiplexes many independent clock-sync instances
+// (tenants) onto one stepping engine — the "millions of users"
+// workload: instead of T processes each stepping one protocol stack,
+// one engine steps T stacks per beat under a single scheduler.
+//
+// Three structural ideas, all invisible to the per-tenant protocol
+// code:
+//
+//   - Flat instance-major work layout, chunked for cache residency.
+//     Work unit u = t·N + i is tenant t's node i; whole tenants are
+//     assigned to scheduler workers in contiguous blocks, and each
+//     worker steps its block in chunks of a few dozen tenants, running
+//     a chunk's compose, exchange, deliver and recycle phases
+//     back-to-back before moving on. A global phase-major sweep would
+//     traverse all T tenants' state once per phase — every access a
+//     cache miss at service scale; the chunk is sized so its tenants'
+//     state stays hot across all phases of the beat.
+//   - Batched grid evaluation. Every tenant node's GVSS compose calls
+//     defer their EvalGridT invocations to a per-worker
+//     field.EvalBatch; after a chunk's compose pass the worker flushes
+//     its batcher, which stacks the (identically shaped) coefficient
+//     families of the chunk's tenants side by side into single deep
+//     evalColumns kernel passes — the regime the SIMD kernels are
+//     built for, unreachable by any single instance at small n.
+//   - Shared pool arenas. Tenant nodes multiplexed onto one worker
+//     lease payload buffers from one shared pool.Arena through
+//     per-node views, so resident buffer memory scales with one
+//     chunk's working set, not with T × the working set; per-view
+//     lease accounting keeps recycling beat-scoped per tenant.
+//
+// Determinism: a T-tenant engine is byte-identical, per tenant, to T
+// independent single-tenant engines built from the same per-tenant
+// configs, at every worker count and chunk size. Each tenant keeps its
+// own sim.Engine (constructed by sim.New, so all per-tenant RNG
+// streams are exactly the standalone ones); tenants never interact, so
+// any grouping of their phase executions is equivalent; deferred
+// evaluation is bit-identical to inline evaluation (field.EvalBatch);
+// and buffer identity never reaches protocol output (the pooling
+// contract). The differential harness in this package's tests enforces
+// all of it.
+package multi
+
+import (
+	"fmt"
+
+	"ssbyzclock/internal/field"
+	"ssbyzclock/internal/pool"
+	"ssbyzclock/internal/sim"
+)
+
+// Config describes a multi-tenant cluster: T tenants, each an
+// independent sim-engine cluster of the same size.
+type Config struct {
+	// Tenants is T, the number of independent instances.
+	Tenants int
+	// Workers sizes the shared scheduler all phases fan out over. 0
+	// selects GOMAXPROCS, as in sim.Config.
+	Workers int
+	// Node is the per-tenant config template. Tenant t runs it with
+	// Seed+t (each tenant an independent seeded run); Workers, Pools
+	// and Batches are managed by this engine and ignored on the
+	// template. Pool selects the pooling mode for the shared arenas.
+	Node sim.Config
+	// NodeFor, when non-nil, overrides Node: it returns tenant t's
+	// full config (including its Seed). All tenants must share N. The
+	// differential-harness tests use it to give each tenant its own
+	// adversary constructor.
+	NodeFor func(t int) sim.Config
+}
+
+// Engine steps T tenant clusters in lockstep. Create with New, then
+// Step/Run; per-tenant inspection goes through Tenant.
+type Engine struct {
+	tenants []*sim.Engine
+	n       int // nodes per tenant
+	sched   *sim.Scheduler
+
+	// views[u] is work unit u's pool view (nil when pooling is off),
+	// instance-major; each view leases from the arena of the worker
+	// group that owns unit u's tenant, so arena access stays
+	// single-goroutine through the beat fan-out.
+	views    []*pool.Node
+	arenas   []*pool.Arena
+	batchers []*field.EvalBatch
+	// chunk is the cache-residency grain: tenants stepped back-to-back
+	// through all beat phases before the worker moves to the next chunk.
+	chunk int
+	beat  uint64
+}
+
+// cacheChunkUnits sizes the per-worker tenant chunk: enough (tenant ×
+// node) units that a chunk's flushed eval batch stacks deep — hundreds
+// of columns — while the chunk's full protocol state still fits the
+// fast cache levels, so the exchange/deliver phases re-read what the
+// compose phase just wrote instead of missing to DRAM. 128 units at
+// the seed-machine state sizes lands in the low megabytes.
+const cacheChunkUnits = 128
+
+// TenantConfig returns the config tenant t would run standalone — the
+// oracle side of the differential harness.
+func TenantConfig(cfg Config, t int) sim.Config {
+	c := cfg.Node
+	if cfg.NodeFor != nil {
+		c = cfg.NodeFor(t)
+	} else {
+		c.Seed += int64(t)
+	}
+	c.Workers = 1
+	c.Pools = nil
+	c.Batches = nil
+	return c
+}
+
+// New builds the multiplexed engine. Panics on malformed configs, like
+// sim.New.
+func New(cfg Config, factory sim.NodeFactory) *Engine {
+	if cfg.Tenants <= 0 {
+		panic(fmt.Sprintf("multi: bad tenant count %d", cfg.Tenants))
+	}
+	first := TenantConfig(cfg, 0)
+	n := first.N
+	T := cfg.Tenants
+	units := T * n
+	m := &Engine{
+		tenants: make([]*sim.Engine, T),
+		n:       n,
+		sched:   sim.NewScheduler(cfg.Workers),
+	}
+	pooled, poison := sim.ResolvePoolMode(first.Pool)
+	m.chunk = cacheChunkUnits / n
+	if m.chunk < 1 {
+		m.chunk = 1
+	}
+	// Whole tenants are assigned to worker groups (WorkerFor over T),
+	// so a group can run its tenants' full beats without cross-group
+	// barriers; groups beyond the tenant count would sit idle.
+	groups := m.sched.Workers()
+	if groups > T {
+		groups = T
+	}
+	m.batchers = make([]*field.EvalBatch, groups)
+	for g := range m.batchers {
+		m.batchers[g] = &field.EvalBatch{}
+	}
+	if pooled {
+		m.arenas = make([]*pool.Arena, groups)
+		for g := range m.arenas {
+			m.arenas[g] = &pool.Arena{}
+		}
+		m.views = make([]*pool.Node, units)
+		for u := range m.views {
+			m.views[u] = m.arenas[m.sched.WorkerFor(T, u/n)].NewView()
+			m.views[u].SetPoison(poison)
+		}
+	}
+	for t := 0; t < T; t++ {
+		c := TenantConfig(cfg, t)
+		if c.N != n {
+			panic(fmt.Sprintf("multi: tenant %d has n=%d, tenant 0 has n=%d", t, c.N, n))
+		}
+		if pooled {
+			c.Pools = m.views[t*n : (t+1)*n]
+		}
+		batches := make([]*field.EvalBatch, n)
+		for i := range batches {
+			batches[i] = m.batchers[m.sched.WorkerFor(T, t)]
+		}
+		c.Batches = batches
+		m.tenants[t] = sim.New(c, factory)
+	}
+	return m
+}
+
+// Tenants returns T.
+func (m *Engine) Tenants() int { return len(m.tenants) }
+
+// N returns the per-tenant cluster size.
+func (m *Engine) N() int { return m.n }
+
+// Beat returns the number of completed beats.
+func (m *Engine) Beat() uint64 { return m.beat }
+
+// Tenant returns tenant t's engine for inspection (clocks, metrics,
+// phantom injection). Stepping it directly would desynchronize the
+// lockstep; use Step on the multi engine.
+func (m *Engine) Tenant(t int) *sim.Engine { return m.tenants[t] }
+
+// Step executes one beat for every tenant: one fan-out over worker
+// groups, each group walking its contiguous tenant block in
+// cache-sized chunks. Per chunk: compose every node (deferring grid
+// evals to the group's batcher), flush the batcher (one stacked
+// kernel pass over the whole chunk, before any payload is read),
+// then the per-tenant exchange, deliver, arena-recycle and
+// beat-finish passes. Within a tenant the phase ordering of
+// sim.Engine.Step holds unchanged; across tenants there is nothing to
+// order.
+func (m *Engine) Step() {
+	groups := len(m.batchers)
+	m.sched.ForEach(groups, func(_ *sim.WorkerScratch, g int) {
+		m.stepGroup(g)
+	})
+	m.beat++
+}
+
+// stepGroup runs one beat for worker group g's tenant block. ForEach
+// over the group count maps index g to exactly one invocation per
+// fan-out, so the group's batcher and arena are touched by one
+// goroutine at a time, with ForEach's barrier ordering accesses
+// across beats.
+func (m *Engine) stepGroup(g int) {
+	T, n := len(m.tenants), m.n
+	groups := len(m.batchers)
+	block := (T + groups - 1) / groups // mirrors Scheduler.WorkerFor(T, ·)
+	t0 := g * block
+	t1 := t0 + block
+	if t1 > T {
+		t1 = T
+	}
+	for c0 := t0; c0 < t1; c0 += m.chunk {
+		c1 := c0 + m.chunk
+		if c1 > t1 {
+			c1 = t1
+		}
+		for t := c0; t < c1; t++ {
+			e := m.tenants[t]
+			for i := 0; i < n; i++ {
+				e.ComposeNode(i)
+			}
+		}
+		m.batchers[g].Flush()
+		for t := c0; t < c1; t++ {
+			m.tenants[t].ExchangePhase()
+		}
+		for t := c0; t < c1; t++ {
+			e := m.tenants[t]
+			for i := 0; i < n; i++ {
+				e.DeliverNode(i)
+			}
+		}
+		if m.views != nil {
+			for u := c0 * n; u < c1*n; u++ {
+				m.views[u].Recycle()
+			}
+		}
+		for t := c0; t < c1; t++ {
+			m.tenants[t].FinishBeat()
+		}
+	}
+}
+
+// Run executes the given number of beats.
+func (m *Engine) Run(beats int) {
+	for i := 0; i < beats; i++ {
+		m.Step()
+	}
+}
+
+// ScrambleHonest scrambles every tenant's honest nodes (each tenant
+// uses its own scramble stream, exactly as standalone).
+func (m *Engine) ScrambleHonest() {
+	for _, e := range m.tenants {
+		e.ScrambleHonest()
+	}
+}
+
+// HonestMsgs sums the tenants' cumulative honest message counts.
+func (m *Engine) HonestMsgs() uint64 {
+	var s uint64
+	for _, e := range m.tenants {
+		s += e.HonestMsgs
+	}
+	return s
+}
+
+// FaultyMsgs sums the tenants' cumulative adversarial message counts.
+func (m *Engine) FaultyMsgs() uint64 {
+	var s uint64
+	for _, e := range m.tenants {
+		s += e.FaultyMsgs
+	}
+	return s
+}
+
+// HonestBytes sums the tenants' cumulative honest wire bytes (only
+// tallied when the tenant configs set CountBytes).
+func (m *Engine) HonestBytes() uint64 {
+	var s uint64
+	for _, e := range m.tenants {
+		s += e.HonestBytes
+	}
+	return s
+}

@@ -25,11 +25,22 @@ type TCPTransport struct {
 	prebound []*gonet.TCPListener
 	attached []bool
 	qcap     int
+	seed     int64
 }
 
 // NewTCPTransport builds a transport over an explicit address book
 // (addrs[i] is node i's listen address). qcap <= 0 selects DefaultQueue.
+// Reconnect jitter uses a fixed default seed; thread the run seed with
+// NewTCPTransportSeeded.
 func NewTCPTransport(addrs []string, qcap int) *TCPTransport {
+	return NewTCPTransportSeeded(addrs, qcap, 1)
+}
+
+// NewTCPTransportSeeded is NewTCPTransport with the run seed threaded
+// into the endpoints' reconnect-backoff jitter: every (endpoint, peer)
+// link derives a private deterministic stream from (seed, ids), so
+// runs replay and many endpoints never contend on a shared rng.
+func NewTCPTransportSeeded(addrs []string, qcap int, seed int64) *TCPTransport {
 	if qcap <= 0 {
 		qcap = DefaultQueue
 	}
@@ -38,13 +49,20 @@ func NewTCPTransport(addrs []string, qcap int) *TCPTransport {
 		prebound: make([]*gonet.TCPListener, len(addrs)),
 		attached: make([]bool, len(addrs)),
 		qcap:     qcap,
+		seed:     seed,
 	}
 }
 
 // NewLoopbackTCP binds n listeners on 127.0.0.1 with kernel-chosen ports
 // and returns a transport over them.
 func NewLoopbackTCP(n, qcap int) (*TCPTransport, error) {
-	t := NewTCPTransport(make([]string, n), qcap)
+	return NewLoopbackTCPSeeded(n, qcap, 1)
+}
+
+// NewLoopbackTCPSeeded is NewLoopbackTCP with the run seed threaded
+// into the backoff jitter (see NewTCPTransportSeeded).
+func NewLoopbackTCPSeeded(n, qcap int, seed int64) (*TCPTransport, error) {
+	t := NewTCPTransportSeeded(make([]string, n), qcap, seed)
 	for i := 0; i < n; i++ {
 		ln, err := gonet.ListenTCP("tcp", &gonet.TCPAddr{IP: gonet.IPv4(127, 0, 0, 1)})
 		if err != nil {
@@ -80,7 +98,7 @@ func (t *TCPTransport) Endpoint(id int) (Endpoint, error) {
 		}
 	}
 	t.attached[id] = true
-	e := newTCPEndpoint(id, ln, t.addrs, t.qcap)
+	e := newTCPEndpoint(id, ln, t.addrs, t.qcap, t.seed)
 	e.onClose = func() {
 		t.mu.Lock()
 		t.attached[id] = false
@@ -103,8 +121,15 @@ func (t *TCPTransport) Close() error {
 }
 
 // NewTCPEndpoint builds a standalone endpoint for a node daemon: listen
-// on listen, dial peers[i] for node i.
+// on listen, dial peers[i] for node i. Reconnect jitter uses a fixed
+// default seed; daemons thread their run seed with NewTCPEndpointSeeded.
 func NewTCPEndpoint(id int, listen string, peers []string, qcap int) (Endpoint, error) {
+	return NewTCPEndpointSeeded(id, listen, peers, qcap, 1)
+}
+
+// NewTCPEndpointSeeded is NewTCPEndpoint with the run seed threaded
+// into the reconnect-backoff jitter (see NewTCPTransportSeeded).
+func NewTCPEndpointSeeded(id int, listen string, peers []string, qcap int, seed int64) (Endpoint, error) {
 	if qcap <= 0 {
 		qcap = DefaultQueue
 	}
@@ -116,7 +141,7 @@ func NewTCPEndpoint(id int, listen string, peers []string, qcap int) (Endpoint, 
 	if err != nil {
 		return nil, err
 	}
-	return newTCPEndpoint(id, ln, peers, qcap), nil
+	return newTCPEndpoint(id, ln, peers, qcap, seed), nil
 }
 
 // maxStreamFrame bounds one length-prefixed record; a peer claiming more
@@ -128,6 +153,7 @@ type tcpEndpoint struct {
 	ln      *gonet.TCPListener
 	peers   []string
 	qcap    int
+	seed    int64
 	recv    chan Packet
 	dropped atomic.Uint64
 	closed  atomic.Bool
@@ -146,9 +172,9 @@ type tcpLink struct {
 	queue chan []byte
 }
 
-func newTCPEndpoint(id int, ln *gonet.TCPListener, peers []string, qcap int) *tcpEndpoint {
+func newTCPEndpoint(id int, ln *gonet.TCPListener, peers []string, qcap int, seed int64) *tcpEndpoint {
 	e := &tcpEndpoint{
-		id: id, ln: ln, peers: peers, qcap: qcap,
+		id: id, ln: ln, peers: peers, qcap: qcap, seed: seed,
 		recv:  make(chan Packet, qcap),
 		done:  make(chan struct{}),
 		links: make(map[int]*tcpLink),
@@ -226,7 +252,7 @@ func (e *tcpEndpoint) Send(to int, frame []byte) error {
 		link = &tcpLink{queue: make(chan []byte, e.qcap)}
 		e.links[to] = link
 		e.wg.Add(1)
-		go e.writeLoop(link, e.peers[to])
+		go e.writeLoop(link, to, e.peers[to])
 	}
 	e.mu.Unlock()
 	data := make([]byte, len(frame))
@@ -239,15 +265,30 @@ func (e *tcpEndpoint) Send(to int, frame []byte) error {
 	return nil
 }
 
+// backoffRng derives the (endpoint, peer) link's private jitter stream
+// from the run seed, splitmix-style (the faultnet.Wrap seeding
+// pattern). Each writeLoop goroutine owns its own rng: reconnect
+// jitter is deterministic per (seed, from, to) — runs replay — and a
+// process hosting thousands of endpoints never serializes its
+// redial storms on the global math/rand lock.
+func backoffRng(seed int64, from, to int) *rand.Rand {
+	x := uint64(seed) ^ uint64(from)<<40 ^ uint64(to)<<20
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return rand.New(rand.NewSource(int64(x ^ (x >> 31))))
+}
+
 // writeLoop drains one peer's queue. The connection is dialled on first
 // need and redialled after failures with jittered exponential backoff;
 // frames that race a broken connection are dropped (counted), matching
 // the layer's best-effort contract.
-func (e *tcpEndpoint) writeLoop(link *tcpLink, addr string) {
+func (e *tcpEndpoint) writeLoop(link *tcpLink, to int, addr string) {
 	defer e.wg.Done()
 	var conn gonet.Conn
 	var bw *bufio.Writer
 	var lenBuf [binary.MaxVarintLen64]byte
+	rng := backoffRng(e.seed, e.id, to)
 	backoff := 50 * time.Millisecond
 	defer func() {
 		if conn != nil {
@@ -264,7 +305,7 @@ func (e *tcpEndpoint) writeLoop(link *tcpLink, addr string) {
 		for conn == nil {
 			c, err := gonet.DialTimeout("tcp", addr, 2*time.Second)
 			if err != nil {
-				sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+				sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
 				if backoff < 3*time.Second {
 					backoff *= 2
 				}

@@ -1,0 +1,46 @@
+package net
+
+import "testing"
+
+// TestBackoffRngDeterministicPerLink: the reconnect-jitter stream is a
+// pure function of (seed, from, to) — identical links replay the same
+// sleeps across runs — while distinct links and distinct seeds draw
+// from decorrelated streams (the thundering-herd property the jitter
+// exists for).
+func TestBackoffRngDeterministicPerLink(t *testing.T) {
+	draw := func(seed int64, from, to int) [8]int64 {
+		rng := backoffRng(seed, from, to)
+		var out [8]int64
+		for i := range out {
+			out[i] = rng.Int63n(1 << 20)
+		}
+		return out
+	}
+	if draw(7, 0, 1) != draw(7, 0, 1) {
+		t.Fatal("same (seed, from, to) produced different jitter streams")
+	}
+	base := draw(7, 0, 1)
+	for _, alt := range [][3]int64{{7, 1, 0}, {7, 0, 2}, {8, 0, 1}} {
+		if draw(alt[0], int(alt[1]), int(alt[2])) == base {
+			t.Fatalf("link (%d,%d,%d) collided with (7,0,1)", alt[0], alt[1], alt[2])
+		}
+	}
+}
+
+// TestSeededConstructorsThreadSeed: the seed reaches the endpoints a
+// transport hands out.
+func TestSeededConstructorsThreadSeed(t *testing.T) {
+	tr, err := NewLoopbackTCPSeeded(2, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ep, err := tr.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if got := ep.(*tcpEndpoint).seed; got != 42 {
+		t.Fatalf("endpoint seed = %d, want 42", got)
+	}
+}

@@ -85,29 +85,60 @@ const poisonElem = field.Elem(^uint64(0))
 
 // freeList recycles buffers of one element type. Buffers handed out by
 // get are tracked on the leased list until recycle moves them back.
+// When shared is non-nil the list draws free buffers from (and returns
+// them to) that external store — the Arena mechanism — while lease
+// accounting stays local, so a view always recycles exactly what it
+// leased this beat.
 type freeList[T any] struct {
 	free   [][]T
 	leased [][]T
+	shared *[][]T
 }
 
-// get returns a buffer of length n, reusing a free buffer with enough
-// capacity when one exists. Contents are arbitrary.
+// store returns the free-buffer store this list draws from: its own
+// slice, or the arena's when the list is a view.
+func (l *freeList[T]) store() *[][]T {
+	if l.shared != nil {
+		return l.shared
+	}
+	return &l.free
+}
+
+// get returns a buffer of length n, reusing the free buffer with the
+// SMALLEST sufficient capacity (best-fit). Contents are arbitrary.
+//
+// Best-fit matters because the free list mixes sizes: compose paths
+// lease one large matrix block plus several small header arrays per
+// beat, and a first-fit scan would happily hand the single large block
+// to a header-sized request, forcing a fresh large allocation on the
+// next matrix lease — the pool-eviction effect behind the old n=32
+// B/op floor.
 func (l *freeList[T]) get(n int) []T {
-	for i := len(l.free) - 1; i >= 0; i-- {
-		if cap(l.free[i]) >= n {
-			b := l.free[i][:n]
-			l.free[i] = l.free[len(l.free)-1]
-			l.free = l.free[:len(l.free)-1]
-			l.leased = append(l.leased, b)
-			return b
+	free := *l.store()
+	best := -1
+	for i := range free {
+		c := cap(free[i])
+		if c < n || (best >= 0 && c >= cap(free[best])) {
+			continue
 		}
+		best = i
+		if c == n {
+			break // exact fit cannot be beaten
+		}
+	}
+	if best >= 0 {
+		b := free[best][:n]
+		free[best] = free[len(free)-1]
+		*l.store() = free[:len(free)-1]
+		l.leased = append(l.leased, b)
+		return b
 	}
 	b := make([]T, n)
 	l.leased = append(l.leased, b)
 	return b
 }
 
-// recycle moves every leased buffer back to the free list, scribbling
+// recycle moves every leased buffer back to the free store, scribbling
 // each with poison first when non-nil.
 func (l *freeList[T]) recycle(poison *T) {
 	for _, b := range l.leased {
@@ -117,7 +148,7 @@ func (l *freeList[T]) recycle(poison *T) {
 				b[i] = *poison
 			}
 		}
-		l.free = append(l.free, b)
+		*l.store() = append(*l.store(), b)
 	}
 	l.leased = l.leased[:0]
 }
@@ -200,4 +231,45 @@ func (p *Node) Recycle() {
 func (p *Node) Leased() int {
 	return len(p.elems.leased) + len(p.bools.leased) + len(p.polys.leased) +
 		len(p.elemRows.leased) + len(p.boolRows.leased)
+}
+
+// Arena is a shared free-buffer store that several Node views draw
+// from, the multi-tenant pooling layout: thousands of tenant nodes
+// multiplexed onto one scheduler worker share one set of recycled
+// buffers instead of each hoarding a private free list, while every
+// view keeps its own lease accounting so a beat's recycle returns
+// exactly that view's leases (beat-scoped recycling per tenant).
+//
+// Concurrency contract (same as Node, shifted to the arena): an arena
+// and ALL of its views must be used from one goroutine at a time. The
+// multi-tenant engine enforces this by giving each scheduler worker its
+// own arena and assigning every (tenant, node) work unit's view to the
+// worker that composes — and recycles — that unit.
+type Arena struct {
+	elems    [][]field.Elem
+	bools    [][]bool
+	polys    [][]field.Poly
+	elemRows [][][]field.Elem
+	boolRows [][][]bool
+}
+
+// NewView returns a Node that leases from the arena's shared free
+// store. The view tracks its own leases; Recycle returns them to the
+// arena. Poison mode is per view (SetPoison), matching the standalone
+// Node surface.
+func (a *Arena) NewView() *Node {
+	n := &Node{}
+	n.elems.shared = &a.elems
+	n.bools.shared = &a.bools
+	n.polys.shared = &a.polys
+	n.elemRows.shared = &a.elemRows
+	n.boolRows.shared = &a.boolRows
+	return n
+}
+
+// FreeBuffers reports the number of buffers currently resident in the
+// arena's free store (observability and tests).
+func (a *Arena) FreeBuffers() int {
+	return len(a.elems) + len(a.bools) + len(a.polys) +
+		len(a.elemRows) + len(a.boolRows)
 }

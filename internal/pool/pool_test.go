@@ -65,6 +65,92 @@ func TestPoisonScribblesOnRecycle(t *testing.T) {
 	}
 }
 
+// sameBacking reports whether two leases share a backing array
+// (compared at full capacity, since get re-slices).
+func sameBacking(a, b []field.Elem) bool {
+	if cap(a) == 0 || cap(b) == 0 {
+		return false
+	}
+	return &a[:cap(a)][cap(a)-1] == &b[:cap(b)][cap(b)-1]
+}
+
+// TestBestFitSmallAfterLarge is the regression for the first-fit
+// eviction bug: with a large and a small buffer free, a small request
+// must take the small buffer, so the following large request still
+// finds the large one instead of allocating fresh (the pool-eviction
+// effect behind the old n=32 B/op floor).
+func TestBestFitSmallAfterLarge(t *testing.T) {
+	var p Node
+	large := p.Elems(4096)
+	small := p.Elems(8)
+	p.Recycle()
+	if got := p.Elems(8); !sameBacking(got, small) {
+		t.Fatalf("small lease consumed the wrong free buffer (cap=%d, want %d)", cap(got), cap(small))
+	}
+	if got := p.Elems(4096); !sameBacking(got, large) {
+		t.Fatal("large buffer was evicted by the small lease: fresh allocation")
+	}
+}
+
+// TestBestFitPrefersTightest: among several sufficient buffers the
+// smallest sufficient capacity wins, regardless of free-list position.
+func TestBestFitPrefersTightest(t *testing.T) {
+	var p Node
+	b1 := p.Elems(100)
+	b2 := p.Elems(32)
+	b3 := p.Elems(48)
+	p.Recycle()
+	if got := p.Elems(40); !sameBacking(got, b3) {
+		t.Fatalf("lease of 40 got cap %d, want the cap-48 buffer", cap(got))
+	}
+	if got := p.Elems(32); !sameBacking(got, b2) {
+		t.Fatalf("lease of 32 got cap %d, want the exact-fit cap-32 buffer", cap(got))
+	}
+	if got := p.Elems(64); !sameBacking(got, b1) {
+		t.Fatalf("lease of 64 got cap %d, want the cap-100 buffer", cap(got))
+	}
+}
+
+// TestArenaViewsShareFreeStore: buffers recycled through one view are
+// available to a sibling view of the same arena, while lease
+// accounting stays per view.
+func TestArenaViewsShareFreeStore(t *testing.T) {
+	var a Arena
+	v1, v2 := a.NewView(), a.NewView()
+	b1 := v1.Elems(256)
+	_ = v2.Elems(16)
+	if v1.Leased() != 1 || v2.Leased() != 1 {
+		t.Fatalf("per-view lease counts = (%d, %d), want (1, 1)", v1.Leased(), v2.Leased())
+	}
+	v1.Recycle()
+	if v1.Leased() != 0 || v2.Leased() != 1 {
+		t.Fatalf("recycle of v1 touched v2's leases: (%d, %d)", v1.Leased(), v2.Leased())
+	}
+	if a.FreeBuffers() != 1 {
+		t.Fatalf("arena FreeBuffers = %d after one recycle, want 1", a.FreeBuffers())
+	}
+	if got := v2.Elems(256); !sameBacking(got, b1) {
+		t.Fatal("sibling view did not reuse the arena's free buffer")
+	}
+	if a.FreeBuffers() != 0 {
+		t.Fatalf("arena FreeBuffers = %d after re-lease, want 0", a.FreeBuffers())
+	}
+}
+
+// TestArenaViewPoison: poison stays a per-view setting and scribbles on
+// the way back into the shared store.
+func TestArenaViewPoison(t *testing.T) {
+	var a Arena
+	v := a.NewView()
+	v.SetPoison(true)
+	e := v.Elems(8)
+	clear(e)
+	v.Recycle()
+	if e[0] < field.Elem(field.P) {
+		t.Fatalf("arena view did not poison recycled buffer: %d", e[0])
+	}
+}
+
 func TestParseMode(t *testing.T) {
 	for in, want := range map[string]Mode{
 		"":       ModeOn,

@@ -18,6 +18,7 @@ package proto
 import (
 	"math/rand"
 
+	"ssbyzclock/internal/field"
 	"ssbyzclock/internal/pool"
 )
 
@@ -128,6 +129,13 @@ type Env struct {
 	// selects fresh allocations (the SSBYZ_POOL=off path, and drivers
 	// like the goroutine runtime that do not pool).
 	Pool *pool.Node
+	// Batch, when non-nil, defers this node's grid evaluations: compose
+	// paths enqueue their EvalGridT calls on it instead of evaluating
+	// inline, and the driver flushes after the compose fan-out so jobs
+	// from many nodes — in the multi-tenant engine, many tenants —
+	// stack into deep kernel passes. The values are bit-identical either
+	// way (see field.EvalBatch); nil selects immediate evaluation.
+	Batch *field.EvalBatch
 }
 
 // Quorum returns n-f, the size of the quorum used throughout the paper.

@@ -16,6 +16,7 @@ import (
 
 	"ssbyzclock/internal/adversary"
 	"ssbyzclock/internal/faultnet"
+	"ssbyzclock/internal/field"
 	"ssbyzclock/internal/pool"
 	"ssbyzclock/internal/proto"
 	"ssbyzclock/internal/wire"
@@ -77,6 +78,20 @@ type Config struct {
 	// the same seed; pooling only changes where compose payloads'
 	// memory comes from.
 	Pool PoolMode
+	// Pools supplies externally owned per-node payload pools (length N).
+	// When set, the engine hands them to the node envs but does NOT
+	// recycle them — the owner does, after the Deliver phase. The
+	// multi-tenant driver uses this to point every tenant node at a
+	// shared per-worker arena view; when nil the engine owns per-node
+	// pools per the Pool mode.
+	Pools []*pool.Node
+	// Batches supplies per-node deferred evaluation batchers (length N,
+	// entries may repeat). When set, node i's env carries Batches[i] and
+	// compose paths enqueue their grid evaluations instead of running
+	// them inline; the owner must flush every batcher after its compose
+	// fan-out, before the exchange phase reads any payload. Nil (the
+	// single-tenant default) selects immediate evaluation.
+	Batches []*field.EvalBatch
 	// Links injects transport faults (loss, duplication, whole-beat
 	// delays, inbox reordering, partitions) into honest-destination
 	// links, per the schedule's pure verdicts. Nil means an ideal
@@ -164,21 +179,38 @@ func New(cfg Config, factory NodeFactory) *Engine {
 		e.isBad[id] = true
 	}
 	pooled, poison := resolvePoolMode(cfg.Pool)
-	if pooled {
+	var extPools []*pool.Node
+	if cfg.Pools != nil {
+		// Externally owned pools: use them for the envs, own (and
+		// recycle) nothing. The owner decided the pooling question.
+		if len(cfg.Pools) != cfg.N {
+			panic(fmt.Sprintf("sim: %d external pools for n=%d", len(cfg.Pools), cfg.N))
+		}
+		extPools = cfg.Pools
+	} else if pooled {
 		e.pools = make([]*pool.Node, cfg.N)
 		for i := range e.pools {
 			e.pools[i] = &pool.Node{}
 			e.pools[i].SetPoison(poison)
 		}
 	}
+	if cfg.Batches != nil && len(cfg.Batches) != cfg.N {
+		panic(fmt.Sprintf("sim: %d batchers for n=%d", len(cfg.Batches), cfg.N))
+	}
 	e.nodes = make([]proto.Protocol, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		env := proto.Env{N: cfg.N, F: cfg.F, ID: i, Rng: rngFor(cfg.Seed, uint64(i))}
-		if pooled {
+		if extPools != nil {
+			env.Pool = extPools[i]
+		} else if pooled {
 			env.Pool = e.pools[i]
+		}
+		if cfg.Batches != nil {
+			env.Batch = cfg.Batches[i]
 		}
 		e.nodes[i] = factory(env)
 	}
+	e.composed = make([][]proto.Send, cfg.N)
 	e.advCtx = &adversary.Context{
 		N: cfg.N, F: cfg.F,
 		Faulty: append([]int(nil), e.faulty...),
@@ -286,12 +318,52 @@ func (e *Engine) HonestIDs() []int {
 func (e *Engine) Step() {
 	beat := e.beat
 	e.composePhase(beat)
-	faultySends := e.interceptPhase(beat)
-	e.mergeInboxes(beat, faultySends)
+	e.ExchangePhase()
+	e.deliverPhase(beat)
+	e.recyclePhase()
+	e.beat++
+}
+
+// The phased stepping API below decomposes Step so an external driver
+// — the multi-tenant engine — can interleave many engines' phases
+// under ONE scheduler: fan ComposeNode over (tenant × node) work
+// units, flush any deferred evaluation batchers, fan ExchangePhase
+// over tenants, fan DeliverNode over units, recycle, then FinishBeat.
+// Calling, for every i, ComposeNode(i), then ExchangePhase(), then
+// DeliverNode(i) for every i, then FinishBeat() is byte-identical to
+// one Step(): Step is exactly that sequence run on the engine's own
+// scheduler.
+
+// ComposeNode runs node i's compose for the current beat (the parallel
+// part of the compose phase). Safe to call concurrently for distinct
+// i; the caller must complete all N calls before ExchangePhase.
+func (e *Engine) ComposeNode(i int) {
+	e.composed[i] = e.nodes[i].Compose(e.beat)
+}
+
+// ExchangePhase runs the sequential middle of the beat: the rushing
+// adversary's intercept, the deterministic inbox merge, and byte
+// accounting when configured. All ComposeNode calls must have
+// completed (and any deferred evaluation batchers been flushed) first.
+func (e *Engine) ExchangePhase() {
+	faultySends := e.interceptPhase(e.beat)
+	e.mergeInboxes(e.beat, faultySends)
 	if e.cfg.CountBytes {
 		e.countBytes()
 	}
-	e.deliverPhase(beat)
+}
+
+// DeliverNode runs node i's deliver for the current beat (the parallel
+// part of the deliver phase). Safe to call concurrently for distinct
+// i, after ExchangePhase.
+func (e *Engine) DeliverNode(i int) {
+	e.nodes[i].Deliver(e.beat, e.inboxes[i])
+}
+
+// FinishBeat recycles the engine's own pools (externally supplied
+// pools are the owner's to recycle, after all DeliverNode calls) and
+// advances the beat counter.
+func (e *Engine) FinishBeat() {
 	e.recyclePhase()
 	e.beat++
 }
@@ -314,9 +386,6 @@ func (e *Engine) recyclePhase() {
 // composePhase: every node (honest and the faulty nodes' honest copies)
 // composes its messages, in parallel across nodes.
 func (e *Engine) composePhase(beat uint64) {
-	if e.composed == nil {
-		e.composed = make([][]proto.Send, e.cfg.N)
-	}
 	composed := e.composed
 	e.sched.ForEach(e.cfg.N, func(_ *WorkerScratch, i int) {
 		composed[i] = e.nodes[i].Compose(beat)

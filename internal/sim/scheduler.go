@@ -46,6 +46,24 @@ func NewScheduler(workers int) *Scheduler {
 // Workers returns the configured worker count.
 func (s *Scheduler) Workers() int { return s.workers }
 
+// WorkerFor returns the worker index ForEach(n, ·) assigns item i to —
+// the same contiguous-block arithmetic ForEach runs. Drivers that give
+// each worker exclusive resources (the multi-tenant engine's pool
+// arenas and evaluation batchers) use it to bind item i's resources to
+// the goroutine that will actually process i, for every phase that
+// ForEach fans out over the same n.
+func (s *Scheduler) WorkerFor(n, i int) int {
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return 0
+	}
+	chunk := (n + w - 1) / w
+	return i / chunk
+}
+
 // ForEach invokes fn(ws, i) for every i in [0, n) and returns when all
 // invocations have finished. With one worker (or n <= 1) it runs inline
 // on the calling goroutine — zero overhead and trivially sequential.

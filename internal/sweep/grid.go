@@ -52,6 +52,18 @@ type Grid struct {
 	// unit's own engine seed, so faulted units replay bit-for-bit like
 	// any other.
 	Faults []string `json:"faults,omitempty"`
+	// Tenants multiplexes each unit: when > 1, the unit runs Tenants
+	// independent instances (tenant t seeded with the unit seed + t)
+	// lockstep on one internal/multi engine and records aggregate
+	// metrics — Converged requires every tenant, ConvBeats is the
+	// slowest tenant's, ClosureViolations sum, and traffic averages
+	// over all tenants' honest node-beats. 0 or 1 is a plain
+	// single-instance run — omitted from JSON so legacy grids keep
+	// their Hash. Multiplexing is a throughput layout, not a semantic
+	// change: each tenant replays byte-identically to its standalone
+	// run, so a tenants > 1 grid measures the same distribution as
+	// Seeds-many singles, one engine at a time.
+	Tenants int `json:"tenants,omitempty"`
 	// Seeds is the number of independent seeds per (n, adversary,
 	// layout, fault) cell.
 	Seeds int `json:"seeds"`
@@ -149,6 +161,9 @@ func (g Grid) Validate() error {
 		if _, err := faultnet.Parse(name); err != nil {
 			return fmt.Errorf("sweep: bad fault schedule %q: %w", name, err)
 		}
+	}
+	if g.Tenants < 0 {
+		return fmt.Errorf("sweep: grid needs tenants >= 0, got %d", g.Tenants)
 	}
 	if g.Seeds <= 0 {
 		return fmt.Errorf("sweep: grid needs seeds > 0")

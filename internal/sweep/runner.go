@@ -11,6 +11,7 @@ import (
 	"ssbyzclock/internal/coin"
 	"ssbyzclock/internal/core"
 	"ssbyzclock/internal/faultnet"
+	"ssbyzclock/internal/multi"
 	"ssbyzclock/internal/sim"
 )
 
@@ -174,6 +175,9 @@ func (r Runner) RunUnit(g Grid, u Unit) (Result, error) {
 		sched.Seed = uint64(u.Seed(g))
 		cfg.Links = sched
 	}
+	if g.Tenants > 1 {
+		return r.runMultiTenant(g, u, cfg, nodeFactory)
+	}
 	e := sim.New(cfg, nodeFactory)
 	res := sim.MeasureConvergence(e, g.protocolK(), g.MaxBeats, g.Hold)
 	out := Result{
@@ -188,6 +192,38 @@ func (r Runner) RunUnit(g Grid, u Unit) (Result, error) {
 	if perNodeBeat > 0 {
 		out.MsgsPerNodeBeat = float64(e.HonestMsgs) / perNodeBeat
 		out.BytesPerNodeBeat = float64(e.HonestBytes) / perNodeBeat
+	}
+	return out, nil
+}
+
+// runMultiTenant measures the unit as g.Tenants independent instances
+// multiplexed on one internal/multi engine (tenant t runs the unit
+// config with Seed+t; a faulted unit's link schedule is shared, and
+// pure, so tenants see the same network weather) and folds the
+// per-tenant convergence results into the unit's one store row.
+// The lockstep engine keeps stepping until the slowest tenant settles,
+// so traffic is divided by the beats every tenant actually executed —
+// honest nodes × engine beats × tenants.
+func (r Runner) runMultiTenant(g Grid, u Unit, node sim.Config, factory sim.NodeFactory) (Result, error) {
+	m := multi.New(multi.Config{Tenants: g.Tenants, Workers: r.Workers, Node: node}, factory)
+	results := multi.MeasureConvergence(m, g.protocolK(), g.MaxBeats, g.Hold)
+	out := Result{Converged: true}
+	for _, res := range results {
+		cb := g.MaxBeats
+		if res.Converged {
+			cb = res.ConvergedAt
+		} else {
+			out.Converged = false
+		}
+		if cb > out.ConvBeats {
+			out.ConvBeats = cb
+		}
+		out.ClosureViolations += res.ClosureViolations
+	}
+	perNodeBeat := float64(u.N-u.F) * float64(m.Beat()) * float64(g.Tenants)
+	if perNodeBeat > 0 {
+		out.MsgsPerNodeBeat = float64(m.HonestMsgs()) / perNodeBeat
+		out.BytesPerNodeBeat = float64(m.HonestBytes()) / perNodeBeat
 	}
 	return out, nil
 }

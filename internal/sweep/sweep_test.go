@@ -440,6 +440,68 @@ func TestFaultDimension(t *testing.T) {
 	}
 }
 
+// TestTenantsDimension: a tenants > 1 unit multiplexes T instances on
+// one engine and aggregates exactly what T standalone units (same
+// per-tenant seeds) would report — all-converged, slowest convergence
+// beat, summed closure violations — deterministically at any worker
+// count, while tenants = 0 keeps legacy grid hashes.
+func TestTenantsDimension(t *testing.T) {
+	plain := testGrid()
+	legacy := plain.Hash()
+
+	const T = 3
+	g := testGrid()
+	g.Tenants = T
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Hash() == legacy {
+		t.Fatal("tenants dimension must change the grid hash")
+	}
+	if got, want := g.Units(), plain.Units(); got != want {
+		t.Fatalf("tenants must not multiply units: %d vs %d", got, want)
+	}
+
+	u := g.UnitAt(0)
+	mt, err := Runner{Workers: 1}.RunUnit(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Runner{Workers: 3}.RunUnit(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != again {
+		t.Fatalf("multi-tenant unit depends on workers: %+v vs %+v", mt, again)
+	}
+
+	// Tenant tt's standalone run is the same unit with the seed base
+	// shifted by tt (tenant seed = unit seed + tt).
+	want := Result{Converged: true}
+	for tt := 0; tt < T; tt++ {
+		gs := testGrid()
+		gs.SeedBase = int64(tt)
+		r, err := Runner{Workers: 1}.RunUnit(gs, gs.UnitAt(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Converged {
+			want.Converged = false
+		}
+		if r.ConvBeats > want.ConvBeats {
+			want.ConvBeats = r.ConvBeats
+		}
+		want.ClosureViolations += r.ClosureViolations
+	}
+	if mt.Converged != want.Converged || mt.ConvBeats != want.ConvBeats ||
+		mt.ClosureViolations != want.ClosureViolations {
+		t.Fatalf("aggregation mismatch: multiplexed %+v, standalone fold %+v", mt, want)
+	}
+	if mt.MsgsPerNodeBeat <= 0 || mt.BytesPerNodeBeat <= 0 {
+		t.Fatalf("multi-tenant traffic not measured: %+v", mt)
+	}
+}
+
 // TestGridValidate spot-checks the validator's rejections.
 func TestGridValidate(t *testing.T) {
 	for _, tc := range []struct {
@@ -456,6 +518,7 @@ func TestGridValidate(t *testing.T) {
 		{"hold", func(g *Grid) { g.Hold = 0 }},
 		{"k", func(g *Grid) { g.Protocol = "clocksync"; g.K = 0 }},
 		{"fault", func(g *Grid) { g.Faults = []string{"loss200"} }},
+		{"tenants", func(g *Grid) { g.Tenants = -1 }},
 	} {
 		g := testGrid()
 		tc.mutate(&g)

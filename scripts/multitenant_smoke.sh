@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI smoke for the multi-tenant multiplexer (internal/multi, the
+# tenants dimension of internal/sweep).
+#
+# Three gates:
+#
+#   1. oracle equivalence at smoke scale — 100 tenants multiplexed on
+#      one engine must replay 100 standalone single-tenant engines
+#      byte for byte (clock traces, phase-3 rand streams, message and
+#      byte counters), plus the full differential suite (adversaries x
+#      n x workers x pool modes) and the per-tenant convergence
+#      measurement;
+#   2. race freedom — the worker-group fan-out, shared arenas and
+#      per-group batchers under the race detector;
+#   3. sweep integration — a tenants=100 grid cell executes end to end
+#      through the real sweep binary and reports every tenant
+#      converged, deterministically across worker counts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== differential: T=100 grid matches the single-instance oracle =="
+go test -count=1 -run 'TestMultiTenantT100Oracle|TestMeasureConvergence' ./internal/multi/
+
+echo "== differential suite under the race detector =="
+go test -race -count=1 -run 'TestMultiTenantDifferential|TestMultiTenantUnpooled' ./internal/multi/
+
+echo "== sweep: a tenants=100 unit aggregates its standalone folds =="
+go test -count=1 -run 'TestTenantsDimension' ./internal/sweep/
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/sweep" ./cmd/sweep
+"$tmp/sweep" -store "$tmp/mt" -v -exp multitenant -runs 1 -maxbeats 300 -hold 8 all | tee "$tmp/mt.report"
+grep -q "converged=true" "$tmp/mt.report" || { echo "multitenant sweep produced no convergence rows" >&2; exit 1; }
+if grep -q "converged=false" "$tmp/mt.report"; then
+  echo "a multiplexed tenant failed to converge within the smoke budget" >&2
+  exit 1
+fi
+
+echo "multitenant smoke OK"
