@@ -12,7 +12,11 @@
 //	         [-mode real|lockstep] [-adv passive|splitter|replayer]
 //	         [-faults partition+reorder] [-fault-seed 7] [-loss 30]
 //	         [-latency 2ms] [-beats 60] [-hold 8] [-seed 1]
-//	         [-beat-timeout 250ms] [-quiet]
+//	         [-beat-timeout 250ms] [-metrics-addr ADDR] [-quiet]
+//
+// -metrics-addr serves the whole cluster's internal/obs registry
+// (per-node runtime and faultnet series) on /metrics, with /healthz
+// going 503 when no node delivers a beat for a while.
 //
 // Exit status 0 means the honest clocks agreed for -hold consecutive
 // beats somewhere in the run (under faults the interesting streak is at
@@ -28,6 +32,7 @@ import (
 	"os/signal"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -37,6 +42,7 @@ import (
 	"ssbyzclock/internal/faultnet"
 	"ssbyzclock/internal/net"
 	"ssbyzclock/internal/noderuntime"
+	"ssbyzclock/internal/obs"
 	"ssbyzclock/internal/proto"
 )
 
@@ -65,6 +71,7 @@ func run() int {
 		hold        = flag.Int("hold", 8, "consecutive agreeing beats required for exit 0")
 		seed        = flag.Int64("seed", 1, "run seed")
 		beatTimeout = flag.Duration("beat-timeout", 250*time.Millisecond, "real-mode beat timeout")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = off)")
 		quiet       = flag.Bool("quiet", false, "only print the summary")
 	)
 	flag.Parse()
@@ -124,6 +131,13 @@ func run() int {
 		links = sched
 	}
 
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	var lastAdvance atomic.Int64
+	lastAdvance.Store(time.Now().UnixNano())
+
 	var mu sync.Mutex
 	byBeat := map[uint64]map[int]reading{}
 	cl, err := noderuntime.NewCluster(noderuntime.ClusterConfig{
@@ -142,7 +156,9 @@ func run() int {
 		Transport:  tr,
 		MaxBeats:   uint64(*beats),
 		Timing:     noderuntime.Timing{BeatTimeout: *beatTimeout},
+		Metrics:    reg,
 		OnBeat: func(id int, beat uint64, p proto.Protocol) {
+			lastAdvance.Store(time.Now().UnixNano())
 			var r reading
 			if cr, ok := p.(proto.ClockReader); ok {
 				r.val, r.ok = cr.Clock()
@@ -159,6 +175,21 @@ func run() int {
 	})
 	if err != nil {
 		return fail(err)
+	}
+
+	if reg != nil {
+		stall := 5 * *beatTimeout
+		if stall < 2*time.Second {
+			stall = 2 * time.Second
+		}
+		srv, bound, serr := obs.Serve(*metricsAddr, reg, func() bool {
+			return time.Since(time.Unix(0, lastAdvance.Load())) < stall
+		})
+		if serr != nil {
+			return fail(serr)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", bound)
 	}
 
 	fmt.Printf("clocknet n=%d f=%d k=%d transport=%s mode=%s adv=%s faults=%q loss=%d%% beats=%d seed=%d\n",

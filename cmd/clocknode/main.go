@@ -12,13 +12,18 @@
 //	clocknode -id 0 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 \
 //	          [-listen ADDR] [-transport udp|tcp] [-f 1] [-k 16] [-seed 1] \
 //	          [-faults loss20+reorder] [-fault-seed 7] [-loss 10] \
-//	          [-beats 0] [-beat-timeout 1s] [-quiet]
+//	          [-beats 0] [-beat-timeout 1s] [-metrics-addr ADDR] \
+//	          [-heartbeat 10s] [-quiet]
 //
 // The cluster size is len(-peers); -listen defaults to the node's own
 // peers entry. -faults/-loss put the node's OUTGOING links on a seeded
 // faulty network (every daemon should be given the same -faults and
-// -fault-seed for a coherent schedule). SIGINT/SIGTERM stop the node
-// gracefully: the loop exits between beats and prints a summary.
+// -fault-seed for a coherent schedule). -metrics-addr serves the node's
+// internal/obs registry as Prometheus text on /metrics plus a /healthz
+// that turns 503 when the beat stops advancing; -heartbeat logs a
+// periodic one-line status (beat, beat delta, clock, retries) whatever
+// the metrics setting. SIGINT/SIGTERM stop the node gracefully: the
+// loop exits between beats and prints a summary.
 package main
 
 import (
@@ -26,7 +31,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -35,6 +42,7 @@ import (
 	"ssbyzclock/internal/faultnet"
 	"ssbyzclock/internal/net"
 	"ssbyzclock/internal/noderuntime"
+	"ssbyzclock/internal/obs"
 	"ssbyzclock/internal/proto"
 	"ssbyzclock/internal/sim"
 )
@@ -58,6 +66,8 @@ func run() int {
 		beats       = flag.Int("beats", 0, "stop after this many beats (0 = run until signalled)")
 		beatTimeout = flag.Duration("beat-timeout", time.Second, "advance the beat even without a quorum after this long")
 		scramble    = flag.Bool("scramble", true, "start from scrambled (arbitrary) protocol state")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = off)")
+		heartbeat   = flag.Duration("heartbeat", 0, "log a one-line status this often (0 = off)")
 		quiet       = flag.Bool("quiet", false, "only print the summary")
 	)
 	flag.Parse()
@@ -99,6 +109,15 @@ func run() int {
 		return fail(err)
 	}
 
+	// The registry exists whether or not it is served: the heartbeat and
+	// the exit summary read the same counters the exporter would.
+	reg := obs.NewRegistry()
+	if rc, ok := ep.(net.ReconnectCounter); ok {
+		reg.Func("ssbyz_net_reconnects_total", "Successful transport redials after each link's first connection.",
+			obs.KindCounter, func() float64 { return float64(rc.Reconnects()) },
+			obs.Label{Key: "node", Value: strconv.Itoa(*id)})
+	}
+
 	var sched *faultnet.HashSchedule
 	wrapped := ep
 	if *faults != "" && *faults != "none" {
@@ -117,6 +136,7 @@ func run() int {
 			FaultMarkers:   true,
 			AttemptLossPct: *loss,
 			AttemptSeed:    *faultSeed ^ uint64(*id)<<16,
+			Metrics:        faultnet.NewEndpointMetrics(reg, *id),
 		})
 		wrapped = fep
 	}
@@ -130,14 +150,28 @@ func run() int {
 		}
 	}
 
-	var onBeat func(uint64, proto.Protocol)
-	if !*quiet {
-		onBeat = func(beat uint64, p proto.Protocol) {
-			if cr, ok := p.(proto.ClockReader); ok {
-				if v, defined := cr.Clock(); defined {
+	// lastAdvance/lastBeat/lastClock feed /healthz and the heartbeat
+	// line; they are written from the node's loop goroutine, read from
+	// HTTP handlers and the heartbeat ticker.
+	var lastAdvance atomic.Int64 // unix nanos of the newest delivered beat
+	var lastBeat atomic.Uint64
+	var lastClock atomic.Int64 // -1 = undefined (⊥)
+	lastAdvance.Store(time.Now().UnixNano())
+	lastClock.Store(-1)
+	verbose := !*quiet
+	onBeat := func(beat uint64, p proto.Protocol) {
+		lastAdvance.Store(time.Now().UnixNano())
+		lastBeat.Store(beat)
+		if cr, ok := p.(proto.ClockReader); ok {
+			if v, defined := cr.Clock(); defined {
+				lastClock.Store(int64(v))
+				if verbose {
 					fmt.Printf("beat %d clock %d\n", beat, v)
-					return
 				}
+				return
+			}
+			lastClock.Store(-1)
+			if verbose {
 				fmt.Printf("beat %d clock ⊥\n", beat)
 			}
 		}
@@ -157,11 +191,57 @@ func run() int {
 		Timing:   noderuntime.Timing{BeatTimeout: *beatTimeout},
 		// Jitter decorrelates retries across daemons sharing a seed.
 		RetrySeed: *seed ^ int64(*id)<<32,
+		Metrics:   noderuntime.NewNodeMetrics(reg, *id),
 	})
+
+	if *metricsAddr != "" {
+		// Healthy = a beat was delivered recently; a wedged loop (dead
+		// peers, hard partition) turns the endpoint red while the process
+		// lives on.
+		stall := 5 * *beatTimeout
+		srv, bound, err := obs.Serve(*metricsAddr, reg, func() bool {
+			return time.Since(time.Unix(0, lastAdvance.Load())) < stall
+		})
+		if err != nil {
+			wrapped.Close()
+			return fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", bound)
+	}
 
 	fmt.Printf("clocknode %d/%d (f=%d) on %s/%s k=%d faults=%q loss=%d%%\n",
 		*id, n, ff, *transport, addr, *k, *faults, *loss)
 	nd.Start()
+
+	if *heartbeat > 0 {
+		// Handle dedup: these are the SAME counters the node increments.
+		nodeLbl := obs.Label{Key: "node", Value: strconv.Itoa(*id)}
+		retrans := reg.Counter("ssbyz_node_retransmits_total", "", nodeLbl)
+		timeouts := reg.Counter("ssbyz_node_beat_timeouts_total", "", nodeLbl)
+		hbDone := make(chan struct{})
+		defer close(hbDone)
+		go func() {
+			tick := time.NewTicker(*heartbeat)
+			defer tick.Stop()
+			var prevBeat uint64
+			for {
+				select {
+				case <-hbDone:
+					return
+				case <-tick.C:
+					b := lastBeat.Load()
+					clock := "⊥"
+					if c := lastClock.Load(); c >= 0 {
+						clock = strconv.FormatInt(c, 10)
+					}
+					fmt.Printf("heartbeat beat=%d Δbeat=%d clock=%s retransmits=%d timeouts=%d\n",
+						b, b-prevBeat, clock, retrans.Load(), timeouts.Load())
+					prevBeat = b
+				}
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ssbyzclock/internal/faultnet"
+)
+
+func TestParseSchedule(t *testing.T) {
+	st, err := parseSchedule("0:none,12s:loss30+reorder,27s:partition,40s:none", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 4 {
+		t.Fatalf("got %d stages", len(st))
+	}
+	if st[0].at != 0 || st[0].sched != nil || st[0].attemptLoss != 0 {
+		t.Fatalf("stage 0 not ideal: %+v", st[0])
+	}
+	if st[1].at != 12*time.Second || st[1].attemptLoss != 30 {
+		t.Fatalf("stage 1: %+v", st[1])
+	}
+	hs, ok := st[1].sched.(*faultnet.HashSchedule)
+	if !ok || !hs.Reorder || hs.LossPct != 0 {
+		t.Fatalf("stage 1 schedule: %+v (loss must move to attempt-loss)", st[1].sched)
+	}
+	hs, ok = st[2].sched.(*faultnet.HashSchedule)
+	if !ok || len(hs.Partitions) != 1 {
+		t.Fatalf("stage 2 schedule: %+v", st[2].sched)
+	}
+	// A soak partition holds for the whole stage, not Parse's beat window.
+	if p := hs.Partitions[0]; p.From != 0 || p.Until != math.MaxUint64 {
+		t.Fatalf("partition window [%d,%d), want whole-stage", p.From, p.Until)
+	}
+	if st[3].sched != nil {
+		t.Fatalf("heal stage still faulted: %+v", st[3].sched)
+	}
+
+	for _, bad := range []string{"", "5s:loss10", "0:none,3s:bogus", "0:none,5s:loss10,2s:none", "none"} {
+		if _, err := parseSchedule(bad, 1); err == nil {
+			t.Fatalf("parseSchedule(%q) accepted", bad)
+		}
+	}
+}

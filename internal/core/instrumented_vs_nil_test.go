@@ -1,0 +1,149 @@
+package core_test
+
+// Differential harness for the observability registry (internal/obs):
+// an engine wired to a live metrics registry must replay byte-identically
+// to a nil-registry run from the same seed — same per-beat clock traces,
+// same phase-3 rand streams, same cumulative message and byte counters —
+// across the full adversary suite, cluster sizes 4/8/16 and scheduler
+// worker counts 1 and 8, through a mid-run memory scramble. This is the
+// hard invariant behind shipping metrics on by default: instrumentation
+// observes the run, it never steers it.
+//
+// The same runs double as the wiring proof: after each instrumented
+// run, the registry's engine series must equal the engine's own
+// cumulative counters exactly.
+
+import (
+	"fmt"
+	"testing"
+
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/obs"
+	"ssbyzclock/internal/sim"
+)
+
+func runObsTrace(n, f int, seed int64, adv advCase, reg *obs.Registry, workers, beats int) poolTrace {
+	var eng *sim.Engine
+	cfg := sim.Config{
+		N: n, F: f, Seed: seed, Workers: workers,
+		CountBytes:    true,
+		ScrambleStart: true,
+		NewAdversary:  adv.mk(&eng),
+		Metrics:       reg,
+	}
+	eng = sim.New(cfg, core.NewClockSyncProtocolLayout(16, coin.FMFactory{}, core.LayoutShared))
+	var tr poolTrace
+	record := func(count int) {
+		for i := 0; i < count; i++ {
+			eng.Step()
+			st := sim.ReadClocks(eng)
+			tr.clocks = append(tr.clocks, append([]uint64(nil), st.Values...))
+			rands := make([]byte, 0, len(st.Values))
+			for _, id := range eng.HonestIDs() {
+				rands = append(rands, eng.Node(id).(*core.ClockSync).RandBit())
+			}
+			tr.rands = append(tr.rands, rands)
+		}
+	}
+	record(beats)
+	eng.ScrambleHonest()
+	record(beats)
+	tr.honestMsgs, tr.faultyMsgs, tr.honestBytes = eng.HonestMsgs, eng.FaultyMsgs, eng.HonestBytes
+	return tr
+}
+
+// counterValue reads one counter series from a snapshot (0 if absent).
+func counterValue(reg *obs.Registry, name string) float64 {
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// TestInstrumentedVsNilDifferential is the zero-footprint proof for the
+// metrics registry, plus the exactness proof for the engine series.
+func TestInstrumentedVsNilDifferential(t *testing.T) {
+	suite := adversarySuite()
+	for _, n := range []int{4, 8, 16} {
+		f := (n - 1) / 3
+		beats := 32
+		if n == 16 {
+			beats = 12
+		}
+		for _, adv := range suite {
+			advBeats := beats
+			if n == 16 && adv.name == "coinattack" {
+				advBeats = 6 // the deep-copying chain is expensive at n=16
+			}
+			t.Run(fmt.Sprintf("n=%d/%s", n, adv.name), func(t *testing.T) {
+				beats := advBeats
+				ref := runObsTrace(n, f, 7, adv, nil, 1, beats)
+				for _, workers := range []int{1, 8} {
+					reg := obs.NewRegistry()
+					got := runObsTrace(n, f, 7, adv, reg, workers, beats)
+					diffPoolTraces(t, ref, got, fmt.Sprintf("instrumented, workers=%d", workers))
+					// Wiring exactness: the scraped series ARE the engine's
+					// cumulative counters.
+					checks := []struct {
+						series string
+						want   uint64
+					}{
+						{"ssbyz_engine_beats_total", uint64(2 * beats)},
+						{"ssbyz_engine_honest_msgs_total", got.honestMsgs},
+						{"ssbyz_engine_faulty_msgs_total", got.faultyMsgs},
+						{"ssbyz_engine_honest_bytes_total", got.honestBytes},
+					}
+					for _, c := range checks {
+						if v := counterValue(reg, c.series); v != float64(c.want) {
+							t.Fatalf("workers=%d: %s = %v, engine says %d", workers, c.series, v, c.want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSharedRegistryAccumulates pins the shared-registry contract: two
+// engines on one registry add into the same series (restart and
+// multi-engine scraping both rely on it).
+func TestSharedRegistryAccumulates(t *testing.T) {
+	reg := obs.NewRegistry()
+	adv := adversarySuite()[0]
+	one := runObsTrace(4, 1, 7, adv, reg, 1, 8)
+	after1 := counterValue(reg, "ssbyz_engine_honest_msgs_total")
+	two := runObsTrace(4, 1, 9, adv, reg, 1, 8)
+	if after1 != float64(one.honestMsgs) {
+		t.Fatalf("first run: series %v, engine %d", after1, one.honestMsgs)
+	}
+	if got, want := counterValue(reg, "ssbyz_engine_honest_msgs_total"), float64(one.honestMsgs+two.honestMsgs); got != want {
+		t.Fatalf("shared registry: series %v, want %v", got, want)
+	}
+}
+
+// TestEnginePoolRecycledSeries checks the pool lease/recycle counter:
+// with pooling on, every beat recycles the leased compose payloads, so
+// the series must be positive and stable across worker counts.
+func TestEnginePoolRecycledSeries(t *testing.T) {
+	run := func(workers int) float64 {
+		reg := obs.NewRegistry()
+		cfg := sim.Config{
+			N: 4, F: 1, Seed: 3, Workers: workers,
+			Pool:    sim.PoolOn,
+			Metrics: reg,
+		}
+		eng := sim.New(cfg, core.NewClockSyncProtocolLayout(16, coin.FMFactory{}, core.LayoutShared))
+		eng.Run(12)
+		return counterValue(reg, "ssbyz_engine_pool_recycled_total")
+	}
+	w1 := run(1)
+	if w1 == 0 {
+		t.Fatalf("pooled run recycled nothing")
+	}
+	if w8 := run(8); w8 != w1 {
+		t.Fatalf("pool_recycled differs across workers: %v vs %v", w1, w8)
+	}
+}

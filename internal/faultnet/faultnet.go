@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Verdict is one link-beat fault decision for a message composed at a
@@ -137,6 +138,43 @@ func (s *HashSchedule) Shuffle(beat uint64, node int) (uint64, bool) {
 
 // None is the identity schedule.
 var None Schedule = &HashSchedule{}
+
+// Switch is a schedule that delegates to a live-swappable inner
+// schedule — the soak harness's partition/reorder lever. Each decision
+// is ruled by whichever schedule is installed at query time; any single
+// installed schedule is still pure, so determinism holds between
+// swaps. Use it only where wall-clock fault phases are the point (the
+// differential harness never swaps mid-run).
+type Switch struct {
+	inner atomic.Pointer[Schedule]
+}
+
+// NewSwitch returns a Switch initially delegating to s (nil means
+// None).
+func NewSwitch(s Schedule) *Switch {
+	sw := &Switch{}
+	sw.Set(s)
+	return sw
+}
+
+// Set installs s as the delegate (nil means None). Safe from any
+// goroutine.
+func (sw *Switch) Set(s Schedule) {
+	if s == nil {
+		s = None
+	}
+	sw.inner.Store(&s)
+}
+
+// Verdict implements Schedule.
+func (sw *Switch) Verdict(beat uint64, from, to int) Verdict {
+	return (*sw.inner.Load()).Verdict(beat, from, to)
+}
+
+// Shuffle implements Schedule.
+func (sw *Switch) Shuffle(beat uint64, node int) (uint64, bool) {
+	return (*sw.inner.Load()).Shuffle(beat, node)
+}
 
 // evenOddMask puts even node ids on side A — a partition spec that cuts
 // roughly half the links of any cluster size.

@@ -1,0 +1,117 @@
+package faultnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ssbyzclock/internal/net"
+	"ssbyzclock/internal/obs"
+	"ssbyzclock/internal/wire"
+)
+
+// countEndpoint is a sink transport: it counts deliveries atomically
+// and discards the frames.
+type countEndpoint struct {
+	id        int
+	delivered atomic.Uint64
+	recv      chan net.Packet
+}
+
+func (c *countEndpoint) ID() int                 { return c.id }
+func (c *countEndpoint) Send(int, []byte) error  { c.delivered.Add(1); return nil }
+func (c *countEndpoint) Recv() <-chan net.Packet { return c.recv }
+func (c *countEndpoint) Dropped() uint64         { return 0 }
+func (c *countEndpoint) Close() error            { return nil }
+
+// TestConcurrentSendersCounters is the -race regression test for the
+// injected-fault counters: many goroutines share ONE wrapped endpoint
+// while a scraper snapshots the registry and another goroutine toggles
+// the live attempt-loss knob. Beyond freedom from races, the counters
+// must balance exactly: every message the schedule did not drop becomes
+// attempts (1 + its duplicates), and every attempt either reached the
+// inner transport or was counted attempt-lost.
+func TestConcurrentSendersCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := &countEndpoint{id: 0, recv: make(chan net.Packet)}
+	ep := Wrap(inner, &HashSchedule{Seed: 42, LossPct: 20, DupPct: 15, DelayPct: 10}, WrapConfig{
+		FaultMarkers:   true,
+		AttemptLossPct: 10,
+		AttemptSeed:    7,
+		Metrics:        NewEndpointMetrics(reg, 0),
+	})
+
+	const senders, perSender = 8, 5000
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				frame := wire.AppendFrame(nil, wire.Frame{
+					Kind: wire.KindMsg, From: 0,
+					Beat: uint64(s*perSender + i), DeliveryBeat: uint64(s*perSender + i),
+					Seq: uint32(i), Payload: []byte{1, 2, 3},
+				})
+				if err := ep.Send(1, frame); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { // concurrent scraper
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Snapshot()
+				ep.Stats()
+			}
+		}
+	}()
+	go func() { // live loss toggling mid-flight
+		defer aux.Done()
+		pcts := []int{0, 30, 10, 50}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				ep.SetAttemptLossPct(pcts[i%len(pcts)])
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+
+	st := ep.Stats()
+	const total = senders * perSender
+	attempts := uint64(total) - st.Dropped + st.Duplicated
+	if got := inner.delivered.Load() + st.AttemptLost; got != attempts {
+		t.Fatalf("counter imbalance: delivered %d + attempt-lost %d = %d, want %d attempts (dropped=%d dup=%d)",
+			inner.delivered.Load(), st.AttemptLost, got, attempts, st.Dropped, st.Duplicated)
+	}
+	if st.Dropped == 0 || st.Duplicated == 0 || st.Delayed == 0 {
+		t.Fatalf("schedule injected nothing: %+v", st)
+	}
+	// Registry and Stats read the same counters.
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "ssbyz_faultnet_dropped_total":
+			if s.Value != float64(st.Dropped) {
+				t.Fatalf("registry dropped %v != stats %d", s.Value, st.Dropped)
+			}
+		case "ssbyz_faultnet_attempt_lost_total":
+			if s.Value != float64(st.AttemptLost) {
+				t.Fatalf("registry attempt-lost %v != stats %d", s.Value, st.AttemptLost)
+			}
+		}
+	}
+}

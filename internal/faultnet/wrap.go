@@ -2,11 +2,13 @@ package faultnet
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ssbyzclock/internal/net"
+	"ssbyzclock/internal/obs"
 	"ssbyzclock/internal/wire"
 )
 
@@ -24,17 +26,59 @@ type WrapConfig struct {
 	// random (seeded by AttemptSeed) on top of the schedule. Unlike
 	// schedule loss it is per-attempt, not per-message, so retransmission
 	// actually helps — the knob that makes real-mode retry meaningful.
+	// Toggle it live with Endpoint.SetAttemptLossPct (the soak harness's
+	// fault lever).
 	AttemptLossPct int
 	AttemptSeed    uint64
 	// MaxLatency adds a uniform random in-process delivery latency to
 	// each send, perturbing real-mode arrival order without whole-beat
 	// delays.
 	MaxLatency time.Duration
+	// Metrics, when non-nil, routes the injected-fault counters into an
+	// observability registry instead of endpoint-private counters (build
+	// one with NewEndpointMetrics; Stats reads the same counters either
+	// way).
+	Metrics *Metrics
 }
 
-// Stats counts injected faults at one endpoint.
+// Stats is a point-in-time reading of one endpoint's injected-fault
+// counters.
 type Stats struct {
 	Dropped, Duplicated, Delayed, AttemptLost uint64
+}
+
+// Metrics is the injected-fault counter bundle. The counters are
+// obs.Counters — atomic, shared-registry-capable — whether or not a
+// registry is attached, so endpoint goroutines and Stats readers never
+// race (the concurrent-senders regression test pins this under -race).
+type Metrics struct {
+	Dropped, Duplicated, Delayed, AttemptLost *obs.Counter
+}
+
+// NewEndpointMetrics registers the faultnet series for endpoint id on
+// r, labeled node="<id>". A nil registry returns standalone counters,
+// so callers wire it unconditionally.
+func NewEndpointMetrics(r *obs.Registry, id int) *Metrics {
+	if r == nil {
+		return newDetachedMetrics()
+	}
+	node := obs.Label{Key: "node", Value: strconv.Itoa(id)}
+	return &Metrics{
+		Dropped:     r.Counter("ssbyz_faultnet_dropped_total", "Frames dropped by the injected fault schedule.", node),
+		Duplicated:  r.Counter("ssbyz_faultnet_duplicated_total", "Frames duplicated by the injected fault schedule.", node),
+		Delayed:     r.Counter("ssbyz_faultnet_delayed_total", "Frames whole-beat-delayed by the injected fault schedule.", node),
+		AttemptLost: r.Counter("ssbyz_faultnet_attempt_lost_total", "Physical send attempts dropped by per-attempt loss.", node),
+	}
+}
+
+// newDetachedMetrics returns live counters bound to no registry.
+func newDetachedMetrics() *Metrics {
+	return &Metrics{
+		Dropped:     &obs.Counter{},
+		Duplicated:  &obs.Counter{},
+		Delayed:     &obs.Counter{},
+		AttemptLost: &obs.Counter{},
+	}
 }
 
 // Endpoint wraps a net.Endpoint, judging every outgoing frame against a
@@ -45,7 +89,8 @@ type Endpoint struct {
 	sched Schedule
 	cfg   WrapConfig
 
-	dropped, duplicated, delayed, attemptLost atomic.Uint64
+	attemptLossPct atomic.Int32
+	met            *Metrics
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -56,10 +101,16 @@ func Wrap(inner net.Endpoint, sched Schedule, cfg WrapConfig) *Endpoint {
 	if sched == nil {
 		sched = None
 	}
-	return &Endpoint{
-		inner: inner, sched: sched, cfg: cfg,
+	met := cfg.Metrics
+	if met == nil {
+		met = newDetachedMetrics()
+	}
+	e := &Endpoint{
+		inner: inner, sched: sched, cfg: cfg, met: met,
 		rng: rand.New(rand.NewSource(int64(smix(cfg.AttemptSeed ^ uint64(inner.ID()))))),
 	}
+	e.attemptLossPct.Store(int32(cfg.AttemptLossPct))
+	return e
 }
 
 // ID implements net.Endpoint.
@@ -79,12 +130,27 @@ func (e *Endpoint) Close() error { return e.inner.Close() }
 // Stats returns the injected-fault counters so far.
 func (e *Endpoint) Stats() Stats {
 	return Stats{
-		Dropped:     e.dropped.Load(),
-		Duplicated:  e.duplicated.Load(),
-		Delayed:     e.delayed.Load(),
-		AttemptLost: e.attemptLost.Load(),
+		Dropped:     e.met.Dropped.Load(),
+		Duplicated:  e.met.Duplicated.Load(),
+		Delayed:     e.met.Delayed.Load(),
+		AttemptLost: e.met.AttemptLost.Load(),
 	}
 }
+
+// SetAttemptLossPct changes the per-attempt loss rate live — the soak
+// harness's loss toggle. Safe from any goroutine.
+func (e *Endpoint) SetAttemptLossPct(pct int) {
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	e.attemptLossPct.Store(int32(pct))
+}
+
+// AttemptLossPct returns the current per-attempt loss rate.
+func (e *Endpoint) AttemptLossPct() int { return int(e.attemptLossPct.Load()) }
 
 // Send implements net.Endpoint. Frames that do not decode pass through
 // untouched — the schedule rules on protocol traffic, not noise.
@@ -106,11 +172,11 @@ func (e *Endpoint) Send(to int, frame []byte) error {
 	}
 	v := e.sched.Verdict(f.Beat, f.From, to)
 	if v.Drop {
-		e.dropped.Add(1)
+		e.met.Dropped.Inc()
 		return nil
 	}
 	if v.Delay > 0 {
-		e.delayed.Add(1)
+		e.met.Delayed.Inc()
 		f.DeliveryBeat = f.Beat + v.Delay
 		frame = wire.AppendFrame(nil, f)
 	}
@@ -118,7 +184,7 @@ func (e *Endpoint) Send(to int, frame []byte) error {
 		return err
 	}
 	if v.Dup {
-		e.duplicated.Add(1)
+		e.met.Duplicated.Inc()
 		f.Copy++
 		return e.transmit(to, wire.AppendFrame(nil, f))
 	}
@@ -128,16 +194,17 @@ func (e *Endpoint) Send(to int, frame []byte) error {
 // transmit is one physical send attempt: per-attempt loss, then
 // optional latency, then the inner transport.
 func (e *Endpoint) transmit(to int, frame []byte) error {
+	lossPct := int(e.attemptLossPct.Load())
 	var latency time.Duration
-	if e.cfg.AttemptLossPct > 0 || e.cfg.MaxLatency > 0 {
+	if lossPct > 0 || e.cfg.MaxLatency > 0 {
 		e.mu.Lock()
-		lost := e.cfg.AttemptLossPct > 0 && e.rng.Intn(100) < e.cfg.AttemptLossPct
+		lost := lossPct > 0 && e.rng.Intn(100) < lossPct
 		if e.cfg.MaxLatency > 0 {
 			latency = time.Duration(e.rng.Int63n(int64(e.cfg.MaxLatency)))
 		}
 		e.mu.Unlock()
 		if lost {
-			e.attemptLost.Add(1)
+			e.met.AttemptLost.Inc()
 			return nil
 		}
 	}

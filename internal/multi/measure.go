@@ -21,6 +21,7 @@ func MeasureConvergence(m *Engine, k uint64, maxBeats, holdBeats int) []sim.Conv
 		stableSince[t] = -1
 	}
 	remaining := T
+	violations := 0
 	for b := 0; b < maxBeats && remaining > 0; b++ {
 		m.Step()
 		for t := 0; t < T; t++ {
@@ -49,9 +50,15 @@ func MeasureConvergence(m *Engine, k uint64, maxBeats, holdBeats int) []sim.Conv
 			} else {
 				if stableSince[t] >= 0 {
 					res[t].ClosureViolations++
+					violations++
 				}
 				stableSince[t] = -1
 			}
+		}
+		// Live progress for a scraper watching a long convergence run.
+		if m.met != nil {
+			m.met.converged.Set(int64(T - remaining))
+			m.met.violations.Set(int64(violations))
 		}
 	}
 	return res

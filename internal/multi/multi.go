@@ -44,6 +44,7 @@ import (
 	"fmt"
 
 	"ssbyzclock/internal/field"
+	"ssbyzclock/internal/obs"
 	"ssbyzclock/internal/pool"
 	"ssbyzclock/internal/sim"
 )
@@ -66,6 +67,61 @@ type Config struct {
 	// differential-harness tests use it to give each tenant its own
 	// adversary constructor.
 	NodeFor func(t int) sim.Config
+	// Metrics, when non-nil, instruments the multiplexed engine with
+	// AGGREGATE series only (total tenant-beats, summed messages and
+	// bytes, converged-tenant gauges) — per-tenant labels at service
+	// scale would mint T series per name, so tenants are deliberately
+	// unlabeled. The template's own Metrics field is ignored: tenant
+	// engines run detached.
+	Metrics *obs.Registry
+}
+
+// multiMetrics is the engine-wide aggregate instrumentation. Message
+// and byte counters are flushed as per-beat deltas from Step's calling
+// goroutine (post-barrier, so tenant state is quiescent); scrapes never
+// touch tenant engines.
+type multiMetrics struct {
+	beats       *obs.Counter
+	tenantBeats *obs.Counter
+	honestMsgs  *obs.Counter
+	faultyMsgs  *obs.Counter
+	honestBytes *obs.Counter
+	tenants     *obs.Gauge
+	converged   *obs.Gauge
+	violations  *obs.Gauge
+
+	lastHonestMsgs, lastFaultyMsgs, lastHonestBytes uint64
+}
+
+func newMultiMetrics(r *obs.Registry) *multiMetrics {
+	if r == nil {
+		return nil
+	}
+	return &multiMetrics{
+		beats:       r.Counter("ssbyz_multi_beats_total", "Lockstep beats executed by the multiplexed engine."),
+		tenantBeats: r.Counter("ssbyz_multi_tenant_beats_total", "Tenant-beats executed (beats x tenants)."),
+		honestMsgs:  r.Counter("ssbyz_multi_honest_msgs_total", "Honest protocol messages across all tenants."),
+		faultyMsgs:  r.Counter("ssbyz_multi_faulty_msgs_total", "Adversarial messages across all tenants."),
+		honestBytes: r.Counter("ssbyz_multi_honest_bytes_total", "Honest wire bytes across all tenants (CountBytes runs)."),
+		tenants:     r.Gauge("ssbyz_multi_tenants", "Resident tenant instances."),
+		converged:   r.Gauge("ssbyz_multi_converged_tenants", "Tenants whose convergence hold window has completed."),
+		violations:  r.Gauge("ssbyz_multi_closure_violations", "Closure violations observed across tenants this measurement."),
+	}
+}
+
+func (mm *multiMetrics) flush(m *Engine) {
+	if mm == nil {
+		return
+	}
+	mm.beats.Inc()
+	mm.tenantBeats.Add(uint64(len(m.tenants)))
+	hm, fm, hb := m.HonestMsgs(), m.FaultyMsgs(), m.HonestBytes()
+	mm.honestMsgs.Add(hm - mm.lastHonestMsgs)
+	mm.lastHonestMsgs = hm
+	mm.faultyMsgs.Add(fm - mm.lastFaultyMsgs)
+	mm.lastFaultyMsgs = fm
+	mm.honestBytes.Add(hb - mm.lastHonestBytes)
+	mm.lastHonestBytes = hb
 }
 
 // Engine steps T tenant clusters in lockstep. Create with New, then
@@ -86,6 +142,7 @@ type Engine struct {
 	// through all beat phases before the worker moves to the next chunk.
 	chunk int
 	beat  uint64
+	met   *multiMetrics
 }
 
 // cacheChunkUnits sizes the per-worker tenant chunk: enough (tenant ×
@@ -108,6 +165,7 @@ func TenantConfig(cfg Config, t int) sim.Config {
 	c.Workers = 1
 	c.Pools = nil
 	c.Batches = nil
+	c.Metrics = nil // tenants run detached; the multi engine aggregates
 	return c
 }
 
@@ -125,6 +183,10 @@ func New(cfg Config, factory sim.NodeFactory) *Engine {
 		tenants: make([]*sim.Engine, T),
 		n:       n,
 		sched:   sim.NewScheduler(cfg.Workers),
+		met:     newMultiMetrics(cfg.Metrics),
+	}
+	if m.met != nil {
+		m.met.tenants.Set(int64(T))
 	}
 	pooled, poison := sim.ResolvePoolMode(first.Pool)
 	m.chunk = cacheChunkUnits / n
@@ -200,6 +262,7 @@ func (m *Engine) Step() {
 		m.stepGroup(g)
 	})
 	m.beat++
+	m.met.flush(m)
 }
 
 // stepGroup runs one beat for worker group g's tenant block. ForEach

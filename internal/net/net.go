@@ -49,6 +49,15 @@ type Endpoint interface {
 	Close() error
 }
 
+// ReconnectCounter is the optional interface of endpoints whose
+// transport redials broken connections (TCP). Metrics exporters probe
+// for it with a type assertion on the raw (pre-wrap) endpoint.
+type ReconnectCounter interface {
+	// Reconnects counts successful redials after each link's first
+	// connection.
+	Reconnects() uint64
+}
+
 // Transport is a cluster-wide medium handing out endpoints by node id.
 // Endpoint may be called again for an id after its previous endpoint
 // closed — a restart re-attaches — but two live endpoints for one id are

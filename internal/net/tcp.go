@@ -156,6 +156,7 @@ type tcpEndpoint struct {
 	seed    int64
 	recv    chan Packet
 	dropped atomic.Uint64
+	redials atomic.Uint64
 	closed  atomic.Bool
 	done    chan struct{}
 	onClose func()
@@ -290,6 +291,7 @@ func (e *tcpEndpoint) writeLoop(link *tcpLink, to int, addr string) {
 	var lenBuf [binary.MaxVarintLen64]byte
 	rng := backoffRng(e.seed, e.id, to)
 	backoff := 50 * time.Millisecond
+	dialed := false // first successful dial is a connect, not a reconnect
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -318,6 +320,10 @@ func (e *tcpEndpoint) writeLoop(link *tcpLink, to int, addr string) {
 			}
 			conn, bw = c, bufio.NewWriter(c)
 			backoff = 50 * time.Millisecond
+			if dialed {
+				e.redials.Add(1)
+			}
+			dialed = true
 			n := binary.PutUvarint(lenBuf[:], uint64(e.id))
 			if _, err := bw.Write(lenBuf[:n]); err != nil {
 				conn.Close()
@@ -343,6 +349,11 @@ func (e *tcpEndpoint) writeLoop(link *tcpLink, to int, addr string) {
 func (e *tcpEndpoint) Recv() <-chan Packet { return e.recv }
 
 func (e *tcpEndpoint) Dropped() uint64 { return e.dropped.Load() }
+
+// Reconnects implements ReconnectCounter: successful redials after a
+// link's first connection (dial retries that fail are backoff, not
+// reconnects).
+func (e *tcpEndpoint) Reconnects() uint64 { return e.redials.Load() }
 
 func (e *tcpEndpoint) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {

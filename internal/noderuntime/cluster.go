@@ -2,11 +2,13 @@ package noderuntime
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"ssbyzclock/internal/adversary"
 	"ssbyzclock/internal/faultnet"
 	"ssbyzclock/internal/net"
+	"ssbyzclock/internal/obs"
 	"ssbyzclock/internal/pool"
 	"ssbyzclock/internal/proto"
 	"ssbyzclock/internal/sim"
@@ -49,6 +51,10 @@ type ClusterConfig struct {
 	OnBeat   func(id int, beat uint64, p proto.Protocol)
 	MaxBeats uint64
 	Timing   Timing
+	// Metrics, when non-nil, instruments every honest node and wrapped
+	// endpoint (per-node labels). Restart re-registers the same series,
+	// so counters accumulate across a node's incarnations.
+	Metrics *obs.Registry
 }
 
 // Cluster is a running set of event-loop nodes (plus the adversary host
@@ -61,6 +67,9 @@ type Cluster struct {
 	nodes  []*Node             // by id; nil for adversary-hosted ids
 	eps    []*faultnet.Endpoint // honest wrapped endpoints, by id
 	adv    *AdvHost
+	// lossOverride is the last SetAttemptLossPct value (-1 = none), so
+	// restarted endpoints inherit the live setting, not the config one.
+	lossOverride atomic.Int32
 }
 
 // NewCluster builds the cluster: protocol instances for all n ids from
@@ -71,6 +80,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("noderuntime: bad cluster n=%d f=%d", cfg.N, cfg.F)
 	}
 	c := &Cluster{cfg: cfg, tr: cfg.Transport}
+	c.lossOverride.Store(-1)
 	if c.tr == nil {
 		c.tr = net.NewChanTransport(cfg.N, 0)
 	}
@@ -168,6 +178,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 func (c *Cluster) wrapEndpoint(raw net.Endpoint) *faultnet.Endpoint {
 	wc := faultnet.WrapConfig{AttemptSeed: uint64(c.cfg.Seed)}
+	if c.cfg.Metrics != nil {
+		wc.Metrics = faultnet.NewEndpointMetrics(c.cfg.Metrics, raw.ID())
+	}
 	if c.cfg.Mode == Lockstep {
 		// Ideal adversary channels, unfaultable markers: the engine's
 		// assumptions, so the oracle comparison holds.
@@ -194,6 +207,7 @@ func (c *Cluster) newNode(id int, inst proto.Protocol, pl *pool.Node) *Node {
 		Protocol: inst, Pool: pl,
 		OnBeat: onBeat, MaxBeats: c.cfg.MaxBeats,
 		Timing: c.cfg.Timing, RetrySeed: c.cfg.Seed,
+		Metrics: NewNodeMetrics(c.cfg.Metrics, id),
 	})
 }
 
@@ -271,6 +285,17 @@ func (c *Cluster) Stats() faultnet.Stats {
 	return s
 }
 
+// SetAttemptLossPct retargets every honest endpoint's per-attempt loss
+// rate live — the soak harness's loss lever. Safe mid-run.
+func (c *Cluster) SetAttemptLossPct(pct int) {
+	c.lossOverride.Store(int32(pct))
+	for _, ep := range c.eps {
+		if ep != nil {
+			ep.SetAttemptLossPct(pct)
+		}
+	}
+}
+
 // Crash kills node id mid-run (Real mode): its loop stops and its
 // endpoint detaches, so in-flight traffic to it is dropped like any
 // crashed process's.
@@ -297,6 +322,9 @@ func (c *Cluster) Restart(id int) error {
 		return err
 	}
 	c.eps[id] = c.wrapEndpoint(raw)
+	if pct := c.lossOverride.Load(); pct >= 0 {
+		c.eps[id].SetAttemptLossPct(int(pct))
+	}
 	pooled, poison := sim.ResolvePoolMode(c.cfg.Pool)
 	var pl *pool.Node
 	env := proto.Env{N: c.cfg.N, F: c.cfg.F, ID: id, Rng: sim.NodeRng(c.cfg.Seed^0x517cc1b7, id)}

@@ -1,0 +1,132 @@
+package noderuntime_test
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/noderuntime"
+	"ssbyzclock/internal/obs"
+)
+
+// snapshotValue reads one series value by name+node label (-1 if
+// absent).
+func snapshotValue(reg *obs.Registry, name, node string) float64 {
+	for _, s := range reg.Snapshot() {
+		if s.Name != name {
+			continue
+		}
+		for _, l := range s.Labels {
+			if l.Key == "node" && l.Value == node {
+				return s.Value
+			}
+		}
+	}
+	return -1
+}
+
+// TestClusterMetricsWiring runs a Real-mode cluster on a lossy
+// in-process network with a registry attached and checks that the
+// scraped series match ground truth: per-node beat counters equal each
+// node's delivered beats, the quorum-wait histogram records one
+// observation per delivered beat, and the faultnet series mirror the
+// endpoints' Stats.
+func TestClusterMetricsWiring(t *testing.T) {
+	const n, f, beats = 4, 1, 40
+	reg := obs.NewRegistry()
+	cl, err := noderuntime.NewCluster(noderuntime.ClusterConfig{
+		N: n, F: f, Seed: 5, ScrambleStart: true,
+		Mode:           noderuntime.Real,
+		Factory:        core.NewClockSyncProtocol(16, coin.FMFactory{}),
+		AttemptLossPct: 20,
+		MaxBeats:       beats,
+		Timing:         noderuntime.Timing{BeatTimeout: 200 * time.Millisecond},
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	cl.Wait()
+	defer cl.Stop()
+
+	for i := 0; i < n; i++ {
+		node := strconv.Itoa(i)
+		wantBeats := float64(cl.Node(i).Beat())
+		if got := snapshotValue(reg, "ssbyz_node_beats_total", node); got != wantBeats {
+			t.Fatalf("node %d: beats series %v, node says %v", i, got, wantBeats)
+		}
+		// Real-mode await observes the quorum wait exactly once per
+		// delivered beat.
+		for _, s := range reg.Snapshot() {
+			if s.Name != "ssbyz_node_quorum_wait_ms" || s.Hist == nil {
+				continue
+			}
+			for _, l := range s.Labels {
+				if l.Key == "node" && l.Value == node {
+					if int(s.Hist.N()) != int(wantBeats) {
+						t.Fatalf("node %d: quorum-wait N=%d, want %v", i, s.Hist.N(), wantBeats)
+					}
+				}
+			}
+		}
+	}
+
+	st := cl.Stats()
+	if st.AttemptLost == 0 {
+		t.Fatalf("20%% attempt loss lost nothing: %+v", st)
+	}
+	var lostSeries float64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "ssbyz_faultnet_attempt_lost_total" {
+			lostSeries += s.Value
+		}
+	}
+	if lostSeries != float64(st.AttemptLost) {
+		t.Fatalf("faultnet series sum %v, Stats say %d", lostSeries, st.AttemptLost)
+	}
+}
+
+// TestRestartAccumulatesSeries pins the restart contract: a crashed and
+// restarted node re-registers the SAME series, so its beat counter
+// keeps growing across incarnations instead of resetting.
+func TestRestartAccumulatesSeries(t *testing.T) {
+	const n, f = 4, 1
+	reg := obs.NewRegistry()
+	cl, err := noderuntime.NewCluster(noderuntime.ClusterConfig{
+		N: n, F: f, Seed: 11, ScrambleStart: true,
+		Mode:    noderuntime.Real,
+		Factory: core.NewClockSyncProtocol(16, coin.FMFactory{}),
+		Timing:  noderuntime.Timing{BeatTimeout: 100 * time.Millisecond},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	waitForBeats := func(min float64) float64 {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			v := snapshotValue(reg, "ssbyz_node_beats_total", "0")
+			if v >= min {
+				return v
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node 0 never reached %v beats (at %v)", min, v)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	before := waitForBeats(5)
+	if err := cl.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	waitForBeats(before + 5)
+	cl.Stop()
+}
+

@@ -96,6 +96,10 @@ type NodeConfig struct {
 	Timing   Timing
 	// RetrySeed seeds backoff jitter (Real mode).
 	RetrySeed int64
+	// Metrics, when non-nil, instruments the loop (beat rate, quorum
+	// waits, retries, catch-up). It never feeds back into behavior; nil
+	// costs one branch per event.
+	Metrics *NodeMetrics
 }
 
 // Window is how many beats ahead of the current one a node buffers
@@ -188,6 +192,7 @@ func (nd *Node) run() {
 		nd.deliverBeat(r)
 		nd.gc(r)
 		nd.cur++
+		nd.cfg.Metrics.beatDone()
 		if nd.cfg.Mode == Real {
 			nd.maybeJump()
 		}
@@ -276,6 +281,10 @@ func (nd *Node) await(r uint64) bool {
 	// retransmission while waiting and a hard beat timeout so a
 	// partitioned minority still creeps forward (bounded memory either
 	// way — see Window).
+	var waitStart time.Time
+	if nd.cfg.Metrics != nil {
+		waitStart = time.Now()
+	}
 	deadline := time.NewTimer(nd.cfg.Timing.BeatTimeout)
 	defer deadline.Stop()
 	backoff := nd.cfg.Timing.RetryMin
@@ -283,6 +292,7 @@ func (nd *Node) await(r uint64) bool {
 	defer retry.Stop()
 	for {
 		if nd.completePeers(r) >= nd.cfg.N-nd.cfg.F || nd.quorumBeat() > r {
+			nd.cfg.Metrics.observeWait(waitStart)
 			return true
 		}
 		select {
@@ -294,12 +304,15 @@ func (nd *Node) await(r uint64) bool {
 			}
 			nd.ingest(p)
 		case <-retry.C:
+			nd.cfg.Metrics.retransmit()
 			nd.transmit()
 			if backoff *= 2; backoff > nd.cfg.Timing.RetryMax {
 				backoff = nd.cfg.Timing.RetryMax
 			}
 			retry.Reset(nd.jitter(backoff))
 		case <-deadline.C:
+			nd.cfg.Metrics.timeout()
+			nd.cfg.Metrics.observeWait(waitStart)
 			return true
 		}
 	}
@@ -341,6 +354,7 @@ func (nd *Node) maybeJump() {
 		for b := nd.cur; b < q; b++ {
 			nd.gc(b)
 		}
+		nd.cfg.Metrics.jump(q - nd.cur)
 		nd.cur = q
 	}
 }

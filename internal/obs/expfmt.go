@@ -1,0 +1,128 @@
+package obs
+
+// Prometheus text exposition (version 0.0.4) for Registry snapshots.
+// Counters and gauges export as themselves; histograms export as
+// summaries — the registry's histograms are exact (one bin per value),
+// so the quantiles are true nearest-rank quantiles, not bucket
+// interpolations, which is the whole point of carrying
+// stats.Histogram through the metrics layer.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// summaryQuantiles are the quantiles exported for every histogram
+// series.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// WritePrometheus renders the registry in Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteText(w, r.Snapshot())
+}
+
+// WriteText renders a snapshot in Prometheus text format. Series with
+// the same name share one HELP/TYPE header, and Snapshot's ordering
+// keeps the output deterministic (the exporter golden tests rely on
+// it).
+func WriteText(w io.Writer, series []Series) error {
+	lastName := ""
+	for _, s := range series {
+		if s.Name != lastName {
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, typeName(s.Kind)); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		if err := writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func typeName(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "summary"
+	}
+	return "untyped"
+}
+
+func writeSeries(w io.Writer, s Series) error {
+	if s.Kind != KindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelSet(s.Labels, "", ""), formatValue(s.Value))
+		return err
+	}
+	h := s.Hist
+	for _, q := range summaryQuantiles {
+		v := 0.0
+		if h.N() > 0 {
+			v = h.Quantile(q)
+		}
+		qs := strconv.FormatFloat(q, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelSet(s.Labels, "quantile", qs), formatValue(v)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", s.Name, labelSet(s.Labels, "", ""), h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelSet(s.Labels, "", ""), h.N())
+	return err
+}
+
+// labelSet renders {k="v",...}, optionally appending one extra pair
+// (the summary quantile); empty sets render as nothing.
+func labelSet(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}

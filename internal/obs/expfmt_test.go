@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// goldenRegistry builds a fixed registry covering every metric kind,
+// label escaping, and multi-series names — the exporter's whole
+// surface.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("ssbyz_demo_msgs_total", "Messages delivered.").Add(42)
+	r.Counter("ssbyz_demo_msgs_total", "Messages delivered.", Label{"node", "1"}).Add(7)
+	r.Gauge("ssbyz_demo_tenants", "Resident tenants.").Set(100)
+	r.Gauge("ssbyz_demo_escape", "Needs escaping.", Label{"path", `a"b\c`}).Set(-3)
+	h := r.Histogram("ssbyz_demo_wait_ms", "Quorum wait per beat (ms).", 1000, Label{"node", "0"})
+	s := h.Shard()
+	for _, v := range []int{1, 2, 2, 3, 10, 50, 50, 200} {
+		s.Observe(v)
+	}
+	r.Histogram("ssbyz_demo_empty_ms", "Never observed.", 10)
+	r.Func("ssbyz_demo_reconnects_total", "Transport reconnects.", KindCounter, func() float64 { return 5 })
+	return r
+}
+
+// TestWriteTextGolden pins the Prometheus text exposition byte for
+// byte. Regenerate with:
+//
+//	OBS_UPDATE_GOLDEN=1 go test ./internal/obs/ -run TestWriteTextGolden
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "export.golden")
+	if os.Getenv("OBS_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with OBS_UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestWriteTextParses sanity-checks the exposition shape line by line:
+// every non-comment line is "name{labels} value" with a parseable
+// value, HELP/TYPE precede their series, and summary series carry
+// _sum/_count.
+func TestWriteTextParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sawQuantile, sawSum, sawCount := false, false, false
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		name := line[:sp]
+		if strings.Contains(name, `quantile="`) {
+			sawQuantile = true
+		}
+		if strings.Contains(name, "_sum") {
+			sawSum = true
+		}
+		if strings.Contains(name, "_count") {
+			sawCount = true
+		}
+	}
+	if !sawQuantile || !sawSum || !sawCount {
+		t.Fatalf("summary exposition incomplete: quantile=%v sum=%v count=%v", sawQuantile, sawSum, sawCount)
+	}
+}
+
+// TestServeMetricsAndHealthz exercises the real HTTP surface the
+// daemons expose: /metrics returns the text exposition, /healthz flips
+// with the liveness predicate.
+func TestServeMetricsAndHealthz(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ssbyz_live_total", "").Add(9)
+	var healthy atomic.Bool
+	healthy.Store(true)
+	srv, addr, err := Serve("127.0.0.1:0", r, healthy.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "ssbyz_live_total 9") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz healthy status %d", code)
+	}
+	healthy.Store(false)
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz stalled status %d, want 503", code)
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+// HTTP exposure for the daemons: /metrics (Prometheus text) and
+// /healthz (liveness ruled by a caller-supplied predicate — typically
+// "the beat advanced recently", so a wedged event loop turns the
+// endpoint red even though the process is alive).
+
+import (
+	"fmt"
+	stdnet "net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Serve binds addr and serves /metrics from the registry and /healthz
+// from the healthy predicate (nil means always healthy). It returns
+// the running server and the bound address (useful with ":0"); the
+// caller shuts it down with srv.Close.
+func Serve(addr string, r *Registry, healthy func() bool) (*http.Server, string, error) {
+	ln, err := stdnet.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if healthy != nil && !healthy() {
+			http.Error(w, "stalled", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ssbyzclock/internal/stats"
+)
+
+// TestNilRegistryIsNoOp pins the zero-cost detached mode: a nil
+// registry hands out nil handles and every handle method no-ops.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_hist", "", 10)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry returned non-nil handles: %v %v %v", c, g, h)
+	}
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(-2)
+	s := h.Shard()
+	if s != nil {
+		t.Fatalf("nil histogram returned non-nil shard")
+	}
+	s.Observe(5)
+	if c.Load() != 0 || g.Load() != 0 || h.Merge().N() != 0 {
+		t.Fatalf("nil handles accumulated values")
+	}
+	r.Func("f", "", KindGauge, func() float64 { return 1 })
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatalf("nil registry snapshot = %v", snap)
+	}
+}
+
+// TestRegistryDedup pins idempotent registration: the same (name,
+// labels) returns the same handle regardless of label order, and
+// different label values are different series.
+func TestRegistryDedup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help", Label{"node", "0"}, Label{"role", "x"})
+	b := r.Counter("c_total", "help", Label{"role", "x"}, Label{"node", "0"})
+	if a != b {
+		t.Fatalf("label order split one series into two handles")
+	}
+	other := r.Counter("c_total", "help", Label{"node", "1"}, Label{"role", "x"})
+	if a == other {
+		t.Fatalf("different label values shared a handle")
+	}
+	a.Add(2)
+	other.Add(5)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d series, want 2", len(snap))
+	}
+	if snap[0].Value != 2 || snap[1].Value != 5 {
+		t.Fatalf("snapshot values %v %v, want 2 5 (sorted by labels)", snap[0].Value, snap[1].Value)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestCounterGaugeConcurrent hammers one counter and one gauge from
+// many goroutines; run under -race this is the lock-freedom regression
+// test, and the final counter value must be exact.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent scraper
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Load(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+// TestShardedMergeEqualsSingleStream is the histogram-merge
+// equivalence proof: per-worker shards fed a partition of the
+// observations, in any interleaving, merge to exactly the
+// stats.Histogram a single stream of the same observations produces —
+// same count, sum, max and every nearest-rank quantile.
+func TestShardedMergeEqualsSingleStream(t *testing.T) {
+	const bound = 200
+	for _, shards := range []int{1, 2, 3, 8} {
+		for seed := int64(1); seed <= 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			nObs := 1 + rng.Intn(5000)
+			obs := make([]int, nObs)
+			for i := range obs {
+				// Include out-of-range values: clamping must match too.
+				obs[i] = rng.Intn(bound+50) - 25
+			}
+			ref := stats.NewHistogram(bound)
+			for _, x := range obs {
+				ref.Add(x)
+			}
+
+			h := &Histogram{bound: bound}
+			ws := make([]*HistShard, shards)
+			for i := range ws {
+				ws[i] = h.Shard()
+			}
+			// Random interleaving: each observation goes to a random shard,
+			// concurrently.
+			var wg sync.WaitGroup
+			assign := make([][]int, shards)
+			for _, x := range obs {
+				w := rng.Intn(shards)
+				assign[w] = append(assign[w], x)
+			}
+			for w := 0; w < shards; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for _, x := range assign[w] {
+						ws[w].Observe(x)
+					}
+				}(w)
+			}
+			wg.Wait()
+			got := h.Merge()
+
+			if got.N() != ref.N() || got.Sum() != ref.Sum() || got.Max() != ref.Max() {
+				t.Fatalf("shards=%d seed=%d: merged N/Sum/Max = %d/%d/%v, want %d/%d/%v",
+					shards, seed, got.N(), got.Sum(), got.Max(), ref.N(), ref.Sum(), ref.Max())
+			}
+			for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0} {
+				if got.Quantile(q) != ref.Quantile(q) {
+					t.Fatalf("shards=%d seed=%d: q%.2f = %v, want %v",
+						shards, seed, q, got.Quantile(q), ref.Quantile(q))
+				}
+			}
+		}
+	}
+}
+
+// TestAddCountMatchesAdd pins the stats.Histogram merge primitive:
+// AddCount(x, c) must be indistinguishable from c repeated Adds.
+func TestAddCountMatchesAdd(t *testing.T) {
+	a := stats.NewHistogram(10)
+	b := stats.NewHistogram(10)
+	for _, x := range []int{-3, 0, 4, 4, 9, 12, 12, 12} {
+		a.Add(x)
+	}
+	b.AddCount(-3, 1)
+	b.AddCount(0, 1)
+	b.AddCount(4, 2)
+	b.AddCount(9, 1)
+	b.AddCount(12, 3)
+	b.AddCount(5, 0) // zero count: no-op
+	if a.N() != b.N() || a.Sum() != b.Sum() {
+		t.Fatalf("N/Sum: %d/%d vs %d/%d", a.N(), a.Sum(), b.N(), b.Sum())
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("q%.2f: %v vs %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+// TestHistogramObserveWhileMerging runs shard writers and a concurrent
+// merger; under -race this is the lock-freedom regression test, and
+// every intermediate merge must be monotone (a consistent multiset of
+// some prefix of each shard).
+func TestHistogramObserveWhileMerging(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", "", 100)
+	const writers, perWriter = 4, 20000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		s := h.Shard()
+		wg.Add(1)
+		go func(w int, s *HistShard) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				s.Observe(rng.Intn(120))
+			}
+		}(w, s)
+	}
+	writersDone := make(chan struct{})
+	go func() { wg.Wait(); close(writersDone) }()
+	prev := 0
+	for {
+		n := h.Merge().N()
+		if n < prev {
+			t.Fatalf("concurrent merge went backwards: %d then %d", prev, n)
+		}
+		prev = n
+		select {
+		case <-writersDone:
+			if got := h.Merge().N(); got != writers*perWriter {
+				t.Fatalf("final merged N = %d, want %d", got, writers*perWriter)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"ssbyzclock/internal/adversary"
 	"ssbyzclock/internal/faultnet"
 	"ssbyzclock/internal/field"
+	"ssbyzclock/internal/obs"
 	"ssbyzclock/internal/pool"
 	"ssbyzclock/internal/proto"
 	"ssbyzclock/internal/wire"
@@ -103,6 +104,39 @@ type Config struct {
 	// traffic). Message metrics still count faulted sends: they tally
 	// what protocols emit, not what the wire loses.
 	Links faultnet.Schedule
+	// Metrics, when non-nil, attaches the engine to an observability
+	// registry: beat, message, byte and pool-recycle counters accumulate
+	// there as the engine steps (series names in PERF.md). Metrics never
+	// feed back into behavior — an instrumented run is byte-identical to
+	// a nil-registry run (the instrumented-vs-nil differential harness
+	// pins it) — and the nil default costs one branch per beat. Engines
+	// sharing a registry (tenants, restarted clusters) accumulate into
+	// the same series.
+	Metrics *obs.Registry
+}
+
+// engineMetrics is the engine's handle bundle plus the cumulative
+// values already flushed, so each beat adds exact deltas even though
+// several engines may share the registry's series.
+type engineMetrics struct {
+	beats, honestMsgs, faultyMsgs, honestBytes, poolRecycled *obs.Counter
+
+	lastHonestMsgs, lastFaultyMsgs, lastHonestBytes uint64
+}
+
+// newEngineMetrics registers the engine series on r (nil r returns
+// nil: the un-instrumented fast path).
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	if r == nil {
+		return nil
+	}
+	return &engineMetrics{
+		beats:        r.Counter("ssbyz_engine_beats_total", "Lockstep beats executed by the engine."),
+		honestMsgs:   r.Counter("ssbyz_engine_honest_msgs_total", "Messages emitted by honest nodes (broadcast counts as N)."),
+		faultyMsgs:   r.Counter("ssbyz_engine_faulty_msgs_total", "Messages emitted by adversary-controlled nodes."),
+		honestBytes:  r.Counter("ssbyz_engine_honest_bytes_total", "Wire-encoded bytes of honest traffic (requires Config.CountBytes)."),
+		poolRecycled: r.Counter("ssbyz_engine_pool_recycled_total", "Beat-scoped payload buffers recycled to engine-owned pools."),
+	}
 }
 
 // Engine simulates one cluster. Create with New, then call Step (or Run)
@@ -116,6 +150,7 @@ type Engine struct {
 	advCtx *adversary.Context
 	beat   uint64
 	sched  *Scheduler
+	met    *engineMetrics
 
 	// pools hold each node's beat-scoped payload buffers (nil slices when
 	// pooling is off). Compose paths lease from their node's pool; the
@@ -161,7 +196,7 @@ func New(cfg Config, factory NodeFactory) *Engine {
 	if cfg.N <= 0 || cfg.F < 0 || cfg.F >= cfg.N {
 		panic(fmt.Sprintf("sim: bad config n=%d f=%d", cfg.N, cfg.F))
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, met: newEngineMetrics(cfg.Metrics)}
 	e.faulty = append([]int(nil), cfg.Faulty...)
 	if len(e.faulty) == 0 {
 		for i := cfg.N - cfg.F; i < cfg.N; i++ {
@@ -320,8 +355,7 @@ func (e *Engine) Step() {
 	e.composePhase(beat)
 	e.ExchangePhase()
 	e.deliverPhase(beat)
-	e.recyclePhase()
-	e.beat++
+	e.FinishBeat()
 }
 
 // The phased stepping API below decomposes Step so an external driver
@@ -366,6 +400,24 @@ func (e *Engine) DeliverNode(i int) {
 func (e *Engine) FinishBeat() {
 	e.recyclePhase()
 	e.beat++
+	e.flushMetrics()
+}
+
+// flushMetrics adds this beat's metric deltas to the attached registry
+// (no-op without one). It runs after the beat's phases, so a scrape
+// between beats always reads a phase-consistent cut.
+func (e *Engine) flushMetrics() {
+	m := e.met
+	if m == nil {
+		return
+	}
+	m.beats.Inc()
+	m.honestMsgs.Add(e.HonestMsgs - m.lastHonestMsgs)
+	m.lastHonestMsgs = e.HonestMsgs
+	m.faultyMsgs.Add(e.FaultyMsgs - m.lastFaultyMsgs)
+	m.lastFaultyMsgs = e.FaultyMsgs
+	m.honestBytes.Add(e.HonestBytes - m.lastHonestBytes)
+	m.lastHonestBytes = e.HonestBytes
 }
 
 // recyclePhase returns every payload buffer leased during this beat's
@@ -378,7 +430,11 @@ func (e *Engine) recyclePhase() {
 	if e.pools == nil {
 		return
 	}
+	met := e.met
 	e.sched.ForEach(len(e.pools), func(_ *WorkerScratch, i int) {
+		if met != nil {
+			met.poolRecycled.Add(uint64(e.pools[i].Leased()))
+		}
 		e.pools[i].Recycle()
 	})
 }

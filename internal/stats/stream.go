@@ -101,8 +101,31 @@ func (h *Histogram) Add(x int) {
 	h.sum += uint64(x)
 }
 
+// AddCount appends c observations of value x at once — the histogram
+// merge path (internal/obs combines per-worker shards at snapshot
+// time). Equivalent to calling Add(x) c times: counts are a multiset,
+// so any interleaving of AddCount and Add over the same observations
+// yields the same histogram.
+func (h *Histogram) AddCount(x int, c uint64) {
+	if c == 0 {
+		return
+	}
+	if x < 0 {
+		x = 0
+	}
+	if x >= len(h.counts) {
+		x = len(h.counts) - 1
+	}
+	h.counts[x] += c
+	h.n += c
+	h.sum += uint64(x) * c
+}
+
 // N returns the observation count.
 func (h *Histogram) N() int { return int(h.n) }
+
+// Sum returns the sum of all observations (after clamping).
+func (h *Histogram) Sum() uint64 { return h.sum }
 
 // Mean returns the arithmetic mean (0 for empty histograms).
 func (h *Histogram) Mean() float64 {
