@@ -339,6 +339,35 @@ func BenchmarkBeatMultiTenant(b *testing.B) {
 	}
 }
 
+// BenchmarkResidentTenants is the resident-memory series behind the
+// bytes/resident-tenant gate: one op builds a T-tenant multiplexed
+// engine, runs it to steady state (12 warm beats, matching the
+// footprint regression test), and measures the live-heap delta per
+// tenant via multi.MeasureFootprint. The resident-bytes/tenant metric
+// is what cmd/benchjson -gate holds with -residentthreshold; ns/op here
+// is the cost of building and warming the whole fleet, recorded for
+// context and gated like any other series. Record with -benchtime=1x —
+// the reading is a steady-state property, not a throughput, so one
+// iteration IS the measurement and extra iterations only repeat the
+// forced GCs.
+func BenchmarkResidentTenants(b *testing.B) {
+	for _, cse := range []struct{ n, f int }{{4, 1}, {7, 2}} {
+		for _, tenants := range []int{1000, 10000, 100000} {
+			b.Run(fmt.Sprintf("ClockSyncFM/n=%d/T=%d", cse.n, tenants), func(b *testing.B) {
+				var fp multi.Footprint
+				for i := 0; i < b.N; i++ {
+					fp = multi.MeasureFootprint(multi.Config{
+						Tenants: tenants,
+						Node:    sim.Config{N: cse.n, F: cse.f, Seed: 11, ScrambleStart: true},
+					}, core.NewClockSyncProtocolLayout(64, coin.FMFactory{}, core.LayoutShared), 12)
+				}
+				b.ReportMetric(fp.BytesPerTenant, "resident-bytes/tenant")
+				b.ReportMetric(float64(fp.Tenants), "resident-tenants")
+			})
+		}
+	}
+}
+
 // BenchmarkBeatWorkers is the worker-count scaling series for the
 // parallel beat scheduler (PERF.md's methodology section): the same
 // full-stack beat at explicit worker counts. On a machine with fewer

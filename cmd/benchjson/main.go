@@ -8,11 +8,21 @@
 //
 // Gate mode compares two recorded runs and fails (exit 1) when any
 // benchmark present in both regressed beyond the thresholds — ns/op
-// against -threshold, and B/op and allocs/op against -memthreshold (the
+// against -threshold, B/op and allocs/op against -memthreshold (the
 // memory gate locks in the payload-pooling win; tiny absolute jitters
-// below 1 KiB / 16 allocs never fail it):
+// below 1 KiB / 16 allocs never fail it), and the custom
+// resident-bytes/tenant metric (BenchmarkResidentTenants) against
+// -residentthreshold, which locks in the resident-tenant memory floor:
 //
-//	go run ./cmd/benchjson -gate old.json new.json [-threshold 15] [-memthreshold 25]
+//	go run ./cmd/benchjson -gate old.json new.json [-threshold 15] [-memthreshold 25] [-residentthreshold 10]
+//
+// Merge mode rewrites a fresh recording while carrying forward baseline
+// entries whose names match -carry and were not re-run. scripts/bench.sh
+// uses it so a default (fast) re-record does not silently drop the
+// BenchmarkResidentTenants series, whose single iteration at T=1e5 takes
+// ~20 minutes and is only re-measured on demand (BENCH_RESIDENT=1):
+//
+//	go run ./cmd/benchjson -merge -carry '^BenchmarkResidentTenants/' base.json fresh.json > out.json
 package main
 
 import (
@@ -20,7 +30,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -40,13 +52,23 @@ func main() {
 	gate := flag.Bool("gate", false, "compare two JSON files: -gate old.json new.json")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
 	memThreshold := flag.Float64("memthreshold", 25, "max allowed B/op and allocs/op regression, percent")
+	residentThreshold := flag.Float64("residentthreshold", 10, "max allowed resident-bytes/tenant regression, percent")
+	merge := flag.Bool("merge", false, "merge two JSON files: -merge -carry <regexp> base.json fresh.json")
+	carry := flag.String("carry", "", "with -merge: regexp of baseline benchmark names to carry forward when absent from the fresh run")
 	flag.Parse()
 	if *gate {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -gate needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runGate(flag.Arg(0), flag.Arg(1), *threshold, *memThreshold))
+		os.Exit(runGate(flag.Arg(0), flag.Arg(1), *threshold, *memThreshold, *residentThreshold))
+	}
+	if *merge {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -merge needs exactly two files: base.json fresh.json")
+			os.Exit(2)
+		}
+		os.Exit(runMerge(flag.Arg(0), flag.Arg(1), *carry, os.Stdout))
 	}
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)
@@ -101,6 +123,60 @@ func main() {
 	}
 }
 
+// runMerge writes the fresh recording plus any baseline entries whose
+// names match carryRe and were not re-run, appended in baseline order.
+// Only matched names are carried — a benchmark that was renamed or
+// deleted must not be resurrected from the baseline — so an empty
+// pattern makes the merge a plain copy of the fresh file.
+func runMerge(basePath, freshPath, carryRe string, out io.Writer) int {
+	loadList := func(path string) ([]Result, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rs []Result
+		if err := json.Unmarshal(data, &rs); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return rs, nil
+	}
+	base, err := loadList(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	fresh, err := loadList(freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	merged := fresh
+	if carryRe != "" {
+		re, err := regexp.Compile(carryRe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -carry pattern:", err)
+			return 2
+		}
+		have := make(map[string]bool, len(fresh))
+		for _, r := range fresh {
+			have[r.Name] = true
+		}
+		for _, r := range base {
+			if re.MatchString(r.Name) && !have[r.Name] {
+				merged = append(merged, r)
+				fmt.Fprintf(os.Stderr, "benchjson: carried forward %s\n", r.Name)
+			}
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(merged); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
 // memRegressed reports whether a memory metric (B/op or allocs/op) rose
 // beyond the threshold. Absolute deltas below the floor never count:
 // single-digit alloc and sub-KiB byte counts jitter with scheduler
@@ -112,12 +188,21 @@ func memRegressed(old, new int64, thresholdPct float64, floor int64) bool {
 	return float64(new-old)/float64(old)*100 > thresholdPct
 }
 
+// residentMetric is the custom-unit key under which the parser records
+// BenchmarkResidentTenants' b.ReportMetric reading. The gate treats it
+// as a first-class metric with its own threshold: resident bytes/tenant
+// is the service-capacity number (how many tenants fit in RAM), and a
+// regression there is invisible to B/op, which counts allocation
+// throughput rather than what stays live between beats.
+const residentMetric = "resident-bytes/tenant"
+
 // runGate loads two recorded runs and reports per-benchmark deltas;
 // returns 1 when any benchmark present in both regressed beyond the
-// ns/op threshold or the B/op / allocs/op memory threshold. Benchmarks
-// present in only one file are reported but never fail the gate (new or
-// removed cases are legitimate).
-func runGate(oldPath, newPath string, thresholdPct, memThresholdPct float64) int {
+// ns/op threshold, the B/op / allocs/op memory threshold, or the
+// resident-bytes/tenant threshold. Benchmarks present in only one file
+// are reported but never fail the gate (new or removed cases are
+// legitimate).
+func runGate(oldPath, newPath string, thresholdPct, memThresholdPct, residentThresholdPct float64) int {
 	load := func(path string) (map[string]Result, []Result, error) {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -168,9 +253,17 @@ func runGate(oldPath, newPath string, thresholdPct, memThresholdPct float64) int
 			status = "MEM-REGRESSED"
 			failed = true
 		}
-		fmt.Printf("%-14s%-45s %12.0f -> %12.0f ns/op (%+.1f%%)  %9d -> %9d B/op  %6d -> %6d allocs/op\n",
+		resident := ""
+		if ov, nv := or.Extra[residentMetric], nr.Extra[residentMetric]; ov > 0 && nv > 0 {
+			if nv > ov && (nv-ov)/ov*100 > residentThresholdPct {
+				status = "RES-REGRESSED"
+				failed = true
+			}
+			resident = fmt.Sprintf("  %11.0f -> %11.0f resident-B/tenant (%+.1f%%)", ov, nv, (nv-ov)/ov*100)
+		}
+		fmt.Printf("%-14s%-45s %12.0f -> %12.0f ns/op (%+.1f%%)  %9d -> %9d B/op  %6d -> %6d allocs/op%s\n",
 			status, nr.Name, or.NsPerOp, nr.NsPerOp, deltaPct,
-			or.BytesPerOp, nr.BytesPerOp, or.AllocsPerOp, nr.AllocsPerOp)
+			or.BytesPerOp, nr.BytesPerOp, or.AllocsPerOp, nr.AllocsPerOp, resident)
 	}
 	for name := range oldM {
 		if !seen[name] {
@@ -178,8 +271,8 @@ func runGate(oldPath, newPath string, thresholdPct, memThresholdPct float64) int
 		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: regression beyond thresholds (ns/op %.1f%%, mem %.1f%%)\n",
-			thresholdPct, memThresholdPct)
+		fmt.Fprintf(os.Stderr, "benchjson: regression beyond thresholds (ns/op %.1f%%, mem %.1f%%, resident %.1f%%)\n",
+			thresholdPct, memThresholdPct, residentThresholdPct)
 		return 1
 	}
 	return 0

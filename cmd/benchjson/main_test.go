@@ -42,7 +42,40 @@ func TestGateCoversMemoryMetrics(t *testing.T) {
 	}
 	for _, tc := range cases {
 		newPath := writeRun(t, dir, "new.json", []Result{tc.new})
-		if got := runGate(old, newPath, 15, 25); got != tc.want {
+		if got := runGate(old, newPath, 15, 25, 10); got != tc.want {
+			t.Errorf("%s: gate returned %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestGateCoversResidentMetric(t *testing.T) {
+	dir := t.TempDir()
+	name := "BenchmarkResidentTenants/ClockSyncFM/n=4/T=1000"
+	mk := func(resident float64) Result {
+		r := Result{Name: name, Iterations: 1, NsPerOp: 5e9}
+		if resident > 0 {
+			r.Extra = map[string]float64{residentMetric: resident}
+		}
+		return r
+	}
+	old := writeRun(t, dir, "old.json", []Result{mk(58_000)})
+
+	cases := []struct {
+		name string
+		new  Result
+		want int
+	}{
+		{"unchanged", mk(58_000), 0},
+		{"within threshold", mk(60_000), 0},
+		{"regressed", mk(70_000), 1},
+		{"improved", mk(40_000), 0},
+		// A run that stopped reporting the metric can't be compared;
+		// like NEW/REMOVED benchmarks, that never fails the gate.
+		{"metric dropped", mk(0), 0},
+	}
+	for _, tc := range cases {
+		newPath := writeRun(t, dir, "new.json", []Result{tc.new})
+		if got := runGate(old, newPath, 15, 25, 10); got != tc.want {
 			t.Errorf("%s: gate returned %d, want %d", tc.name, got, tc.want)
 		}
 	}
@@ -60,5 +93,77 @@ func TestMemRegressed(t *testing.T) {
 	}
 	if memRegressed(10, 20, 25, 16) {
 		t.Error("sub-floor absolute delta must not regress")
+	}
+}
+
+// TestMergeCarriesMatchingBaselines: -merge keeps the fresh run
+// verbatim and appends only baseline entries matching -carry that the
+// fresh run did not re-record — a renamed benchmark outside the carry
+// pattern must stay gone, and a re-recorded carried name must take the
+// fresh value.
+func TestMergeCarriesMatchingBaselines(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRun(t, dir, "base.json", []Result{
+		{Name: "BenchmarkBeat/n=16", Iterations: 50, NsPerOp: 2e6},
+		{Name: "BenchmarkOld/renamed", Iterations: 10, NsPerOp: 1e6},
+		{Name: "BenchmarkResidentTenants/ClockSyncFM/n=4/T=1000", Iterations: 1, NsPerOp: 1e9,
+			Extra: map[string]float64{"resident-bytes/tenant": 58840}},
+		{Name: "BenchmarkResidentTenants/ClockSyncFM/n=7/T=1000", Iterations: 1, NsPerOp: 5e9,
+			Extra: map[string]float64{"resident-bytes/tenant": 198647}},
+	})
+	fresh := writeRun(t, dir, "fresh.json", []Result{
+		{Name: "BenchmarkBeat/n=16", Iterations: 60, NsPerOp: 1.9e6},
+		{Name: "BenchmarkResidentTenants/ClockSyncFM/n=4/T=1000", Iterations: 1, NsPerOp: 1.1e9,
+			Extra: map[string]float64{"resident-bytes/tenant": 58000}},
+	})
+
+	run := func(carry string) []Result {
+		t.Helper()
+		out := filepath.Join(dir, "out.json")
+		f, err := os.Create(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runMerge(base, fresh, carry, f); got != 0 {
+			t.Fatalf("runMerge = %d, want 0", got)
+		}
+		f.Close()
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rs []Result
+		if err := json.Unmarshal(data, &rs); err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+
+	got := run(`^BenchmarkResidentTenants/`)
+	wantNames := []string{
+		"BenchmarkBeat/n=16",
+		"BenchmarkResidentTenants/ClockSyncFM/n=4/T=1000",
+		"BenchmarkResidentTenants/ClockSyncFM/n=7/T=1000",
+	}
+	if len(got) != len(wantNames) {
+		t.Fatalf("merged %d entries, want %d: %+v", len(got), len(wantNames), got)
+	}
+	for i, name := range wantNames {
+		if got[i].Name != name {
+			t.Fatalf("entry %d = %s, want %s", i, got[i].Name, name)
+		}
+	}
+	// The re-recorded carried name took the fresh measurement.
+	if got[1].Extra["resident-bytes/tenant"] != 58000 {
+		t.Fatalf("re-recorded entry kept the baseline value: %+v", got[1])
+	}
+	// The n=7 entry was carried forward with its baseline value intact.
+	if got[2].Extra["resident-bytes/tenant"] != 198647 {
+		t.Fatalf("carried entry lost its baseline value: %+v", got[2])
+	}
+
+	// Empty pattern: plain copy of the fresh run, nothing resurrected.
+	if got := run(""); len(got) != 2 {
+		t.Fatalf("empty carry merged %d entries, want 2", len(got))
 	}
 }

@@ -20,12 +20,59 @@ const (
 // are deduplicated per sender and validated before counting.
 type tally struct {
 	// fullClock counts per received full-clock value (phase-0 traffic).
-	fullClock map[uint64]int
+	fullClock pairTally
 	// propose counts per proposed value, excluding ⊥ (phase-1 traffic).
-	propose map[uint64]int
+	propose pairTally
 	// bits counts received 0s and 1s (phase-2 traffic).
 	bits [2]int
 }
+
+// pairTally counts occurrences per value as a short (value, count) pair
+// list. Deduplication bounds a beat's distinct values by n, so linear
+// probing beats a map — and the pair slices are two small flat arrays
+// instead of the several hundred resident bytes a hash map's buckets
+// cost per tenant, which is what evicted the maps from this struct.
+type pairTally struct {
+	vals []uint64
+	cnts []int
+}
+
+func (p *pairTally) reset() {
+	p.vals = p.vals[:0]
+	p.cnts = p.cnts[:0]
+}
+
+func (p *pairTally) inc(v uint64) {
+	for i, x := range p.vals {
+		if x == v {
+			p.cnts[i]++
+			return
+		}
+	}
+	p.vals = append(p.vals, v)
+	p.cnts = append(p.cnts, 1)
+}
+
+// set resets the tally to the single entry {v: cnt} (Scramble's
+// arbitrary-state injection).
+func (p *pairTally) set(v uint64, cnt int) {
+	p.reset()
+	p.vals = append(p.vals, v)
+	p.cnts = append(p.cnts, cnt)
+}
+
+// get returns the count for v (0 when absent).
+func (p *pairTally) get(v uint64) int {
+	for i, x := range p.vals {
+		if x == v {
+			return p.cnts[i]
+		}
+	}
+	return 0
+}
+
+// size returns the number of distinct counted values.
+func (p *pairTally) size() int { return len(p.vals) }
 
 // ClockSync is ss-Byz-Clock-Sync (Figure 4): the k-Clock algorithm for
 // arbitrary k with constant expected convergence time and constant
@@ -70,7 +117,7 @@ type ClockSync struct {
 	spare                tally
 	splitter             proto.InboxSplitter
 	seenFC, seenP, seenB []bool
-	sends                []proto.Send
+	sends                proto.SendBuf
 	arena                proto.SendArena
 }
 
@@ -117,7 +164,7 @@ func NewClockSyncLayout(env proto.Env, k uint64, factory coin.Factory, stale boo
 // phase's broadcast, computed from the previous beat's tally.
 func (c *ClockSync) Compose(beat uint64) []proto.Send {
 	c.arena.Reset()
-	out := c.arena.Wrap(clockSyncChildA, c.a.Compose(beat), c.sends[:0])
+	out := c.arena.Wrap(clockSyncChildA, c.a.Compose(beat), c.sends.Take())
 	out = c.arena.Wrap(clockSyncChildCoin, c.pipe.Compose(beat), out)
 	out = composeShared(&c.arena, out, c.shared, beat)
 
@@ -129,7 +176,7 @@ func (c *ClockSync) Compose(beat uint64) []proto.Send {
 	c.fullClock = (c.fullClock + 1) % c.k
 
 	if !c.phaseOK {
-		c.sends = out
+		c.sends.Keep(out)
 		return out
 	}
 	quorum := c.env.Quorum()
@@ -139,8 +186,8 @@ func (c *ClockSync) Compose(beat uint64) []proto.Send {
 		msg = FullClockMsg{V: c.fullClock}
 	case 1: // Block 3.b: propose the quorum value seen in the previous beat.
 		p := ProposeMsg{Bot: true}
-		for v, cnt := range c.prev.fullClock {
-			if cnt >= quorum {
+		for i, v := range c.prev.fullClock.vals {
+			if c.prev.fullClock.cnts[i] >= quorum {
 				p = ProposeMsg{V: v}
 				break
 			}
@@ -148,8 +195,8 @@ func (c *ClockSync) Compose(beat uint64) []proto.Send {
 		msg = p
 	case 2: // Block 3.c: adopt the majority proposal, vote on its support.
 		bestV, bestCnt := uint64(0), 0
-		for v, cnt := range c.prev.propose {
-			if cnt > bestCnt || (cnt == bestCnt && bestCnt > 0 && v < bestV) {
+		for i, v := range c.prev.propose.vals {
+			if cnt := c.prev.propose.cnts[i]; cnt > bestCnt || (cnt == bestCnt && bestCnt > 0 && v < bestV) {
 				bestV, bestCnt = v, cnt
 			}
 		}
@@ -168,8 +215,25 @@ func (c *ClockSync) Compose(beat uint64) []proto.Send {
 	if msg != nil {
 		out = append(out, c.arena.Box(clockSyncChildMsg, proto.Broadcast, msg))
 	}
-	c.sends = out
+	c.sends.Keep(out)
 	return out
+}
+
+// EndBeat implements proto.BeatEnder: park this layer's per-beat backing
+// (envelope arena, splitter slab, compose buffer) in the process pools
+// and forward the hook down the stack, so an idle resident node holds no
+// per-beat memory between beats.
+func (c *ClockSync) EndBeat() {
+	c.arena.Release()
+	c.splitter.Release()
+	c.sends.Release()
+	c.a.EndBeat()
+	if be, ok := c.pipe.(proto.BeatEnder); ok {
+		be.EndBeat()
+	}
+	if c.shared != nil {
+		c.shared.EndBeat()
+	}
 }
 
 // Deliver implements proto.Protocol: step A and the coin, apply Block 3.d
@@ -207,11 +271,8 @@ func (c *ClockSync) Deliver(beat uint64, inbox []proto.Recv) {
 	// recycling the tally retired two beats ago (a scrambled or zero-value
 	// spare gets fresh maps).
 	next := c.spare
-	if next.fullClock == nil || next.propose == nil {
-		next = tally{fullClock: map[uint64]int{}, propose: map[uint64]int{}}
-	}
-	clear(next.fullClock)
-	clear(next.propose)
+	next.fullClock.reset()
+	next.propose.reset()
 	next.bits = [2]int{}
 	if c.seenFC == nil {
 		c.seenFC = make([]bool, c.env.N)
@@ -232,13 +293,13 @@ func (c *ClockSync) Deliver(beat uint64, inbox []proto.Recv) {
 		case FullClockMsg:
 			if !seenFC[r.From] && m.V < c.k {
 				seenFC[r.From] = true
-				next.fullClock[m.V]++
+				next.fullClock.inc(m.V)
 			}
 		case ProposeMsg:
 			if !seenP[r.From] {
 				seenP[r.From] = true
 				if !m.Bot && m.V < c.k {
-					next.propose[m.V]++
+					next.propose.inc(m.V)
 				}
 			}
 		case BitMsg:
@@ -284,11 +345,9 @@ func (c *ClockSync) Scramble(rng *rand.Rand) {
 	c.save = rng.Uint64()
 	c.phase = rng.Uint64() % 8
 	c.phaseOK = rng.Intn(2) == 0
-	c.prev = tally{
-		fullClock: map[uint64]int{rng.Uint64() % (c.k + 3): rng.Intn(c.env.N + 2)},
-		propose:   map[uint64]int{rng.Uint64() % (c.k + 3): rng.Intn(c.env.N + 2)},
-		bits:      [2]int{rng.Intn(c.env.N + 2), rng.Intn(c.env.N + 2)},
-	}
+	c.prev.fullClock.set(rng.Uint64()%(c.k+3), rng.Intn(c.env.N+2))
+	c.prev.propose.set(rng.Uint64()%(c.k+3), rng.Intn(c.env.N+2))
+	c.prev.bits = [2]int{rng.Intn(c.env.N + 2), rng.Intn(c.env.N + 2)}
 }
 
 // NewTwoClockProtocol, NewFourClockProtocol and NewClockSyncProtocol are

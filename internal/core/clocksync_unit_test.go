@@ -106,7 +106,7 @@ func TestTallyValidation(t *testing.T) {
 		{From: -1, Msg: proto.Envelope{Child: clockSyncChildMsg, Inner: FullClockMsg{V: 1}}}, // bad sender
 		{From: 99, Msg: proto.Envelope{Child: clockSyncChildMsg, Inner: FullClockMsg{V: 1}}}, // bad sender
 	})
-	if len(nd.prev.fullClock) != 0 || len(nd.prev.propose) != 0 || nd.prev.bits != [2]int{} {
+	if nd.prev.fullClock.size() != 0 || nd.prev.propose.size() != 0 || nd.prev.bits != [2]int{} {
 		t.Fatalf("invalid traffic entered tallies: %+v", nd.prev)
 	}
 }
@@ -119,8 +119,8 @@ func TestTallyDedupPerSender(t *testing.T) {
 		inbox = append(inbox, proto.Recv{From: 1, Msg: proto.Envelope{Child: clockSyncChildMsg, Inner: FullClockMsg{V: 3}}})
 	}
 	nd.Deliver(0, inbox)
-	if nd.prev.fullClock[3] != 1 {
-		t.Fatalf("duplicate sender counted %d times", nd.prev.fullClock[3])
+	if nd.prev.fullClock.get(3) != 1 {
+		t.Fatalf("duplicate sender counted %d times", nd.prev.fullClock.get(3))
 	}
 }
 

@@ -31,7 +31,7 @@ type FourClock struct {
 	// protocol state: a transient fault corrupting it perturbs one beat.
 	stepA2   bool
 	splitter proto.InboxSplitter
-	sends    []proto.Send
+	sends    proto.SendBuf
 	arena    proto.SendArena
 }
 
@@ -75,15 +75,29 @@ func newFourClock(env proto.Env, supply coin.Supply, prefix string) *FourClock {
 // available before this beat's messages are exchanged.
 func (c *FourClock) Compose(beat uint64) []proto.Send {
 	c.arena.Reset()
-	out := c.arena.Wrap(fourClockChildA1, c.a1.Compose(beat), c.sends[:0])
+	out := c.arena.Wrap(fourClockChildA1, c.a1.Compose(beat), c.sends.Take())
 	v1, ok1 := c.a1.Clock()
 	c.stepA2 = ok1 && v1 == 1
 	if c.stepA2 {
 		out = c.arena.Wrap(fourClockChildA2, c.a2.Compose(beat), out)
 	}
 	out = composeShared(&c.arena, out, c.shared, beat)
-	c.sends = out
+	c.sends.Keep(out)
 	return out
+}
+
+// EndBeat implements proto.BeatEnder: park per-beat backing in the
+// process pools and forward the hook to the halves (and the shared
+// pipeline when this instance owns it).
+func (c *FourClock) EndBeat() {
+	c.arena.Release()
+	c.splitter.Release()
+	c.sends.Release()
+	c.a1.EndBeat()
+	c.a2.EndBeat()
+	if c.shared != nil {
+		c.shared.EndBeat()
+	}
 }
 
 // Deliver implements proto.Protocol: Figure 3 lines 1-2 (receive halves).

@@ -37,7 +37,7 @@ type PowerClock struct {
 	shared   *coin.SharedPipeline
 	stepA2   bool
 	splitter proto.InboxSplitter
-	sends    []proto.Send
+	sends    proto.SendBuf
 	arena    proto.SendArena
 }
 
@@ -104,20 +104,35 @@ func (pc *PowerClock) Compose(beat uint64) []proto.Send {
 		// The degenerate level forwards A2's sends unwrapped; an owned
 		// shared pipeline still rides the reserved root-level tag, which
 		// A2's own splitter drops as out of range.
-		out := append(pc.sends[:0], pc.a2.Compose(beat)...)
+		out := append(pc.sends.Take(), pc.a2.Compose(beat)...)
 		out = composeShared(&pc.arena, out, pc.shared, beat)
-		pc.sends = out
+		pc.sends.Keep(out)
 		return out
 	}
-	out := pc.arena.Wrap(fourClockChildA1, pc.a1.Compose(beat), pc.sends[:0])
+	out := pc.arena.Wrap(fourClockChildA1, pc.a1.Compose(beat), pc.sends.Take())
 	v1, ok1 := pc.a1.Clock()
 	pc.stepA2 = ok1 && v1 == pc.m/2-1
 	if pc.stepA2 {
 		out = pc.arena.Wrap(fourClockChildA2, pc.a2.Compose(beat), out)
 	}
 	out = composeShared(&pc.arena, out, pc.shared, beat)
-	pc.sends = out
+	pc.sends.Keep(out)
 	return out
+}
+
+// EndBeat implements proto.BeatEnder: park per-beat backing in the
+// process pools and forward the hook down the levels.
+func (pc *PowerClock) EndBeat() {
+	pc.arena.Release()
+	pc.splitter.Release()
+	pc.sends.Release()
+	if be, ok := pc.a1.(proto.BeatEnder); ok {
+		be.EndBeat()
+	}
+	pc.a2.EndBeat()
+	if pc.shared != nil {
+		pc.shared.EndBeat()
+	}
 }
 
 // Deliver implements proto.Protocol. An owned shared pipeline is

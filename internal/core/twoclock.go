@@ -51,7 +51,7 @@ type TwoClock struct {
 
 	splitter proto.InboxSplitter
 	seen     []bool // per-beat dedup scratch
-	sends    []proto.Send
+	sends    proto.SendBuf
 	arena    proto.SendArena
 }
 
@@ -108,11 +108,26 @@ func (c *TwoClock) Compose(beat uint64) []proto.Send {
 		v = c.pipe.Bit()
 	}
 	c.arena.Reset()
-	out := append(c.sends[:0], c.arena.Box(twoClockChildMsg, proto.Broadcast, TwoClockMsg{V: v}))
+	out := append(c.sends.Take(), c.arena.Box(twoClockChildMsg, proto.Broadcast, TwoClockMsg{V: v}))
 	out = c.arena.Wrap(twoClockChildCoin, c.pipe.Compose(beat), out)
 	out = composeShared(&c.arena, out, c.shared, beat)
-	c.sends = out
+	c.sends.Keep(out)
 	return out
+}
+
+// EndBeat implements proto.BeatEnder: park per-beat backing in the
+// process pools and forward the hook to the coin feed (and the shared
+// pipeline when this instance owns it).
+func (c *TwoClock) EndBeat() {
+	c.arena.Release()
+	c.splitter.Release()
+	c.sends.Release()
+	if be, ok := c.pipe.(proto.BeatEnder); ok {
+		be.EndBeat()
+	}
+	if c.shared != nil {
+		c.shared.EndBeat()
+	}
 }
 
 // Deliver implements proto.Protocol: Figure 2 lines 2-6. When this

@@ -616,14 +616,38 @@ func SweepGrid(name string, p Params) (sweep.Grid, error) {
 			Tenants:     100,
 			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
 		}, nil
+	case "nettenants": // networked multi-tenancy: every unit is a
+		// Lockstep noderuntime cluster over real loopback sockets — UDP
+		// and TCP substrates as a grid dimension — multiplexing 25 tenant
+		// instances behind 4 endpoints with tenant-batched frames, under
+		// escalating transport-fault schedules. Lockstep networked runs
+		// replay the engine byte-identically per tenant (the multi
+		// differential harness), so this grid's convergence rows should
+		// match the engine's at the same seeds; what it adds is the proof
+		// that the numbers survive real sockets, real frame encode/decode
+		// and sender-side fault injection, at O(links) frames per beat
+		// regardless of tenant count. The beat budget is generous because
+		// the aggregate reports the slowest of 25 tenants: under splitter
+		// + loss15+dup10 the convergence tail reaches ~600 beats.
+		p = p.orDefault(2, 900, 8)
+		return sweep.Grid{
+			Protocol: "clocksync", Coin: "fm", K: 16,
+			Ns:          []int{4},
+			Adversaries: []string{"passive", "splitter"},
+			Layouts:     []string{"shared"},
+			Faults:      []string{"none", "loss15+dup10", "partition+reorder"},
+			Nets:        []string{"udp", "tcp"},
+			Tenants:     25,
+			Seeds:       p.Runs, MaxBeats: p.MaxBeats, Hold: p.Hold,
+		}, nil
 	default:
-		return sweep.Grid{}, fmt.Errorf("experiments: no sweep grid named %q (want twoclock, fourclock, clocksync, clocksync32, resilience, remark31, netloss or multitenant)", name)
+		return sweep.Grid{}, fmt.Errorf("experiments: no sweep grid named %q (want twoclock, fourclock, clocksync, clocksync32, resilience, remark31, netloss, multitenant or nettenants)", name)
 	}
 }
 
 // SweepGridNames lists the experiment names SweepGrid accepts.
 func SweepGridNames() []string {
-	return []string{"twoclock", "fourclock", "clocksync", "clocksync32", "resilience", "remark31", "netloss", "multitenant"}
+	return []string{"twoclock", "fourclock", "clocksync", "clocksync32", "resilience", "remark31", "netloss", "multitenant", "nettenants"}
 }
 
 // ReportStore renders the aggregate tables of a completed (merged) sweep

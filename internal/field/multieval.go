@@ -136,6 +136,54 @@ func (m *MultiEval) At(p Poly, i int) Elem {
 // cache) instead of growing the map.
 const secretDecoderMaxTables = 512
 
+// sdGlobalKey identifies a decoder table process-wide: the point-set
+// table it verifies against plus the (mask, k) pair. MultiEval tables
+// are themselves interned per (n, deg) by MultiEvalFor, so the pointer
+// is a stable identity for the point set.
+type sdGlobalKey struct {
+	me *MultiEval
+	sdKey
+}
+
+// sdTableCache interns decoder tables process-wide, keyed by
+// (point-set table, mask, k). Tables are immutable once published, so
+// every SecretDecoder — one per worker or per node, across thousands
+// of multiplexed tenants — shares one copy of each basis table instead
+// of rebuilding it per decoder. Bounded like the per-decoder map; on
+// overflow new sets simply stay decoder-local.
+var sdTableCache struct {
+	sync.RWMutex
+	m map[sdGlobalKey]*sdTable
+}
+
+const sdTableCacheMax = 4096
+
+// sdTableShared looks up an interned table, returning nil on miss.
+func sdTableShared(key sdGlobalKey) *sdTable {
+	sdTableCache.RLock()
+	t := sdTableCache.m[key]
+	sdTableCache.RUnlock()
+	return t
+}
+
+// sdTablePublish interns a freshly built table, returning the winning
+// copy (an earlier publisher's table on a race, so every decoder ends
+// up sharing one instance).
+func sdTablePublish(key sdGlobalKey, t *sdTable) *sdTable {
+	sdTableCache.Lock()
+	defer sdTableCache.Unlock()
+	if existing := sdTableCache.m[key]; existing != nil {
+		return existing
+	}
+	if sdTableCache.m == nil {
+		sdTableCache.m = make(map[sdGlobalKey]*sdTable)
+	}
+	if len(sdTableCache.m) < sdTableCacheMax {
+		sdTableCache.m[key] = t
+	}
+	return t
+}
+
 // sdKey identifies a decoder table: the bitmask of the full present
 // set AND the interpolation prefix length k (the same point set decoded
 // at a different degree needs different verification rows).
@@ -212,6 +260,11 @@ func NewSecretDecoder(m *MultiEval) *SecretDecoder {
 	return &SecretDecoder{me: m, ev: make([]Elem, m.n), tables: make(map[sdKey]*sdTable)}
 }
 
+// ME returns the point-set table this decoder verifies against, so a
+// shared-scratch owner can tell whether a pooled decoder is bound to
+// the right (n, deg) table or needs rebinding.
+func (sd *SecretDecoder) ME() *MultiEval { return sd.me }
+
 // tableFor returns the cached table for the full point set xs with
 // interpolation prefix length k, building it on first sight. It returns
 // nil when the set is outside the bitmask domain (not strictly ascending
@@ -236,18 +289,25 @@ func (sd *SecretDecoder) tableFor(xs []Elem, k int) *sdTable {
 		if len(sd.tables) >= secretDecoderMaxTables {
 			return nil
 		}
+		// A local miss counts as a rebuild whether or not the process-wide
+		// cache already holds the table: rebuilds instruments this
+		// decoder's set-churn, not global construction cost.
 		sd.rebuilds++
-		m := len(xs)
-		t = &sdTable{r: ReconFor(xs[:k]), vfyT: make([]Elem, k*(m-k)), vfyR: make([]Elem, (m-k)*k)}
-		for c := 0; c < k; c++ {
-			// Row c of vfyT is the basis polynomial L_c evaluated at the
-			// suffix points; vfyR mirrors it point-major.
-			basis := Poly(t.r.basis[c*k : (c+1)*k])
-			for i := k; i < m; i++ {
-				v := sd.me.At(basis, int(xs[i])-1)
-				t.vfyT[c*(m-k)+(i-k)] = v
-				t.vfyR[(i-k)*k+c] = v
+		gkey := sdGlobalKey{me: sd.me, sdKey: key}
+		if t = sdTableShared(gkey); t == nil {
+			m := len(xs)
+			t = &sdTable{r: ReconFor(xs[:k]), vfyT: make([]Elem, k*(m-k)), vfyR: make([]Elem, (m-k)*k)}
+			for c := 0; c < k; c++ {
+				// Row c of vfyT is the basis polynomial L_c evaluated at the
+				// suffix points; vfyR mirrors it point-major.
+				basis := Poly(t.r.basis[c*k : (c+1)*k])
+				for i := k; i < m; i++ {
+					v := sd.me.At(basis, int(xs[i])-1)
+					t.vfyT[c*(m-k)+(i-k)] = v
+					t.vfyR[(i-k)*k+c] = v
+				}
 			}
+			t = sdTablePublish(gkey, t)
 		}
 		sd.tables[key] = t
 	}
@@ -394,7 +454,8 @@ func (sd *SecretDecoder) DecodeAt0Block(xs []Elem, rows [][]Elem, nT, degree, ma
 // (grids[i][d*nT+t] is its share for dealing (d,t), len >= nD*nT), so
 // for every (d,t) it behaves exactly like DecodeAt0Block column t of
 // dealer d's block — equivalently, like a per-dealing DecodeAt0 —
-// writing out[d][t]/okOut[d][t] and leaving them untouched on error.
+// writing out[d*nT+t]/okOut[d*nT+t] (flat row-major, matching the
+// input layout) and leaving them untouched on error.
 // The point of the grid shape is kernel width: each suffix sender
 // verifies all nD·nT candidate columns with ONE full-width evalColumns
 // pass and ONE full-width disagreement sweep (m-k of each for the
@@ -402,7 +463,7 @@ func (sd *SecretDecoder) DecodeAt0Block(xs []Elem, rows [][]Elem, nT, degree, ma
 // per-call dispatch overhead and runs the wide kernels in their
 // long-vector regime; the flat sender matrices load into the kernel
 // table with a single copy each.
-func (sd *SecretDecoder) DecodeAt0Grid(xs []Elem, grids [][]Elem, nD, nT, degree, maxErrors int, out [][]Elem, okOut [][]bool) {
+func (sd *SecretDecoder) DecodeAt0Grid(xs []Elem, grids [][]Elem, nD, nT, degree, maxErrors int, out []Elem, okOut []bool) {
 	if cap := (len(xs) - degree - 1) / 2; maxErrors > cap {
 		maxErrors = cap
 	}
@@ -418,14 +479,12 @@ func (sd *SecretDecoder) DecodeAt0Grid(xs []Elem, grids [][]Elem, nD, nT, degree
 	if t == nil {
 		// Uncacheable set (or malformed shape): per-dealing decoding,
 		// identical to a per-column DecodeAt0 loop.
-		for d := 0; d < nD; d++ {
-			for tt := 0; tt < nT; tt++ {
-				for i := range grids {
-					ys[i] = grids[i][d*nT+tt]
-				}
-				if v, err := sd.DecodeAt0(xs, ys, degree, maxErrors); err == nil {
-					out[d][tt], okOut[d][tt] = v, true
-				}
+		for col := 0; col < nD*nT; col++ {
+			for i := range grids {
+				ys[i] = grids[i][col]
+			}
+			if v, err := sd.DecodeAt0(xs, ys, degree, maxErrors); err == nil {
+				out[col], okOut[col] = v, true
 			}
 		}
 		return
@@ -457,16 +516,15 @@ func (sd *SecretDecoder) DecodeAt0Grid(xs []Elem, grids [][]Elem, nD, nT, degree
 	// would-be secret Dot(w0, column) into the now-dead resid buffer.
 	evalColumns(resid, t.r.w0, tab, wide)
 	for col := 0; col < wide; col++ {
-		d, tt := col/nT, col%nT
 		if int(bad[col]) <= maxErrors {
-			out[d][tt], okOut[d][tt] = resid[col], true
+			out[col], okOut[col] = resid[col], true
 			continue
 		}
 		for i := range grids {
-			ys[i] = grids[i][d*nT+tt]
+			ys[i] = grids[i][col]
 		}
 		if p, err := Decode(xs, ys, degree, maxErrors); err == nil {
-			out[d][tt], okOut[d][tt] = p.Eval(0), true
+			out[col], okOut[col] = p.Eval(0), true
 		}
 	}
 }

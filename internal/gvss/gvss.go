@@ -173,29 +173,46 @@ func AsRecover(m proto.Message) (RecoverMsg, bool) {
 // Instance is one node's state for one dealing session. The zero value is
 // not usable; construct with New. Instances are not safe for concurrent
 // use; the simulation engine and runtime drive each node sequentially.
+//
+// The struct holds ONLY state the protocol requires to persist across
+// rounds: the dealt bivariates (leased, released once shared), the row /
+// grade / recovery matrices, the compose→deliver echo cache, and the
+// persistent message slots. Everything whose lifetime is a single method
+// call — gather/stage buffers, tally counters, per-sender pointer
+// tables, the happy-path secret decoder — lives in a process-wide
+// scratch pool (see scratch below) shared by every instance of the same
+// shape, because a multiplexed service keeps tens of instances per
+// tenant resident and per-call scratch multiplied by 5 pipeline slots ×
+// n nodes × T tenants was the largest single slice of resident memory.
+// All matrices are flat row-major (index d*n+t); tests index the flats.
 type Instance struct {
 	env proto.Env
 
-	// Dealer state: my secret contributions, one bivariate per target.
-	dealt []*shamir.Bivariate
+	// Dealer state: my secret contributions, one bivariate per target,
+	// leased from a process-wide slab pool. ComposeShare releases the
+	// slab once the rows are computed — the coefficients are never read
+	// again — leaving only dealtSecrets (the n constant terms) resident
+	// for DealtSecret and coin-quality measurements.
+	dealt        *dealtSlab
+	dealtSecrets []field.Elem
 
-	// rows[d][t] is my (possibly fixed) row for dealing (d,t); nil when
-	// missing or invalid. Delivered rows are copied into slots of the flat
-	// rowData backing; rows fixed from echoes point at their own decode
-	// result instead. rowOK mirrors validity after the echo round. The
-	// *Flat aliases are the matrices' backing arrays, kept so Reset clears
-	// with a few linear passes instead of n² double-indexed stores.
-	rows      [][]field.Poly
-	rowsFlat  []field.Poly
+	// rowLen[d*n+t] encodes my (possibly fixed) row for dealing (d,t):
+	// 0 when missing or invalid, else 1+L where L is the row's
+	// coefficient count (fixed rows may be trimmed below f+1, down to
+	// the zero polynomial at L = 0). Every row — delivered or fixed —
+	// lives in its fixed-stride slot of the flat rowData backing, so one
+	// byte per dealing replaces what was a slice header per dealing:
+	// at T tenants × pipeline instances × n² dealings, those headers
+	// were the single largest entry in the resident-footprint profile.
+	// The row accessor materializes the view. rowOKFlat mirrors validity
+	// after the echo round.
+	rowLen    []uint8
 	rowData   []field.Elem // n*n slots of f+1 coefficients each
-	rowOK     [][]bool
 	rowOKFlat []bool
 
-	grades [][]uint8 // [dealer][target], valid after DeliverVote
+	gradesFlat []uint8 // [d*n+t], valid after DeliverVote
 
-	recovered     [][]field.Elem // valid after DeliverRecover where recOK
-	recoveredFlat []field.Elem
-	recOK         [][]bool
+	recoveredFlat []field.Elem // valid after DeliverRecover where recOK
 	recOKFlat     []bool
 
 	// me is the shared batch-evaluation table for the session's share
@@ -212,7 +229,7 @@ type Instance struct {
 	// checked out of a process-wide pool only for that compose→deliver
 	// window, so a pipeline full of instances does not pin one per slot.
 	// Entries for dealings without a row are stale and guarded by
-	// rows[d][t] != nil (stale pool contents are therefore never read);
+	// rowLen[dt] != 0 (stale pool contents are therefore never read);
 	// echoCached gates the whole cache so a Deliver without a matching
 	// Compose falls back to fresh evaluation.
 	echoVals   []field.Elem
@@ -228,54 +245,20 @@ type Instance struct {
 	echoValsT []field.Elem
 	echoBuf   []field.Elem
 
-	// Reusable scratch for the echo and recover rounds' per-dealing point
-	// collection and happy-path decoding; one instance processes n^2
-	// dealings per round, so these buffers turn the hot loops
-	// allocation-free.
-	xsScratch, ysScratch []field.Elem
-	polyScratch          field.Poly
-	ev                   []field.Elem // n-point batch-eval scratch
-
-	// Per-sender flat matrix pointers and vote tallies, reused across
-	// the deliver rounds (cleared per call) so steady-state delivery does
-	// not allocate.
-	echoM, recM [][]field.Elem
-	echoH, recH [][]bool
-	// stageE/stageB hold gathered copies of delivered matrices whose
-	// messages lack flat payloads (hand-built or wire-decoded forms), one
-	// n² region per sender; inElem/inBool stage a single incoming matrix
-	// before it may overwrite a sender's region. All four are lazily
-	// allocated — honest in-process traffic never needs them.
-	stageE     []field.Elem
-	stageB     []bool
-	inElem     []field.Elem
-	inBool     []bool
-	voteCounts []uint64
-	voteRows   [][]uint64
-	voteSeen   []bool
-	// rowPtrE/rowPtrB hold the per-sender row slices of the current
-	// dealer while scanning, and secDec fuses the recover round's
-	// repeated-sender-set decodes through cached basis tables.
-	rowPtrE [][]field.Elem
-	rowPtrB [][]bool
-	// gridPtr holds the present senders' flat share matrices for the
-	// recover round's grid decode (reused across beats).
-	gridPtr [][]field.Elem
-	// coefShare is ComposeShare's degree-major coefficient gather for
-	// the grid evaluation of all dealt polynomials (lazily sized).
-	coefShare []field.Elem
-	senderIdx []int
-	secDec    *field.SecretDecoder
 	// echoAgree[d*n+t] is the echo agreement tally the fused
 	// validate+tally sweep accumulates per delivered matrix. uint64 so
 	// the sweep's wrapping ±1 adds (field.SweepTally) settle to the
 	// exact non-negative count by the time the resolution loop reads it.
+	// Kept on the instance (not call scratch) as the white-box surface
+	// the sweep differential tests assert against after DeliverEcho.
 	echoAgree []uint64
 
-	// Per-destination flat pointers used while scattering batched
-	// evaluations into outgoing messages.
-	dstElem [][]field.Elem
-	dstBool [][]bool
+	// coefShare holds ComposeShare's pooled degree-major coefficient
+	// gather between a deferred enqueue (env.Batch non-nil) and the
+	// driver's batch flush, which releases it via FinishEval(finishCoef).
+	// The immediate path releases it before ComposeShare returns, so at
+	// steady state no resident instance pins a gather block.
+	coefShare []field.Elem
 
 	// batchElems/batchBools hold ComposeEcho's leased payload blocks
 	// between a deferred enqueue (env.Batch non-nil) and FinishEval,
@@ -289,7 +272,8 @@ type Instance struct {
 	// pointers never change — so composing is free of interface-boxing
 	// allocations. Legal under the message-lifetime contract: by the time
 	// a slot is rewritten (this instance's next session at the earliest),
-	// the previous message is long dead.
+	// the previous message is long dead. The four send lists are windows
+	// of one backing array (sends).
 	shareMsgs    []ShareMsg
 	shareSends   []proto.Send
 	echoMsgs     []EchoMsg
@@ -304,50 +288,36 @@ type Instance struct {
 // dealer secrets from rng.
 func New(env proto.Env, rng *rand.Rand) *Instance {
 	n, f := env.N, env.F
+	w := f + 1
 	ins := &Instance{env: env}
-	ins.dealt = make([]*shamir.Bivariate, n)
-	for t := 0; t < n; t++ {
-		ins.dealt[t] = shamir.NewBivariate(rng, f, field.Reduce(rng.Uint64()))
-	}
-	ins.rows, ins.rowsFlat = matrixPoly(n)
-	ins.rowData = make([]field.Elem, n*n*(f+1))
-	ins.rowOK, ins.rowOKFlat = matrixBool(n)
-	ins.grades = matrixU8(n)
-	ins.recovered, ins.recoveredFlat = matrixElem(n)
-	ins.recOK, ins.recOKFlat = matrixBool(n)
-	ins.me = field.MultiEvalFor(n, f)
-	ins.secDec = field.NewSecretDecoder(ins.me)
-	ins.xsScratch = make([]field.Elem, 0, n)
-	ins.ysScratch = make([]field.Elem, 0, n)
-	ins.polyScratch = make(field.Poly, f+1)
-	ins.ev = make([]field.Elem, n)
-	ins.echoM = make([][]field.Elem, n)
-	ins.echoH = make([][]bool, n)
-	ins.recM = make([][]field.Elem, n)
-	ins.recH = make([][]bool, n)
-	ins.voteCounts = make([]uint64, n*n)
-	ins.voteRows = make([][]uint64, n)
-	for d := range ins.voteRows {
-		ins.voteRows[d] = ins.voteCounts[d*n : (d+1)*n : (d+1)*n]
-	}
-	ins.voteSeen = make([]bool, n)
-	ins.dstElem = make([][]field.Elem, n)
-	ins.dstBool = make([][]bool, n)
-	ins.rowPtrE = make([][]field.Elem, n)
-	ins.rowPtrB = make([][]bool, n)
-	ins.gridPtr = make([][]field.Elem, 0, n)
-	ins.senderIdx = make([]int, 0, n)
+	// One element block backs the row slots, the recovery matrix and the
+	// dealt secrets; one bool block backs both validity matrices.
+	elems := make([]field.Elem, n*n*w+n*n+n)
+	ins.rowData = elems[: n*n*w : n*n*w]
+	ins.recoveredFlat = elems[n*n*w : n*n*w+n*n : n*n*w+n*n]
+	ins.dealtSecrets = elems[n*n*w+n*n:]
+	bools := make([]bool, 2*n*n)
+	ins.rowOKFlat = bools[: n*n : n*n]
+	ins.recOKFlat = bools[n*n:]
+	bytes := make([]uint8, 2*n*n)
+	ins.rowLen = bytes[: n*n : n*n]
+	ins.gradesFlat = bytes[n*n:]
 	ins.echoAgree = make([]uint64, n*n)
+	ins.me = field.MultiEvalFor(n, f)
+	ins.leaseDealt(rng)
 	ins.shareMsgs = make([]ShareMsg, n)
-	ins.shareSends = make([]proto.Send, n)
 	ins.echoMsgs = make([]EchoMsg, n)
-	ins.echoSends = make([]proto.Send, n)
+	sends := make([]proto.Send, 2*n+2)
+	ins.shareSends = sends[:n:n]
+	ins.echoSends = sends[n : 2*n : 2*n]
+	ins.voteSends = sends[2*n : 2*n+1 : 2*n+1]
+	ins.recoverSends = sends[2*n+1:]
 	for i := 0; i < n; i++ {
 		ins.shareSends[i] = proto.Send{To: i, Msg: &ins.shareMsgs[i]}
 		ins.echoSends[i] = proto.Send{To: i, Msg: &ins.echoMsgs[i]}
 	}
-	ins.voteSends = []proto.Send{{To: proto.Broadcast, Msg: &ins.voteMsg}}
-	ins.recoverSends = []proto.Send{{To: proto.Broadcast, Msg: &ins.recoverMsg}}
+	ins.voteSends[0] = proto.Send{To: proto.Broadcast, Msg: &ins.voteMsg}
+	ins.recoverSends[0] = proto.Send{To: proto.Broadcast, Msg: &ins.recoverMsg}
 	return ins
 }
 
@@ -402,6 +372,20 @@ func (ins *Instance) rowSlot(d, t int) field.Poly {
 	return field.Poly(ins.rowData[base : base+w : base+w])
 }
 
+// row materializes the held row for dealing index dt from its rowData
+// slot and rowLen entry; nil when no row is held. A present-but-trimmed
+// zero polynomial yields a non-nil empty slice, matching the decode
+// results the fix path stores.
+func (ins *Instance) row(dt int) field.Poly {
+	l := ins.rowLen[dt]
+	if l == 0 {
+		return nil
+	}
+	w := ins.env.F + 1
+	base := dt * w
+	return field.Poly(ins.rowData[base : base+int(l)-1 : base+w])
+}
+
 // Reset re-initializes the instance for a fresh dealing session, reusing
 // every backing allocation; it reports false (leaving the instance
 // untouched) when the environment shape differs, in which case the caller
@@ -413,22 +397,16 @@ func (ins *Instance) Reset(env proto.Env, rng *rand.Rand) bool {
 		return false
 	}
 	ins.env = env
-	n := env.N
-	for t := 0; t < n; t++ {
-		ins.dealt[t].Randomize(rng, field.Reduce(rng.Uint64()))
-	}
-	for i := range ins.rowsFlat {
-		ins.rowsFlat[i] = nil
+	ins.leaseDealt(rng)
+	for i := range ins.rowLen {
+		ins.rowLen[i] = 0
 	}
 	for i := range ins.rowOKFlat {
 		ins.rowOKFlat[i] = false
 		ins.recOKFlat[i] = false
 	}
-	for d := 0; d < n; d++ {
-		g := ins.grades[d]
-		for t := range g {
-			g[t] = GradeNone
-		}
+	for i := range ins.gradesFlat {
+		ins.gradesFlat[i] = GradeNone
 	}
 	for i := range ins.recoveredFlat {
 		ins.recoveredFlat[i] = 0
@@ -438,9 +416,199 @@ func (ins *Instance) Reset(env proto.Env, rng *rand.Rand) bool {
 }
 
 // DealtSecret returns the secret this node dealt for the given target.
-// Used by tests and by coin-quality measurements.
+// Used by tests and by coin-quality measurements. Valid for the whole
+// session even after ComposeShare releases the bivariate slab.
 func (ins *Instance) DealtSecret(target int) field.Elem {
-	return ins.dealt[target].Secret()
+	return ins.dealtSecrets[target]
+}
+
+// dealtSlab is a leased set of n dealer bivariates. Slabs cycle through
+// a process-wide pool: an instance holds one only from New/Reset until
+// its ComposeShare has computed the outgoing rows — after that the
+// coefficients are never read again (recovery decodes from delivered
+// shares), so keeping n (f+1)×(f+1) matrices resident per instance per
+// tenant would be pure waste.
+type dealtSlab struct {
+	n, f int
+	bs   []*shamir.Bivariate
+}
+
+var dealtSlabPool sync.Pool
+
+// leaseDealt installs freshly randomized dealer bivariates, reusing a
+// pooled slab of the right shape when one is available, and records the
+// dealt secrets. Both paths consume rng identically — one secret draw
+// then the coefficient draws, per target, exactly as New always did —
+// so pooling is invisible to seeded replay. Callable with a slab still
+// held (Reset before ComposeShare): the held slab is re-randomized.
+func (ins *Instance) leaseDealt(rng *rand.Rand) {
+	n, f := ins.env.N, ins.env.F
+	s := ins.dealt
+	if s == nil {
+		if p, ok := dealtSlabPool.Get().(*dealtSlab); ok && p.n == n && p.f == f {
+			s = p
+		}
+	}
+	if s == nil {
+		s = &dealtSlab{n: n, f: f, bs: make([]*shamir.Bivariate, n)}
+		for t := 0; t < n; t++ {
+			s.bs[t] = shamir.NewBivariate(rng, f, field.Reduce(rng.Uint64()))
+			ins.dealtSecrets[t] = s.bs[t].Secret()
+		}
+		ins.dealt = s
+		return
+	}
+	for t := 0; t < n; t++ {
+		s.bs[t].Randomize(rng, field.Reduce(rng.Uint64()))
+		ins.dealtSecrets[t] = s.bs[t].Secret()
+	}
+	ins.dealt = s
+}
+
+// releaseDealt returns the bivariate slab to the pool; the next lessee
+// fully re-randomizes it.
+func (ins *Instance) releaseDealt() {
+	if ins.dealt != nil {
+		dealtSlabPool.Put(ins.dealt)
+		ins.dealt = nil
+	}
+}
+
+// scratch is the per-call working state shared by every Instance of the
+// same (n, f) shape: gather/stage buffers, tally counters, per-sender
+// pointer tables, per-destination scatter pointers, and the recover
+// round's secret decoder. Each public round method checks one out of
+// the process-wide pool on entry and returns it before returning, so a
+// resident fleet of instances holds ZERO copies between calls — the
+// pool's working set is one scratch per concurrently-delivering worker.
+// Every field is written before it is read within a call (the deliver
+// paths clear what they tally into), so scratch reuse is invisible to
+// seeded replay.
+type scratch struct {
+	n, f int
+	// Point-collection and batch-eval scratch for the fix/decode loops.
+	xs, ys []field.Elem
+	ev     []field.Elem
+	// Per-sender flat matrix pointers for the echo and recover rounds
+	// (nil-cleared at the start of each deliver).
+	matE [][]field.Elem
+	matB [][]bool
+	// counts is the n² vote tally (cleared by DeliverVote).
+	counts []uint64
+	// seen is the per-sender dedup bitmap (cleared per deliver).
+	seen []bool
+	// Per-dealer row pointer tables and the grid-decode input list.
+	rowPtrE   [][]field.Elem
+	rowPtrB   [][]bool
+	gridPtr   [][]field.Elem
+	senderIdx []int
+	// Per-destination flat pointers used while scattering batched
+	// evaluations into outgoing messages.
+	dstE [][]field.Elem
+	dstB [][]bool
+	// stageE/stageB hold gathered copies of delivered matrices whose
+	// messages lack flat payloads (hand-built or wire-decoded forms), one
+	// n² region per sender; inE/inB stage a single incoming matrix
+	// before it may overwrite a sender's region. All four are lazily
+	// allocated — honest in-process traffic never needs them.
+	stageE []field.Elem
+	stageB []bool
+	inE    []field.Elem
+	inB    []bool
+	// dec fuses the recover round's repeated-sender-set decodes through
+	// cached basis tables (lazily bound to the session's point set; the
+	// tables themselves are interned process-wide).
+	dec *field.SecretDecoder
+}
+
+var scratchPool sync.Pool
+
+func getScratch(n, f int) *scratch {
+	if sc, ok := scratchPool.Get().(*scratch); ok && sc.n == n && sc.f == f {
+		return sc
+	}
+	sc := &scratch{n: n, f: f}
+	sc.xs = make([]field.Elem, 0, n)
+	sc.ys = make([]field.Elem, 0, n)
+	sc.ev = make([]field.Elem, n)
+	sc.matE = make([][]field.Elem, n)
+	sc.matB = make([][]bool, n)
+	sc.counts = make([]uint64, n*n)
+	sc.seen = make([]bool, n)
+	sc.rowPtrE = make([][]field.Elem, n)
+	sc.rowPtrB = make([][]bool, n)
+	sc.gridPtr = make([][]field.Elem, 0, n)
+	sc.senderIdx = make([]int, 0, n)
+	sc.dstE = make([][]field.Elem, n)
+	sc.dstB = make([][]bool, n)
+	return sc
+}
+
+// putScratch returns sc to the pool, dropping the delivered-payload
+// pointers it captured so a parked scratch does not pin beat-pool
+// buffers (or whole inboxes) beyond their beat.
+func putScratch(sc *scratch) {
+	clear(sc.matE)
+	clear(sc.matB)
+	clear(sc.rowPtrE)
+	clear(sc.rowPtrB)
+	clear(sc.dstE)
+	clear(sc.dstB)
+	clear(sc.gridPtr[:cap(sc.gridPtr)])
+	scratchPool.Put(sc)
+}
+
+// decoder returns the scratch's secret decoder bound to the given point
+// set, rebinding when the previous checkout was a different session
+// shape.
+func (sc *scratch) decoder(me *field.MultiEval) *field.SecretDecoder {
+	if sc.dec == nil || sc.dec.ME() != me {
+		sc.dec = field.NewSecretDecoder(me)
+	}
+	return sc.dec
+}
+
+// gather copies an n×n row-view matrix pair into the incoming staging
+// pair, returning (nil, nil) if either matrix is malformed. It serves
+// messages without flat payloads (hand-built or wire-decoded); the
+// result is only valid until the next gather call — callers that retain
+// it move it aside with stage first.
+func (sc *scratch) gather(vals [][]field.Elem, has [][]bool) ([]field.Elem, []bool) {
+	n := sc.n
+	if len(vals) != n || len(has) != n {
+		return nil, nil
+	}
+	for d := 0; d < n; d++ {
+		if len(vals[d]) != n || len(has[d]) != n {
+			return nil, nil
+		}
+	}
+	if sc.inE == nil {
+		sc.inE = make([]field.Elem, n*n)
+		sc.inB = make([]bool, n*n)
+	}
+	for d := 0; d < n; d++ {
+		copy(sc.inE[d*n:(d+1)*n], vals[d])
+		copy(sc.inB[d*n:(d+1)*n], has[d])
+	}
+	return sc.inE, sc.inB
+}
+
+// stage moves a gathered matrix pair from the incoming scratch into
+// sender w's own staging region, whose contents stay valid for the rest
+// of the round (the scratch checkout).
+func (sc *scratch) stage(w int, valsFlat []field.Elem, hasFlat []bool) ([]field.Elem, []bool) {
+	n := sc.n
+	nn := n * n
+	if sc.stageE == nil {
+		sc.stageE = make([]field.Elem, n*nn)
+		sc.stageB = make([]bool, n*nn)
+	}
+	ev := sc.stageE[w*nn : (w+1)*nn]
+	bv := sc.stageB[w*nn : (w+1)*nn]
+	copy(ev, valsFlat)
+	copy(bv, hasFlat)
+	return ev, bv
 }
 
 // ComposeShare produces round 1: this node, as dealer, sends each node its
@@ -453,8 +621,16 @@ func (ins *Instance) DealtSecret(target int) field.Elem {
 func (ins *Instance) ComposeShare() []proto.Send {
 	n, f := ins.env.N, ins.env.F
 	w := f + 1
-	ev := ins.ev
-	flats := ins.dstElem
+	if ins.dealt == nil {
+		// One compose per session: the slab was already released. Re-lease
+		// is impossible (the rng draws are gone), so fail loudly rather
+		// than silently sending different rows.
+		panic("gvss: ComposeShare called twice in one session")
+	}
+	sc := getScratch(n, f)
+	defer putScratch(sc)
+	ev := sc.ev
+	flats := sc.dstE
 	// One element block and one row-header block for all n messages: the
 	// destinations' payloads have identical lifetimes (this beat), so they
 	// share one lease from the node's beat pool. Every element is written
@@ -478,13 +654,10 @@ func (ins *Instance) ComposeShare() []proto.Send {
 	// polynomial family indexed r = t*w+k. This replaces n·w narrow
 	// EvalInto calls plus an n²·w strided scatter.
 	nR := n * w
-	if len(ins.coefShare) < w*nR {
-		ins.coefShare = make([]field.Elem, w*nR)
-	}
-	coefG := ins.coefShare[:w*nR]
+	coefG := getCoefShare(w * nR)
 	gemm := true
 	for t := 0; t < n && gemm; t++ {
-		c := ins.dealt[t].C
+		c := ins.dealt.bs[t].C
 		for k := 0; k < w; k++ {
 			row := c[k]
 			if len(row) != w {
@@ -501,16 +674,20 @@ func (ins *Instance) ComposeShare() []proto.Send {
 			// Deferred: the driver flushes after the compose fan-out and
 			// before anything reads the payload, stacking this family with
 			// same-shaped ones from other instances (see proto.Env.Batch).
-			// Both coefG and the payload block stay valid until then.
-			b.Enqueue(ins.me, elems[:n*nR], coefG, w, nR, nil, 0)
+			// Both coefG and the payload block stay valid until then; the
+			// flush callback releases the gather back to the pool.
+			ins.coefShare = coefG
+			b.Enqueue(ins.me, elems[:n*nR], coefG, w, nR, ins, finishCoef)
 		} else {
 			ins.me.EvalGridT(elems[:n*nR], coefG, w, nR)
+			putCoefShare(coefG)
 		}
 	} else {
+		putCoefShare(coefG)
 		// Defensive fallback (dealt rows are always w long): per-poly
 		// evaluation with the strided scatter.
 		for t := 0; t < n; t++ {
-			c := ins.dealt[t].C
+			c := ins.dealt.bs[t].C
 			for k := 0; k < w; k++ {
 				ins.me.EvalInto(ev, field.Poly(c[k]))
 				for i := 0; i < n; i++ {
@@ -522,6 +699,9 @@ func (ins *Instance) ComposeShare() []proto.Send {
 	for i := range flats {
 		flats[i] = nil // the backing now belongs to the beat's messages
 	}
+	// The dealt coefficients are fully consumed: the deferred batch path
+	// reads coefG (the per-instance gather above), not the bivariates.
+	ins.releaseDealt()
 	return sends
 }
 
@@ -529,7 +709,9 @@ func (ins *Instance) ComposeShare() []proto.Send {
 // sent a well-formed share message.
 func (ins *Instance) DeliverShare(inbox []proto.Recv) {
 	n, f := ins.env.N, ins.env.F
-	seen := ins.voteSeen // per-call sender dedup scratch, free this round
+	sc := getScratch(n, f)
+	defer putScratch(sc)
+	seen := sc.seen
 	for i := range seen {
 		seen[i] = false
 	}
@@ -546,9 +728,8 @@ func (ins *Instance) DeliverShare(inbox []proto.Recv) {
 				continue
 			}
 			for t := 0; t < n; t++ {
-				slot := ins.rowSlot(r.From, t)
-				copy(slot, m.Rows[t])
-				ins.rows[r.From][t] = slot
+				copy(ins.rowSlot(r.From, t), m.Rows[t])
+				ins.rowLen[r.From*n+t] = uint8(1 + f + 1)
 			}
 			continue
 		}
@@ -597,7 +778,7 @@ func (ins *Instance) installRows(d int, rows []field.Poly) bool {
 			borrow |= max - uint64(e)
 			slot[i] = e
 		}
-		ins.rows[d][t] = slot
+		ins.rowLen[d*n+t] = uint8(1 + w)
 	}
 	if hi>>31 != 0 || borrow>>63 != 0 {
 		ins.uninstallRows(d)
@@ -607,35 +788,30 @@ func (ins *Instance) installRows(d int, rows []field.Poly) bool {
 }
 
 func (ins *Instance) uninstallRows(d int) {
-	for t := 0; t < ins.env.N; t++ {
-		ins.rows[d][t] = nil
+	n := ins.env.N
+	for t := 0; t < n; t++ {
+		ins.rowLen[d*n+t] = 0
 	}
 }
 
 // gatherCoefT transposes every held row's coefficients into the
 // degree-major layout EvalGridT consumes — coefT[k*n²+dt] = row_dt[k],
 // zero-padded, so trimmed fixed rows evaluate identically — carved
-// from the tail of the pooled echo buffer. Returns nil if any row
-// exceeds the f+1 coefficient bound (impossible for validated or dealt
-// rows; the caller then falls back to per-row evaluation). Callers
-// must have verified every row is held.
+// from the tail of the pooled echo buffer. Callers must have verified
+// every row is held; rowLen bounds every length at f+1 by construction.
 func (ins *Instance) gatherCoefT() []field.Elem {
 	n, w := ins.env.N, ins.env.F+1
 	nn := n * n
 	coefT := ins.echoBuf[2*n*nn : 2*n*nn+w*nn]
-	rowsFlat := ins.rowsFlat
-	for _, row := range rowsFlat {
-		if len(row) > w {
-			return nil
-		}
-	}
+	rowLen := ins.rowLen
+	rowData := ins.rowData
 	// k-outer order keeps the destination writes sequential (the strided
 	// accesses fall on the reads, which all hit the compact row storage).
 	for k := 0; k < w; k++ {
 		dst := coefT[k*nn : (k+1)*nn]
-		for dt, row := range rowsFlat {
-			if k < len(row) {
-				dst[dt] = row[k]
+		for dt, l := range rowLen {
+			if k < int(l)-1 {
+				dst[dt] = rowData[dt*w+k]
 			} else {
 				dst[dt] = 0
 			}
@@ -652,13 +828,15 @@ func (ins *Instance) gatherCoefT() []field.Elem {
 // for agreement counting later the same beat.
 func (ins *Instance) ComposeEcho() []proto.Send {
 	n := ins.env.N
+	sc := getScratch(n, ins.env.F)
+	defer putScratch(sc)
 	if ins.echoBuf == nil {
 		ins.echoBuf = getEchoVals(2*n*n*n + (ins.env.F+1)*n*n)
 		ins.echoVals = ins.echoBuf[:n*n*n]
 		ins.echoValsT = ins.echoBuf[n*n*n : 2*n*n*n]
 	}
-	valsFlats := ins.dstElem
-	hasFlats := ins.dstBool
+	valsFlats := sc.dstE
+	hasFlats := sc.dstB
 	// Shared backing blocks for all n messages (see ComposeShare), leased
 	// from the node's beat pool.
 	elems := ins.allocElems(n * n * n)
@@ -686,11 +864,9 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 	// takes the grid-evaluation fast path below; anything sparser falls
 	// back to per-row evaluation plus scattering.
 	held := 0
-	for d := 0; d < n; d++ {
-		for t := 0; t < n; t++ {
-			if ins.rows[d][t] != nil {
-				held++
-			}
+	for _, l := range ins.rowLen {
+		if l != 0 {
+			held++
 		}
 	}
 	var coefT []field.Elem
@@ -715,7 +891,7 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 			// out until this round's DeliverEcho — well past the flush.
 			ins.batchElems = elems
 			ins.batchBools = bools
-			b.Enqueue(ins.me, ins.echoValsT, coefT, ins.env.F+1, n*n, ins, 0)
+			b.Enqueue(ins.me, ins.echoValsT, coefT, ins.env.F+1, n*n, ins, finishEcho)
 		} else {
 			ins.me.EvalGridT(ins.echoValsT, coefT, ins.env.F+1, n*n)
 			ins.finishEchoPayload(elems, bools)
@@ -723,11 +899,9 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 	} else {
 		// Pass 1: evaluate every held row at all n points, streaming into
 		// the contiguous echoVals cache.
-		for d := 0; d < n; d++ {
-			for t := 0; t < n; t++ {
-				if row := ins.rows[d][t]; row != nil {
-					ins.me.EvalInto(ins.echoVals[(d*n+t)*n:(d*n+t+1)*n], row)
-				}
+		for idx := 0; idx < n*n; idx++ {
+			if row := ins.row(idx); row != nil {
+				ins.me.EvalInto(ins.echoVals[idx*n:(idx+1)*n], row)
 			}
 		}
 		// Pass 2: scatter into the per-destination payloads. Entries
@@ -738,7 +912,7 @@ func (ins *Instance) ComposeEcho() []proto.Send {
 		clear(elems)
 		clear(bools)
 		for idx := 0; idx < n*n; idx++ {
-			if ins.rows[idx/n][idx%n] == nil {
+			if ins.rowLen[idx] == 0 {
 				continue
 			}
 			slot := ins.echoVals[idx*n : (idx+1)*n]
@@ -778,10 +952,22 @@ func (ins *Instance) finishEchoPayload(elems []field.Elem, bools []bool) {
 	}
 }
 
-// FinishEval implements field.Finisher: the deferred tail of the
-// steady-state ComposeEcho path, invoked by the driver's batch flush
-// after the enqueued grid evaluation has filled echoValsT.
-func (ins *Instance) FinishEval(int) {
+// Finisher tags: which deferred enqueue a FinishEval callback finishes.
+const (
+	finishEcho = iota // ComposeEcho's payload copies
+	finishCoef        // ComposeShare's pooled gather release
+)
+
+// FinishEval implements field.Finisher, invoked by the driver's batch
+// flush after an enqueued grid evaluation has filled its destination:
+// the steady-state ComposeEcho path's deferred payload copies, or the
+// release of ComposeShare's pooled coefficient gather.
+func (ins *Instance) FinishEval(tag int) {
+	if tag == finishCoef {
+		putCoefShare(ins.coefShare)
+		ins.coefShare = nil
+		return
+	}
 	ins.finishEchoPayload(ins.batchElems, ins.batchBools)
 	ins.batchElems, ins.batchBools = nil, nil
 }
@@ -801,9 +987,11 @@ func (ins *Instance) FinishEval(int) {
 func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 	n, f := ins.env.N, ins.env.F
 	quorum := ins.env.Quorum()
+	sc := getScratch(n, f)
+	defer putScratch(sc)
 	// echo[w] is sender w's matrix, nil if absent/malformed.
-	echo := ins.echoM
-	echoHas := ins.echoH
+	echo := sc.matE
+	echoHas := sc.matB
 	for w := 0; w < n; w++ {
 		echo[w] = nil
 		echoHas[w] = nil
@@ -820,14 +1008,12 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 			ins.echoValsT = ins.echoBuf[n*n*n : 2*n*n*n]
 		}
 		clear(ins.echoValsT)
-		for d := 0; d < n; d++ {
-			for t := 0; t < n; t++ {
-				if row := ins.rows[d][t]; row != nil {
-					slot := ins.echoVals[(d*n+t)*n : (d*n+t+1)*n]
-					ins.me.EvalInto(slot, row)
-					for j := 0; j < n; j++ {
-						ins.echoValsT[j*n*n+d*n+t] = slot[j]
-					}
+		for idx := 0; idx < n*n; idx++ {
+			if row := ins.row(idx); row != nil {
+				slot := ins.echoVals[idx*n : (idx+1)*n]
+				ins.me.EvalInto(slot, row)
+				for j := 0; j < n; j++ {
+					ins.echoValsT[j*n*n+idx] = slot[j]
 				}
 			}
 		}
@@ -854,7 +1040,7 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 		if len(valsFlat) != n*n || len(hasFlat) != n*n {
 			// No (or malformed) flat payload: gather the row views into
 			// the incoming staging pair, rejecting malformed shapes.
-			valsFlat, hasFlat = ins.gatherMatrix(m.Vals, m.Has)
+			valsFlat, hasFlat = sc.gather(m.Vals, m.Has)
 			if valsFlat == nil {
 				continue
 			}
@@ -869,7 +1055,7 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 			if gathered {
 				// Move the staged copy into the sender's own region (the
 				// incoming scratch is reused by the next message).
-				valsFlat, hasFlat = ins.stageSender(r.From, valsFlat, hasFlat)
+				valsFlat, hasFlat = sc.stage(r.From, valsFlat, hasFlat)
 			}
 			echo[r.From] = valsFlat
 			echoHas[r.From] = hasFlat
@@ -883,31 +1069,31 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 	// Hoist the present-sender list once, and per dealer the senders' row
 	// slices, so the (rare) fix path indexes flat rows instead of chasing
 	// three levels of slice headers.
-	senders := ins.senderIdx[:0]
+	senders := sc.senderIdx[:0]
 	for w := 0; w < n; w++ {
 		if echo[w] != nil {
 			senders = append(senders, w)
 		}
 	}
-	ins.senderIdx = senders
-	evRow := ins.rowPtrE
-	hasRow := ins.rowPtrB
+	sc.senderIdx = senders
+	evRow := sc.rowPtrE
+	hasRow := sc.rowPtrB
 	for d := 0; d < n; d++ {
 		for i, w := range senders {
 			evRow[i] = echo[w][d*n : (d+1)*n]
 			hasRow[i] = echoHas[w][d*n : (d+1)*n]
 		}
 		for t := 0; t < n; t++ {
-			if ins.rows[d][t] != nil && agree[d*n+t] >= uint64(quorum) {
-				ins.rowOK[d][t] = true
+			if ins.rowLen[d*n+t] != 0 && agree[d*n+t] >= uint64(quorum) {
+				ins.rowOKFlat[d*n+t] = true
 				continue
 			}
 			// Row missing or inconsistent: collect the echo points and try
 			// to fix it from them. The fixed row is retained across
 			// rounds, so this (rare, Byzantine-only) path uses the
 			// allocating DecodeFast.
-			xs := ins.xsScratch[:0]
-			ys := ins.ysScratch[:0]
+			xs := sc.xs[:0]
+			ys := sc.ys[:0]
 			for i, w := range senders {
 				if !hasRow[i][t] {
 					continue
@@ -923,8 +1109,14 @@ func (ins *Instance) DeliverEcho(inbox []proto.Recv) {
 				continue
 			}
 			if agreeCount(fixed, xs, ys) >= quorum {
-				ins.rows[d][t] = fixed
-				ins.rowOK[d][t] = true
+				// Copy the decode result into the dealing's rowData slot
+				// (the old row, if any, is exactly what is being replaced)
+				// and record its trimmed length.
+				slot := ins.rowSlot(d, t)
+				clear(slot)
+				copy(slot, fixed)
+				ins.rowLen[d*n+t] = uint8(1 + len(fixed))
+				ins.rowOKFlat[d*n+t] = true
 			}
 		}
 	}
@@ -951,67 +1143,14 @@ func (ins *Instance) sweepEchoFlat(w0 int, valsFlat []field.Elem, hasFlat []bool
 	return hi>>31 == 0 && borrow>>63 == 0
 }
 
-// gatherMatrix copies an n×n row-view matrix pair into the incoming
-// staging pair, returning (nil, nil) if either matrix is malformed. It
-// serves messages without flat payloads (hand-built or wire-decoded);
-// the result is only valid until the next gatherMatrix call — callers
-// that retain it move it aside with stageSender first.
-func (ins *Instance) gatherMatrix(vals [][]field.Elem, has [][]bool) ([]field.Elem, []bool) {
-	n := ins.env.N
-	if len(vals) != n || len(has) != n {
-		return nil, nil
-	}
-	for d := 0; d < n; d++ {
-		if len(vals[d]) != n || len(has[d]) != n {
-			return nil, nil
-		}
-	}
-	if ins.inElem == nil {
-		ins.inElem = make([]field.Elem, n*n)
-		ins.inBool = make([]bool, n*n)
-	}
-	for d := 0; d < n; d++ {
-		copy(ins.inElem[d*n:(d+1)*n], vals[d])
-		copy(ins.inBool[d*n:(d+1)*n], has[d])
-	}
-	return ins.inElem, ins.inBool
-}
-
-// stageSender moves a gathered matrix pair from the incoming scratch
-// into sender w's own staging region, whose contents stay valid for the
-// rest of the round.
-func (ins *Instance) stageSender(w int, valsFlat []field.Elem, hasFlat []bool) ([]field.Elem, []bool) {
-	n := ins.env.N
-	nn := n * n
-	if ins.stageE == nil {
-		ins.stageE = make([]field.Elem, n*nn)
-		ins.stageB = make([]bool, n*nn)
-	}
-	ev := ins.stageE[w*nn : (w+1)*nn]
-	bv := ins.stageB[w*nn : (w+1)*nn]
-	copy(ev, valsFlat)
-	copy(bv, hasFlat)
-	return ev, bv
-}
-
-// b2i converts a bool to 0/1 without a branch (the compiler emits a
-// zero-extending byte load, keeping the tally loops free of
-// mispredictable per-element branches).
-func b2i(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
-}
-
 // ComposeVote produces the round-3 broadcast of per-dealing validity.
 func (ins *Instance) ComposeVote() []proto.Send {
 	n := ins.env.N
 	flat := ins.allocBools(n * n)
 	ok := ins.allocBoolRows(n)
+	copy(flat, ins.rowOKFlat)
 	for d := 0; d < n; d++ {
 		ok[d] = flat[d*n : (d+1)*n : (d+1)*n]
-		copy(ok[d], ins.rowOK[d])
 	}
 	ins.voteMsg.OK = ok
 	ins.voteMsg.OKFlat = flat
@@ -1022,11 +1161,11 @@ func (ins *Instance) ComposeVote() []proto.Send {
 func (ins *Instance) DeliverVote(inbox []proto.Recv) {
 	n, f := ins.env.N, ins.env.F
 	quorum := ins.env.Quorum()
-	counts := ins.voteRows
-	for i := range ins.voteCounts {
-		ins.voteCounts[i] = 0
-	}
-	seen := ins.voteSeen
+	sc := getScratch(n, f)
+	defer putScratch(sc)
+	counts := sc.counts
+	clear(counts)
+	seen := sc.seen
 	for i := range seen {
 		seen[i] = false
 	}
@@ -1038,7 +1177,7 @@ func (ins *Instance) DeliverVote(inbox []proto.Recv) {
 		if len(m.OKFlat) == n*n {
 			// Flat payload: the whole n² grid tallies in ONE wide sweep.
 			seen[r.From] = true
-			field.AccumBool(ins.voteCounts, m.OKFlat)
+			field.AccumBool(counts, m.OKFlat)
 			continue
 		}
 		if !boolMatrixValid(m.OK, n) {
@@ -1046,19 +1185,17 @@ func (ins *Instance) DeliverVote(inbox []proto.Recv) {
 		}
 		seen[r.From] = true
 		for d := 0; d < n; d++ {
-			field.AccumBool(counts[d], m.OK[d][:n])
+			field.AccumBool(counts[d*n:(d+1)*n], m.OK[d][:n])
 		}
 	}
-	for d := 0; d < n; d++ {
-		for t := 0; t < n; t++ {
-			switch {
-			case counts[d][t] >= uint64(quorum):
-				ins.grades[d][t] = GradeHigh
-			case counts[d][t] >= uint64(f+1):
-				ins.grades[d][t] = GradeLow
-			default:
-				ins.grades[d][t] = GradeNone
-			}
+	for dt := 0; dt < n*n; dt++ {
+		switch {
+		case counts[dt] >= uint64(quorum):
+			ins.gradesFlat[dt] = GradeHigh
+		case counts[dt] >= uint64(f+1):
+			ins.gradesFlat[dt] = GradeLow
+		default:
+			ins.gradesFlat[dt] = GradeNone
 		}
 	}
 }
@@ -1070,13 +1207,13 @@ func (ins *Instance) Grade(dealer, target int) uint8 {
 	if dealer < 0 || dealer >= n || target < 0 || target >= n {
 		return GradeNone
 	}
-	return ins.grades[dealer][target]
+	return ins.gradesFlat[dealer*n+target]
 }
 
 // ComposeRecover produces the recover-round broadcast of my shares
 // g_{d,t,me}(0) for every dealing I hold a validated row for.
 func (ins *Instance) ComposeRecover() []proto.Send {
-	n := ins.env.N
+	n, f := ins.env.N, ins.env.F
 	// Entries without a validated row carry zero/false, so the leased
 	// blocks are zero-cleared up front (see ComposeEcho's sparse path).
 	var sharesFlat []field.Elem
@@ -1093,16 +1230,16 @@ func (ins *Instance) ComposeRecover() []proto.Send {
 	for d := 0; d < n; d++ {
 		shares[d] = sharesFlat[d*n : (d+1)*n : (d+1)*n]
 		has[d] = hasFlat[d*n : (d+1)*n : (d+1)*n]
-		for t := 0; t < n; t++ {
-			if ins.rowOK[d][t] {
-				// g(0) is the constant coefficient; rows are canonical
-				// (validated on delivery or decoded), so no Horner pass is
-				// needed. Fixed rows may be trimmed to the zero polynomial.
-				if row := ins.rows[d][t]; len(row) > 0 {
-					shares[d][t] = row[0]
-				}
-				has[d][t] = true
+	}
+	for dt := 0; dt < n*n; dt++ {
+		if ins.rowOKFlat[dt] {
+			// g(0) is the constant coefficient; rows are canonical
+			// (validated on delivery or decoded), so no Horner pass is
+			// needed. Fixed rows may be trimmed to the zero polynomial.
+			if ins.rowLen[dt] > 1 {
+				sharesFlat[dt] = ins.rowData[dt*(f+1)]
 			}
+			hasFlat[dt] = true
 		}
 	}
 	ins.recoverMsg.Shares = shares
@@ -1117,8 +1254,10 @@ func (ins *Instance) ComposeRecover() []proto.Send {
 // unrecovered; the coin layer substitutes a deterministic default.
 func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 	n, f := ins.env.N, ins.env.F
-	shares := ins.recM // [sender][d][t]
-	has := ins.recH
+	sc := getScratch(n, f)
+	defer putScratch(sc)
+	shares := sc.matE // [sender][d*n+t]
+	has := sc.matB
 	for w := 0; w < n; w++ {
 		shares[w] = nil
 		has[w] = nil
@@ -1131,7 +1270,7 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 		sharesFlat, hasFlat := m.SharesFlat, m.HasRowFlat
 		gathered := false
 		if len(sharesFlat) != n*n || len(hasFlat) != n*n {
-			sharesFlat, hasFlat = ins.gatherMatrix(m.Shares, m.HasRow)
+			sharesFlat, hasFlat = sc.gather(m.Shares, m.HasRow)
 			if sharesFlat == nil {
 				continue
 			}
@@ -1142,7 +1281,7 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 			continue
 		}
 		if gathered {
-			sharesFlat, hasFlat = ins.stageSender(r.From, sharesFlat, hasFlat)
+			sharesFlat, hasFlat = sc.stage(r.From, sharesFlat, hasFlat)
 		}
 		shares[r.From] = sharesFlat
 		has[r.From] = hasFlat
@@ -1151,7 +1290,7 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 	// sender claims a share for every dealing (the steady state — counted
 	// with one branch-free sweep per sender), the per-dealing point set is
 	// constant and the gather loop drops its per-point branches.
-	senders := ins.senderIdx[:0]
+	senders := sc.senderIdx[:0]
 	claimed := 0
 	for w := 0; w < n; w++ {
 		if shares[w] == nil {
@@ -1160,25 +1299,26 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 		senders = append(senders, w)
 		claimed += int(field.CountBool(has[w]))
 	}
-	ins.senderIdx = senders
+	sc.senderIdx = senders
 	allHas := claimed == len(senders)*n*n
-	evRow := ins.rowPtrE
-	hasRow := ins.rowPtrB
+	evRow := sc.rowPtrE
+	hasRow := sc.rowPtrB
+	dec := sc.decoder(ins.me)
 	if allHas && len(senders) >= 2*f+1 {
 		m := len(senders)
-		xs := ins.xsScratch[:m]
-		grids := ins.gridPtr[:0]
+		xs := sc.xs[:m]
+		grids := sc.gridPtr[:0]
 		for i, w := range senders {
 			xs[i] = field.Elem(w + 1)
 			grids = append(grids, shares[w])
 		}
-		ins.gridPtr = grids
+		sc.gridPtr = grids
 		// Decode the whole n×n dealing grid at once: the senders'
 		// matrices go in as-is (column (d,t) is that dealing's share
 		// vector) and the grid decoder verifies all n² candidates per
 		// suffix sender with one full-width kernel pass — m-f-1 wide
 		// passes for the entire round instead of n narrow blocks.
-		ins.secDec.DecodeAt0Grid(xs, grids[:m], n, n, f, f, ins.recovered, ins.recOK)
+		dec.DecodeAt0Grid(xs, grids[:m], n, n, f, f, ins.recoveredFlat, ins.recOKFlat)
 		return
 	}
 	for d := 0; d < n; d++ {
@@ -1190,8 +1330,8 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 			}
 		}
 		for t := 0; t < n; t++ {
-			xs := ins.xsScratch[:0]
-			ys := ins.ysScratch[:0]
+			xs := sc.xs[:0]
+			ys := sc.ys[:0]
 			for w := 0; w < n; w++ {
 				if evRow[w] == nil || !hasRow[w][t] {
 					continue
@@ -1206,12 +1346,12 @@ func (ins *Instance) DeliverRecover(inbox []proto.Recv) {
 			// set repeats across the n² dealings, so the fused decoder's
 			// cached basis-evaluation tables turn the common case into a
 			// handful of short dot products.
-			v, err := ins.secDec.DecodeAt0(xs, ys, f, f)
+			v, err := dec.DecodeAt0(xs, ys, f, f)
 			if err != nil {
 				continue
 			}
-			ins.recovered[d][t] = v
-			ins.recOK[d][t] = true
+			ins.recoveredFlat[d*n+t] = v
+			ins.recOKFlat[d*n+t] = true
 		}
 	}
 }
@@ -1223,7 +1363,7 @@ func (ins *Instance) Recovered(dealer, target int) (field.Elem, bool) {
 	if dealer < 0 || dealer >= n || target < 0 || target >= n {
 		return 0, false
 	}
-	return ins.recovered[dealer][target], ins.recOK[dealer][target]
+	return ins.recoveredFlat[dealer*n+target], ins.recOKFlat[dealer*n+target]
 }
 
 // agreeCount counts the points (xs[i], ys[i]) that lie on p.
@@ -1277,42 +1417,20 @@ func putEchoVals(v []field.Elem) {
 	}
 }
 
-// The matrix constructors slice n rows out of one flat backing array:
-// two allocations per matrix instead of n+1 (a fresh Instance builds five
-// of them every beat on every node).
+// coefSharePool recycles ComposeShare's small coefficient-gather blocks
+// (w²·n elements); kept separate from echoValsPool so the little
+// gathers never swallow — or get lost among — the n³ echo buffers.
+var coefSharePool sync.Pool
 
-func matrixPoly(n int) ([][]field.Poly, []field.Poly) {
-	flat := make([]field.Poly, n*n)
-	m := make([][]field.Poly, n)
-	for i := range m {
-		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
+func getCoefShare(size int) []field.Elem {
+	if v, ok := coefSharePool.Get().([]field.Elem); ok && cap(v) >= size {
+		return v[:size]
 	}
-	return m, flat
+	return make([]field.Elem, size)
 }
 
-func matrixBool(n int) ([][]bool, []bool) {
-	flat := make([]bool, n*n)
-	m := make([][]bool, n)
-	for i := range m {
-		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
+func putCoefShare(v []field.Elem) {
+	if v != nil {
+		coefSharePool.Put(v)
 	}
-	return m, flat
-}
-
-func matrixU8(n int) [][]uint8 {
-	flat := make([]uint8, n*n)
-	m := make([][]uint8, n)
-	for i := range m {
-		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
-	}
-	return m
-}
-
-func matrixElem(n int) ([][]field.Elem, []field.Elem) {
-	flat := make([]field.Elem, n*n)
-	m := make([][]field.Elem, n)
-	for i := range m {
-		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
-	}
-	return m, flat
 }

@@ -282,7 +282,7 @@ func FuzzValidateSweep(f *testing.F) {
 			ev[w] = make([]field.Elem, nn)
 			for d := 0; d < n; d++ {
 				for tt := 0; tt < n; tt++ {
-					ev[w][d*n+tt] = hornerAt(ins0.rows[d][tt], uint64(w+1))
+					ev[w][d*n+tt] = hornerAt(ins0.row(d*n+tt), uint64(w+1))
 				}
 			}
 		}
@@ -313,11 +313,11 @@ func FuzzValidateSweep(f *testing.F) {
 		quorum := n - fByz
 		for d := 0; d < n; d++ {
 			for tt := 0; tt < n; tt++ {
-				if ins0.rowOK[d][tt] != hB.ins[0].rowOK[d][tt] {
+				if ins0.rowOKFlat[d*n+tt] != hB.ins[0].rowOKFlat[d*n+tt] {
 					t.Fatalf("rowOK[%d][%d] diverged: flat %v, gather %v",
-						d, tt, ins0.rowOK[d][tt], hB.ins[0].rowOK[d][tt])
+						d, tt, ins0.rowOKFlat[d*n+tt], hB.ins[0].rowOKFlat[d*n+tt])
 				}
-				if int(want[d*n+tt]) >= quorum && !ins0.rowOK[d][tt] {
+				if int(want[d*n+tt]) >= quorum && !ins0.rowOKFlat[d*n+tt] {
 					t.Fatalf("rowOK[%d][%d] false with %d agreeing echoes (quorum %d)",
 						d, tt, want[d*n+tt], quorum)
 				}
@@ -356,9 +356,9 @@ func TestDuplicateShareCannotClobberInstalledRows(t *testing.T) {
 	})
 	for tt := 0; tt < n; tt++ {
 		for k := 0; k <= f; k++ {
-			if ins.rows[1][tt][k] != good[tt][k] {
+			if ins.row(1*n + tt)[k] != good[tt][k] {
 				t.Fatalf("invalid duplicate clobbered row %d coef %d: %d, want %d",
-					tt, k, ins.rows[1][tt][k], good[tt][k])
+					tt, k, ins.row(1*n + tt)[k], good[tt][k])
 			}
 		}
 	}
@@ -372,7 +372,7 @@ func TestDuplicateShareCannotClobberInstalledRows(t *testing.T) {
 	})
 	for tt := 0; tt < n; tt++ {
 		for k := 0; k <= f; k++ {
-			if ins.rows[1][tt][k] != good[tt][k] {
+			if ins.row(1*n + tt)[k] != good[tt][k] {
 				t.Fatalf("short duplicate clobbered row %d coef %d", tt, k)
 			}
 		}
@@ -386,7 +386,7 @@ func TestDuplicateShareCannotClobberInstalledRows(t *testing.T) {
 	})
 	for tt := 0; tt < n; tt++ {
 		for k := 0; k <= f; k++ {
-			if ins.rows[1][tt][k] != repl[tt][k] {
+			if ins.row(1*n + tt)[k] != repl[tt][k] {
 				t.Fatalf("valid duplicate did not replace row %d coef %d", tt, k)
 			}
 		}
@@ -396,7 +396,7 @@ func TestDuplicateShareCannotClobberInstalledRows(t *testing.T) {
 	ins2 := New(proto.Env{N: n, F: f, ID: 0, Rng: rand.New(rand.NewSource(4))}, rand.New(rand.NewSource(4)))
 	ins2.DeliverShare([]proto.Recv{{From: 2, Msg: ShareMsg{Rows: clobber}}})
 	for tt := 0; tt < n; tt++ {
-		if ins2.rows[2][tt] != nil {
+		if ins2.row(2*n+tt) != nil {
 			t.Fatalf("invalid first message left row %d installed", tt)
 		}
 	}

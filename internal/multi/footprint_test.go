@@ -1,0 +1,104 @@
+package multi_test
+
+import (
+	"os"
+	"testing"
+
+	"ssbyzclock/internal/coin"
+	"ssbyzclock/internal/core"
+	"ssbyzclock/internal/multi"
+	"ssbyzclock/internal/obs"
+	"ssbyzclock/internal/sim"
+)
+
+// Pre-optimization resident baselines, measured on the seed machine at
+// T=1000 with 12 warm beats (git history: before the EndBeat slab
+// parking, engine scratch pooling, gvss rowLen/coefShare compaction,
+// pairTally, per-group pool views and Arena.Compact landed). The
+// regression gates below hold the optimized engine at better than 3×
+// under these — measured values came in at ~58.6KB (n=4) and ~198KB
+// (n=7) per tenant, so the gates have slack for allocator noise across
+// toolchains without ever letting a 3× regression through.
+const (
+	baselineBytesPerTenantN4 = 194_279
+	baselineBytesPerTenantN7 = 610_511
+)
+
+func footprintConfig(n, f, tenants int) multi.Config {
+	return multi.Config{
+		Tenants: tenants,
+		Workers: 1,
+		Node:    sim.Config{N: n, F: f, Seed: 11, ScrambleStart: true},
+	}
+}
+
+// TestResidentFootprintFloor is the tentpole's memory gate: the
+// resident bytes/tenant of a warm T=1000 engine must stay at least 3×
+// under the pre-optimization baseline, for both the minimal (n=4) and
+// the mid-size (n=7) cluster shape.
+func TestResidentFootprintFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("footprint measurement forces full GCs")
+	}
+	factory := core.NewClockSyncProtocol(testK, coin.FMFactory{})
+	cases := []struct {
+		n, f     int
+		baseline float64
+	}{
+		{4, 1, baselineBytesPerTenantN4},
+		{7, 2, baselineBytesPerTenantN7},
+	}
+	for _, tc := range cases {
+		fp := multi.MeasureFootprint(footprintConfig(tc.n, tc.f, 1000), factory, 12)
+		limit := tc.baseline / 3
+		t.Logf("n=%d: %d tenants resident, %.0f bytes/tenant (baseline %.0f, 3x limit %.0f)",
+			tc.n, fp.Tenants, fp.BytesPerTenant, tc.baseline, limit)
+		if fp.BytesPerTenant <= 0 {
+			t.Fatalf("n=%d: degenerate footprint %+v", tc.n, fp)
+		}
+		if fp.BytesPerTenant > limit {
+			t.Fatalf("n=%d: %.0f bytes/tenant exceeds the 3x-reduction gate %.0f (baseline %.0f)",
+				tc.n, fp.BytesPerTenant, limit, tc.baseline)
+		}
+	}
+}
+
+// TestResident100K is the tentpole's scale proof: 100,000 tenants
+// resident and stepping on one engine, still under the per-tenant
+// memory gate. The build takes minutes and holds ~6 GB of live heap,
+// so it runs only when the smoke harness asks for it explicitly
+// (scripts/multitenant_smoke.sh, gated on machine RAM).
+func TestResident100K(t *testing.T) {
+	if os.Getenv("SSBYZ_SMOKE_100K") == "" {
+		t.Skip("set SSBYZ_SMOKE_100K=1 to run the 100k-tenant footprint proof (~6 GB live heap)")
+	}
+	factory := core.NewClockSyncProtocol(testK, coin.FMFactory{})
+	fp := multi.MeasureFootprint(footprintConfig(4, 1, 100_000), factory, 8)
+	t.Logf("n=4: %d tenants resident, %.0f bytes/tenant (%.2f GB total)",
+		fp.Tenants, fp.BytesPerTenant, float64(fp.ResidentBytes)/(1<<30))
+	if fp.Tenants != 100_000 {
+		t.Fatalf("measured %d tenants, want 100000", fp.Tenants)
+	}
+	if limit := float64(baselineBytesPerTenantN4) / 3; fp.BytesPerTenant > limit {
+		t.Fatalf("%.0f bytes/tenant exceeds the 3x gate %.0f at T=100k", fp.BytesPerTenant, limit)
+	}
+}
+
+// TestRegisterFootprint: the Func gauges export the cached reading and
+// a nil registry registers nothing (the zero-footprint invariant).
+func TestRegisterFootprint(t *testing.T) {
+	fp := multi.Footprint{Tenants: 1000, ResidentBytes: 50_000_000, BytesPerTenant: 50_000}
+	reg := obs.NewRegistry()
+	multi.RegisterFootprint(reg, func() multi.Footprint { return fp })
+	multi.RegisterFootprint(nil, func() multi.Footprint { panic("nil registry must not invoke fp") })
+	got := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		got[s.Name] = s.Value
+	}
+	if got["ssbyz_multi_resident_tenants"] != 1000 {
+		t.Fatalf("resident_tenants = %v, want 1000", got["ssbyz_multi_resident_tenants"])
+	}
+	if got["ssbyz_multi_bytes_per_tenant"] != 50_000 {
+		t.Fatalf("bytes_per_tenant = %v, want 50000", got["ssbyz_multi_bytes_per_tenant"])
+	}
+}

@@ -22,11 +22,13 @@
 //     families of the chunk's tenants side by side into single deep
 //     evalColumns kernel passes — the regime the SIMD kernels are
 //     built for, unreachable by any single instance at small n.
-//   - Shared pool arenas. Tenant nodes multiplexed onto one worker
-//     lease payload buffers from one shared pool.Arena through
-//     per-node views, so resident buffer memory scales with one
-//     chunk's working set, not with T × the working set; per-view
-//     lease accounting keeps recycling beat-scoped per tenant.
+//   - Shared pool arenas. All tenant nodes multiplexed onto one worker
+//     lease payload buffers from one shared pool.Arena through a single
+//     per-group view, so resident buffer memory scales with one chunk's
+//     working set, not with T × the working set. The group runs its
+//     tenants strictly sequentially, so one recycle per chunk returns
+//     exactly the chunk's leases; Arena.Compact trims the free store
+//     back to steady-state demand after transient dealing-phase spikes.
 //
 // Determinism: a T-tenant engine is byte-identical, per tenant, to T
 // independent single-tenant engines built from the same per-tenant
@@ -131,13 +133,23 @@ type Engine struct {
 	n       int // nodes per tenant
 	sched   *sim.Scheduler
 
-	// views[u] is work unit u's pool view (nil when pooling is off),
-	// instance-major; each view leases from the arena of the worker
-	// group that owns unit u's tenant, so arena access stays
-	// single-goroutine through the beat fan-out.
-	views    []*pool.Node
-	arenas   []*pool.Arena
-	batchers []*field.EvalBatch
+	// views[g] is worker group g's pool view (nil when pooling is off),
+	// shared by every node of every tenant the group owns: a group runs
+	// its tenants strictly sequentially through the beat, so one view's
+	// lease list sees the whole chunk's leases in compose order and one
+	// Recycle per chunk returns exactly them. Compared to a view per
+	// (tenant, node) unit this removes T·n Node structs and their lease
+	// slices from the resident set.
+	views  []*pool.Node
+	arenas []*pool.Arena
+	// groupPools[g] is the n-slot Pools slice every tenant of group g
+	// shares (each slot the group view), handed to sim.New verbatim.
+	groupPools [][]*pool.Node
+	// peakLeased[g] tracks the largest single-chunk lease count group g
+	// has observed — the steady-state free-store demand used as the
+	// Arena.Compact keep target.
+	peakLeased []int
+	batchers   []*field.EvalBatch
 	// chunk is the cache-residency grain: tenants stepped back-to-back
 	// through all beat phases before the worker moves to the next chunk.
 	chunk int
@@ -178,7 +190,6 @@ func New(cfg Config, factory sim.NodeFactory) *Engine {
 	first := TenantConfig(cfg, 0)
 	n := first.N
 	T := cfg.Tenants
-	units := T * n
 	m := &Engine{
 		tenants: make([]*sim.Engine, T),
 		n:       n,
@@ -206,13 +217,18 @@ func New(cfg Config, factory sim.NodeFactory) *Engine {
 	}
 	if pooled {
 		m.arenas = make([]*pool.Arena, groups)
+		m.views = make([]*pool.Node, groups)
+		m.groupPools = make([][]*pool.Node, groups)
+		m.peakLeased = make([]int, groups)
 		for g := range m.arenas {
 			m.arenas[g] = &pool.Arena{}
-		}
-		m.views = make([]*pool.Node, units)
-		for u := range m.views {
-			m.views[u] = m.arenas[m.sched.WorkerFor(T, u/n)].NewView()
-			m.views[u].SetPoison(poison)
+			m.views[g] = m.arenas[g].NewView()
+			m.views[g].SetPoison(poison)
+			ps := make([]*pool.Node, n)
+			for i := range ps {
+				ps[i] = m.views[g]
+			}
+			m.groupPools[g] = ps
 		}
 	}
 	for t := 0; t < T; t++ {
@@ -221,7 +237,7 @@ func New(cfg Config, factory sim.NodeFactory) *Engine {
 			panic(fmt.Sprintf("multi: tenant %d has n=%d, tenant 0 has n=%d", t, c.N, n))
 		}
 		if pooled {
-			c.Pools = m.views[t*n : (t+1)*n]
+			c.Pools = m.groupPools[m.sched.WorkerFor(T, t)]
 		}
 		batches := make([]*field.EvalBatch, n)
 		for i := range batches {
@@ -301,12 +317,21 @@ func (m *Engine) stepGroup(g int) {
 			}
 		}
 		if m.views != nil {
-			for u := c0 * n; u < c1*n; u++ {
-				m.views[u].Recycle()
+			if l := m.views[g].Leased(); l > m.peakLeased[g] {
+				m.peakLeased[g] = l
 			}
+			m.views[g].Recycle()
 		}
 		for t := c0; t < c1; t++ {
 			m.tenants[t].FinishBeat()
+		}
+	}
+	// Trim transient high-water free buffers (dealing-phase spikes)
+	// back to the steady chunk demand once the spike has passed.
+	if m.arenas != nil {
+		peak := m.peakLeased[g]
+		if m.arenas[g].FreeBuffers() > peak+peak/2 {
+			m.arenas[g].Compact(peak)
 		}
 	}
 }

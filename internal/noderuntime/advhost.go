@@ -157,6 +157,11 @@ func (h *AdvHost) run() {
 				p.Recycle()
 			}
 		}
+		for k := range h.cfg.Instances {
+			if be, ok := h.cfg.Instances[k].(proto.BeatEnder); ok {
+				be.EndBeat()
+			}
+		}
 		delete(h.msgs, r)
 		delete(h.marks, r)
 		h.cur++

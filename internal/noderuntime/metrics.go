@@ -25,7 +25,19 @@ type NodeMetrics struct {
 	jumps        *obs.Counter
 	skipped      *obs.Counter
 	quorumWait   *obs.HistShard
+	// frames[k] counts frames sent by kind — the observable behind the
+	// frames/beat-is-O(links) claim of the multi-tenant runtime.
+	frames [frameKinds]*obs.Counter
 }
+
+// Frame-kind indexes for the ssbyz_net_frames_total series.
+const (
+	kindBatched = iota
+	kindMarker
+	frameKinds
+)
+
+var frameKindNames = [frameKinds]string{"batched", "marker"}
 
 // NewNodeMetrics registers node id's runtime series on r (nil r → nil,
 // the zero-cost detached mode).
@@ -34,7 +46,7 @@ func NewNodeMetrics(r *obs.Registry, id int) *NodeMetrics {
 		return nil
 	}
 	node := obs.Label{Key: "node", Value: strconv.Itoa(id)}
-	return &NodeMetrics{
+	m := &NodeMetrics{
 		beats:        r.Counter("ssbyz_node_beats_total", "Beats delivered by the node's event loop.", node),
 		retransmits:  r.Counter("ssbyz_node_retransmits_total", "Current-beat frame retransmissions (backoff timer fired).", node),
 		beatTimeouts: r.Counter("ssbyz_node_beat_timeouts_total", "Beats advanced by timeout instead of quorum.", node),
@@ -43,6 +55,19 @@ func NewNodeMetrics(r *obs.Registry, id int) *NodeMetrics {
 		quorumWait: r.Histogram("ssbyz_node_quorum_wait_ms",
 			"Per-beat wait for a completion quorum, milliseconds.", quorumWaitBoundMs, node).Shard(),
 	}
+	for k := range m.frames {
+		m.frames[k] = r.Counter("ssbyz_net_frames_total",
+			"Frames sent by the node's endpoint, by frame kind.",
+			node, obs.Label{Key: "kind", Value: frameKindNames[k]})
+	}
+	return m
+}
+
+func (m *NodeMetrics) frameSent(kind int) {
+	if m == nil {
+		return
+	}
+	m.frames[kind].Inc()
 }
 
 func (m *NodeMetrics) beatDone() {

@@ -1,0 +1,344 @@
+package noderuntime
+
+import (
+	"sort"
+	"sync"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/net"
+	"ssbyzclock/internal/pool"
+	"ssbyzclock/internal/proto"
+	"ssbyzclock/internal/wire"
+)
+
+// MultiAdvHost is AdvHost's multi-tenant counterpart: it owns every
+// faulty node's endpoint and, for EACH tenant, that tenant's faulty
+// honest-copy instances plus its own adversary instance. The rushing
+// barrier is unchanged — honest markers are per transport node, one set
+// gating all tenants at once — and inside a beat every tenant's
+// adversary acts on its own visible set, exactly as its standalone
+// oracle's adversary does. The adversaries' replies leave as batch
+// frames: one per (faulty id, honest destination) per beat, stamped
+// with each tenant's own global adversary sequence.
+type MultiAdvHost struct {
+	cfg MultiAdvHostConfig
+
+	cur uint64
+	// msgs buffers honest batch frames by send beat (links into the
+	// adversary are ideal, so send beat == delivery beat here).
+	msgs  map[uint64][]taggedBatch
+	marks map[uint64][]map[int]struct{}
+
+	merged chan tagged
+	done   chan struct{}
+	stop   sync.Once
+	wg     sync.WaitGroup
+}
+
+// MultiAdvHostConfig wires a MultiAdvHost. Endpoint-indexed slices are
+// parallel to FaultyIDs, mirroring sim's intercept ordering.
+type MultiAdvHostConfig struct {
+	N, F    int
+	Tenants int
+	// FaultyIDs in engine order. Endpoints is parallel to it.
+	FaultyIDs []int
+	Endpoints []net.Endpoint
+	// Instances[t][k] is tenant t's honest-copy instance for faulty id
+	// FaultyIDs[k]; Advs[t] is tenant t's adversary.
+	Instances [][]proto.Protocol
+	Advs      []adversary.Adversary
+	// Pool, when non-nil, is the shared lease pool for all faulty
+	// instances' compose payloads, recycled once per beat.
+	Pool     *pool.Node
+	MaxBeats uint64
+}
+
+// taggedBatch is one honest batch frame captured on a faulty endpoint.
+type taggedBatch struct {
+	badIdx int // which faulty endpoint it arrived on
+	frame  wire.Frame
+}
+
+// NewMultiAdvHost builds the host; Start launches its loop.
+func NewMultiAdvHost(cfg MultiAdvHostConfig) *MultiAdvHost {
+	return &MultiAdvHost{
+		cfg:   cfg,
+		msgs:  make(map[uint64][]taggedBatch),
+		marks: make(map[uint64][]map[int]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start launches the host loop and one forwarder per faulty endpoint.
+func (h *MultiAdvHost) Start() {
+	h.merged = make(chan tagged, 64)
+	for k, ep := range h.cfg.Endpoints {
+		h.wg.Add(1)
+		go h.forward(k, ep.Recv())
+	}
+	h.wg.Add(1)
+	go h.run()
+}
+
+func (h *MultiAdvHost) forward(k int, ch <-chan net.Packet) {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.done:
+			return
+		case p, ok := <-ch:
+			if !ok {
+				return
+			}
+			select {
+			case <-h.done:
+				return
+			case h.merged <- tagged{k: k, p: p}:
+			}
+		}
+	}
+}
+
+// Stop asks the loop to exit; Wait joins it.
+func (h *MultiAdvHost) Stop() { h.stop.Do(func() { close(h.done) }) }
+
+// Wait blocks until the loop has exited.
+func (h *MultiAdvHost) Wait() { h.wg.Wait() }
+
+func (h *MultiAdvHost) run() {
+	defer h.wg.Done()
+	defer h.Stop() // a natural MaxBeats exit must release the forwarders too
+	isBad := make([]bool, h.cfg.N)
+	for _, id := range h.cfg.FaultyIDs {
+		isBad[id] = true
+	}
+	honest := h.cfg.N - h.cfg.F
+	T := h.cfg.Tenants
+	for h.cfg.MaxBeats == 0 || h.cur < h.cfg.MaxBeats {
+		r := h.cur
+		// Every tenant's honest-copy defaults (sim's interceptPhase).
+		defaults := make([][]adversary.Sends, T)
+		for t := 0; t < T; t++ {
+			defaults[t] = make([]adversary.Sends, h.cfg.F)
+			for k, id := range h.cfg.FaultyIDs {
+				defaults[t][k] = adversary.Sends{From: id, Out: h.cfg.Instances[t][k].Compose(r)}
+			}
+		}
+		// Rushing barrier: every honest marker for r, on every endpoint.
+		if !h.collect(r, honest, isBad) {
+			return
+		}
+		// Per-tenant act + emit, batched per (faulty id, destination).
+		runs := make([][][][]wire.BatchMsg, h.cfg.F) // [k][to][tenant]run
+		for k := range runs {
+			runs[k] = make([][][]wire.BatchMsg, h.cfg.N)
+			for to := range runs[k] {
+				runs[k][to] = make([][]wire.BatchMsg, T)
+			}
+		}
+		perDest := make([][][]proto.Recv, T) // [tenant][k]inbox
+		for t := 0; t < T; t++ {
+			visible, dest := h.visibleSet(r, t)
+			perDest[t] = dest
+			sends := h.cfg.Advs[t].Act(r, defaults[t], visible)
+			h.emit(t, sends, isBad, runs, perDest[t])
+		}
+		for k := range runs {
+			for to := 0; to < h.cfg.N; to++ {
+				if isBad[to] {
+					continue
+				}
+				empty := true
+				for _, run := range runs[k][to] {
+					if len(run) > 0 {
+						empty = false
+						break
+					}
+				}
+				if empty {
+					continue
+				}
+				data := wire.AppendFrame(nil, wire.Frame{
+					Kind: wire.KindBatch, From: h.cfg.FaultyIDs[k], Beat: r, DeliveryBeat: r,
+					Payload: wire.AppendBatchPayload(nil, 0, runs[k][to]),
+				})
+				h.cfg.Endpoints[k].Send(to, data)
+			}
+		}
+		// Markers last: they release the honest nodes into Deliver.
+		for k, id := range h.cfg.FaultyIDs {
+			m := wire.AppendFrame(nil, wire.Frame{Kind: wire.KindMark, From: id, Beat: r, DeliveryBeat: r})
+			for to := 0; to < h.cfg.N; to++ {
+				if !isBad[to] {
+					h.cfg.Endpoints[k].Send(to, m)
+				}
+			}
+		}
+		for t := 0; t < T; t++ {
+			for k := range h.cfg.Instances[t] {
+				h.cfg.Instances[t][k].Deliver(r, perDest[t][k])
+			}
+		}
+		if h.cfg.Pool != nil {
+			h.cfg.Pool.Recycle()
+		}
+		for t := 0; t < T; t++ {
+			for k := range h.cfg.Instances[t] {
+				if be, ok := h.cfg.Instances[t][k].(proto.BeatEnder); ok {
+					be.EndBeat()
+				}
+			}
+		}
+		delete(h.msgs, r)
+		delete(h.marks, r)
+		h.cur++
+	}
+}
+
+// collect drains the merged endpoint stream until beat r's honest
+// markers are complete on all faulty endpoints, buffering batch frames
+// (and early frames for future beats) as it goes.
+func (h *MultiAdvHost) collect(r uint64, honest int, isBad []bool) bool {
+	complete := func() bool {
+		ms := h.marks[r]
+		if ms == nil {
+			return honest == 0
+		}
+		for _, m := range ms {
+			if len(m) < honest {
+				return false
+			}
+		}
+		return true
+	}
+	for !complete() {
+		select {
+		case <-h.done:
+			return false
+		case tp := <-h.merged:
+			h.ingest(tp.k, tp.p, isBad)
+		}
+	}
+	return true
+}
+
+// ingest buffers one packet from faulty endpoint k.
+func (h *MultiAdvHost) ingest(k int, p net.Packet, isBad []bool) {
+	f, err := wire.DecodeFrame(p.Data)
+	if err != nil || f.From >= h.cfg.N || isBad[f.From] {
+		return
+	}
+	if p.From >= 0 && p.From != f.From {
+		return
+	}
+	if f.Beat < h.cur || f.Beat > h.cur+Window {
+		return
+	}
+	if f.Kind == wire.KindMark {
+		ms := h.marks[f.Beat]
+		if ms == nil {
+			ms = make([]map[int]struct{}, h.cfg.F)
+			for i := range ms {
+				ms[i] = make(map[int]struct{})
+			}
+			h.marks[f.Beat] = ms
+		}
+		ms[k][f.From] = struct{}{}
+		return
+	}
+	if f.Kind != wire.KindBatch {
+		return
+	}
+	f.Payload = append([]byte(nil), f.Payload...)
+	h.msgs[f.Beat] = append(h.msgs[f.Beat], taggedBatch{badIdx: k, frame: f})
+}
+
+// visibleSet extracts tenant t's slice of beat r's intercepted batches
+// into the adversary's visible list — ordered exactly as sim's
+// interceptPhase builds it: honest sender ascending, compose seq, then
+// faulty destination in faulty-list order — and, sharing the same
+// decoded values, each faulty instance's honest inbox prefix.
+func (h *MultiAdvHost) visibleSet(r uint64, t int) ([]adversary.Intercept, [][]proto.Recv) {
+	var recs []interceptRec
+	for _, tb := range h.msgs[r] {
+		tb := tb
+		wire.DecodeBatchPayload(tb.frame.Payload, h.cfg.Tenants, func(tenant int, seq uint32, msg []byte) {
+			if tenant == t {
+				recs = append(recs, interceptRec{from: tb.frame.From, seq: seq, badIdx: tb.badIdx, payload: msg})
+			}
+		})
+	}
+	sort.SliceStable(recs, func(a, b int) bool {
+		if recs[a].from != recs[b].from {
+			return recs[a].from < recs[b].from
+		}
+		if recs[a].seq != recs[b].seq {
+			return recs[a].seq < recs[b].seq
+		}
+		return recs[a].badIdx < recs[b].badIdx
+	})
+	visible := make([]adversary.Intercept, 0, len(recs))
+	perDest := make([][]proto.Recv, h.cfg.F)
+	for _, rec := range recs {
+		m, err := wire.Decode(rec.payload)
+		if err != nil {
+			continue
+		}
+		visible = append(visible, adversary.Intercept{From: rec.from, To: h.cfg.FaultyIDs[rec.badIdx], Msg: m})
+		perDest[rec.badIdx] = append(perDest[rec.badIdx], proto.Recv{From: rec.from, Msg: m})
+	}
+	return visible, perDest
+}
+
+// emit routes tenant t's adversary sends: messages toward honest nodes
+// are appended to the per-(faulty id, destination) batch runs (stamped
+// with the tenant's global adversary sequence, as sim stamps its
+// frames), messages toward faulty ids go straight into those instances'
+// inboxes.
+func (h *MultiAdvHost) emit(t int, sends []adversary.Sends, isBad []bool, runs [][][][]wire.BatchMsg, perDest [][]proto.Recv) {
+	epOf := make(map[int]int, h.cfg.F)
+	for k, id := range h.cfg.FaultyIDs {
+		epOf[id] = k
+	}
+	advSeq := uint32(0)
+	for _, fs := range sends {
+		if fs.From < 0 || fs.From >= h.cfg.N || !isBad[fs.From] {
+			continue // identity cannot be forged (Definition 2.2)
+		}
+		k := epOf[fs.From]
+		for _, s := range fs.Out {
+			seq := advSeq
+			advSeq++
+			if s.To != proto.Broadcast && (s.To < 0 || s.To >= h.cfg.N) {
+				continue
+			}
+			var payload []byte
+			encoded := false
+			sendTo := func(to int) {
+				if isBad[to] {
+					kk := epOf[to]
+					perDest[kk] = append(perDest[kk], proto.Recv{From: fs.From, Msg: s.Msg})
+					return
+				}
+				if !encoded {
+					var err error
+					if payload, err = wire.Encode(s.Msg); err != nil {
+						return // unregistered type cannot cross the wire
+					}
+					encoded = true
+				}
+				if payload == nil {
+					return
+				}
+				runs[k][to][t] = append(runs[k][to][t], wire.BatchMsg{Seq: seq, Payload: payload})
+			}
+			if s.To == proto.Broadcast {
+				for to := 0; to < h.cfg.N; to++ {
+					sendTo(to)
+				}
+			} else {
+				sendTo(s.To)
+			}
+		}
+	}
+}

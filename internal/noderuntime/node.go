@@ -460,6 +460,9 @@ func (nd *Node) deliverBeat(r uint64) {
 	if nd.cfg.OnBeat != nil {
 		nd.cfg.OnBeat(r, nd.cfg.Protocol)
 	}
+	if be, ok := nd.cfg.Protocol.(proto.BeatEnder); ok {
+		be.EndBeat() // the beat's messages are dead: park per-beat slabs
+	}
 }
 
 func (nd *Node) isBad(i int) bool {

@@ -37,6 +37,7 @@ package pool
 
 import (
 	"os"
+	"sort"
 	"sync"
 
 	"ssbyzclock/internal/field"
@@ -272,4 +273,37 @@ func (a *Arena) NewView() *Node {
 func (a *Arena) FreeBuffers() int {
 	return len(a.elems) + len(a.bools) + len(a.polys) +
 		len(a.elemRows) + len(a.boolRows)
+}
+
+// compactStore trims a free store to at most keep buffers, retaining
+// the largest capacities so best-fit leases of the big matrix blocks
+// keep hitting the store; the dropped small buffers are the cheap ones
+// to re-allocate if demand returns.
+func compactStore[T any](s *[][]T, keep int) {
+	st := *s
+	if keep < 0 {
+		keep = 0
+	}
+	if len(st) <= keep {
+		return
+	}
+	sort.Slice(st, func(i, j int) bool { return cap(st[i]) > cap(st[j]) })
+	clear(st[keep:])
+	*s = st[:keep]
+}
+
+// Compact trims each of the arena's free stores to at most keep
+// buffers, keeping the largest. Early beats of a protocol lease more
+// (and larger) buffers than the steady state — dealing matrices only
+// exist while shares are in flight — so without compaction the arena
+// retains its high-water footprint forever. The owner calls Compact
+// with its observed steady-state lease count once the transient has
+// passed; an over-aggressive keep is safe (the next lease just
+// allocates fresh) but costs the allocation it was supposed to avoid.
+func (a *Arena) Compact(keep int) {
+	compactStore(&a.elems, keep)
+	compactStore(&a.bools, keep)
+	compactStore(&a.polys, keep)
+	compactStore(&a.elemRows, keep)
+	compactStore(&a.boolRows, keep)
 }

@@ -164,3 +164,37 @@ func TestParseMode(t *testing.T) {
 		}
 	}
 }
+
+// TestArenaCompact: Compact keeps the largest buffers per class and
+// drops the rest; a keep at or above the store size is a no-op.
+func TestArenaCompact(t *testing.T) {
+	var a Arena
+	v := a.NewView()
+	small := v.Elems(8)
+	mid := v.Elems(64)
+	big := v.Elems(512)
+	_ = small
+	v.Recycle()
+	a.Compact(5) // above store size: no-op
+	if a.FreeBuffers() != 3 {
+		t.Fatalf("FreeBuffers = %d after generous Compact, want 3", a.FreeBuffers())
+	}
+	a.Compact(2)
+	if a.FreeBuffers() != 2 {
+		t.Fatalf("FreeBuffers = %d after Compact(2), want 2", a.FreeBuffers())
+	}
+	if got := v.Elems(512); !sameBacking(got, big) {
+		t.Fatal("Compact dropped the largest buffer")
+	}
+	if got := v.Elems(64); !sameBacking(got, mid) {
+		t.Fatal("Compact dropped the second-largest buffer")
+	}
+	if got := v.Elems(8); cap(got) != 8 {
+		t.Fatalf("smallest buffer survived Compact(2): cap %d", cap(got))
+	}
+	v.Recycle()
+	a.Compact(0)
+	if a.FreeBuffers() != 0 {
+		t.Fatalf("FreeBuffers = %d after Compact(0), want 0", a.FreeBuffers())
+	}
+}

@@ -1,5 +1,7 @@
 package proto
 
+import "sync"
+
 // Env wrapping for protocol composition: a parent protocol that embeds
 // child protocols (e.g. ss-Byz-4-Clock embeds two ss-Byz-2-Clock
 // instances, each of which embeds a coin pipeline) wraps each child's
@@ -45,15 +47,32 @@ func AsEnvelope(m Message) (Envelope, bool) {
 	return Envelope{}, false
 }
 
+// BeatEnder is an optional protocol extension: the engine (and the
+// networked runtime's event loop) calls EndBeat once per beat, after
+// the Deliver phase, when every message of the beat is dead. Protocols
+// use it to hand per-beat backing — envelope arenas, splitter slabs,
+// compose buffers — back to process-wide pools, so an idle resident
+// node holds no per-beat memory at all. Purely an optimization hook:
+// correctness never depends on it being called.
+type BeatEnder interface{ EndBeat() }
+
+// envSlab is a SendArena's poolable backing. Pooled as a pointer so
+// returning it to the sync.Pool does not allocate an interface box.
+type envSlab struct{ envs []Envelope }
+
+var envSlabPool sync.Pool
+
 // SendArena recycles envelope boxes and send slices across beats for a
 // protocol that wraps child traffic every Compose. Under the message-
 // lifetime contract an envelope is dead once its beat's Deliver phase
 // completes, so the arena simply reuses its backing from the start of
 // the owner's next Compose — wrapping becomes allocation-free at steady
 // state. One arena per protocol instance, reset at the top of Compose;
-// not safe for concurrent use (per-node protocols never are).
+// not safe for concurrent use (per-node protocols never are). Owners
+// that implement BeatEnder call Release there, parking the backing in a
+// process pool between beats so resident idle protocols hold none.
 type SendArena struct {
-	envs []Envelope
+	slab *envSlab
 	used int
 }
 
@@ -62,14 +81,35 @@ type SendArena struct {
 // previous beat's messages are dead.
 func (a *SendArena) Reset() { a.used = 0 }
 
+// Release parks the arena's backing in the process pool until the next
+// alloc. Call only when the current beat's messages are dead (the
+// EndBeat hook); the envelopes' message references are dropped so a
+// parked slab pins nothing.
+func (a *SendArena) Release() {
+	if a.slab == nil {
+		return
+	}
+	clear(a.slab.envs)
+	envSlabPool.Put(a.slab)
+	a.slab = nil
+	a.used = 0
+}
+
 // alloc returns the next reusable envelope box. Growth appends to the
 // arena; boxes handed out before a growth keep pointing into the old
 // backing array, which stays valid for the rest of the beat.
 func (a *SendArena) alloc() *Envelope {
-	if a.used == len(a.envs) {
-		a.envs = append(a.envs, Envelope{})
+	if a.slab == nil {
+		if v, ok := envSlabPool.Get().(*envSlab); ok {
+			a.slab = v
+		} else {
+			a.slab = &envSlab{}
+		}
 	}
-	e := &a.envs[a.used]
+	if a.used == len(a.slab.envs) {
+		a.slab.envs = append(a.slab.envs, Envelope{})
+	}
+	e := &a.slab.envs[a.used]
 	a.used++
 	return e
 }
@@ -124,28 +164,58 @@ func SplitInbox(inbox []Recv, numChildren int) [][]Recv {
 	return s.Split(inbox, numChildren)
 }
 
+// splitSlab is an InboxSplitter's poolable backing (see envSlab).
+type splitSlab struct {
+	out    [][]Recv
+	counts []int
+	flat   []Recv
+}
+
+var splitSlabPool sync.Pool
+
 // InboxSplitter is SplitInbox with reusable backing buffers: a parent
 // protocol that splits an inbox every beat holds one and amortizes the
 // three allocations away. The returned inboxes (and the Recv entries
 // behind them) are valid only until the next Split call, which is exactly
 // the lifetime the Protocol.Deliver contract grants an inbox; splitters
 // must not be shared across protocol instances that may run on different
-// goroutines (each node holds its own).
+// goroutines (each node holds its own). Owners that implement BeatEnder
+// call Release there to park the backing between beats.
 type InboxSplitter struct {
-	out    [][]Recv
-	counts []int
-	flat   []Recv
+	slab *splitSlab
+}
+
+// Release parks the splitter's backing in the process pool until the
+// next Split. Call only once the most recent Split's inboxes are dead
+// (the EndBeat hook); the buffered message references are dropped so a
+// parked slab pins nothing.
+func (s *InboxSplitter) Release() {
+	if s.slab == nil {
+		return
+	}
+	clear(s.slab.flat[:cap(s.slab.flat)])
+	clear(s.slab.out[:cap(s.slab.out)])
+	splitSlabPool.Put(s.slab)
+	s.slab = nil
 }
 
 // Split routes enveloped messages into per-child inboxes covering
 // children [0, numChildren); see SplitInbox.
 func (s *InboxSplitter) Split(inbox []Recv, numChildren int) [][]Recv {
-	if cap(s.out) < numChildren {
-		s.out = make([][]Recv, numChildren)
-		s.counts = make([]int, numChildren)
+	if s.slab == nil {
+		if v, ok := splitSlabPool.Get().(*splitSlab); ok {
+			s.slab = v
+		} else {
+			s.slab = &splitSlab{}
+		}
 	}
-	out := s.out[:numChildren]
-	counts := s.counts[:numChildren]
+	b := s.slab
+	if cap(b.out) < numChildren {
+		b.out = make([][]Recv, numChildren)
+		b.counts = make([]int, numChildren)
+	}
+	out := b.out[:numChildren]
+	counts := b.counts[:numChildren]
 	for c := range counts {
 		counts[c] = 0
 	}
@@ -156,10 +226,10 @@ func (s *InboxSplitter) Split(inbox []Recv, numChildren int) [][]Recv {
 			total++
 		}
 	}
-	if cap(s.flat) < total {
-		s.flat = make([]Recv, total)
+	if cap(b.flat) < total {
+		b.flat = make([]Recv, total)
 	}
-	flat := s.flat[:total]
+	flat := b.flat[:total]
 	off := 0
 	for c, cnt := range counts {
 		out[c] = flat[off : off : off+cnt]
@@ -171,4 +241,50 @@ func (s *InboxSplitter) Split(inbox []Recv, numChildren int) [][]Recv {
 		}
 	}
 	return out
+}
+
+// sendSlab is a SendBuf's poolable backing (see envSlab).
+type sendSlab struct{ s []Send }
+
+var sendSlabPool sync.Pool
+
+// SendBuf is a pooled compose buffer: the []Send a protocol's Compose
+// appends its outgoing messages into. Take hands out the (empty)
+// buffer, Keep stores the final slice back (append may have regrown
+// it), and Release parks the backing in a process pool between beats.
+// Zero value ready; not safe for concurrent use.
+type SendBuf struct {
+	slab *sendSlab
+}
+
+// Take returns the empty compose buffer for this beat, acquiring pooled
+// backing on first use after a Release.
+func (b *SendBuf) Take() []Send {
+	if b.slab == nil {
+		if v, ok := sendSlabPool.Get().(*sendSlab); ok {
+			b.slab = v
+		} else {
+			b.slab = &sendSlab{}
+		}
+	}
+	return b.slab.s[:0]
+}
+
+// Keep records the composed slice so its (possibly regrown) backing is
+// what Release parks and the next Take reuses.
+func (b *SendBuf) Keep(s []Send) {
+	if b.slab != nil {
+		b.slab.s = s
+	}
+}
+
+// Release parks the buffer's backing until the next Take; call only
+// when the beat's messages are dead (the EndBeat hook).
+func (b *SendBuf) Release() {
+	if b.slab == nil {
+		return
+	}
+	clear(b.slab.s[:cap(b.slab.s)])
+	sendSlabPool.Put(b.slab)
+	b.slab = nil
 }

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"sync"
+
+	"ssbyzclock/internal/adversary"
+	"ssbyzclock/internal/proto"
+)
+
+// Beat-scoped engine scratch — the merged inboxes and the adversary's
+// visible-intercept buffer — parked in process-wide pools between
+// beats. A lone engine stepping in a loop reuses the same backing every
+// beat (the pool turns into a one-slot cache), so nothing changes for
+// the single-tenant hot path; a multiplexed host with T resident
+// engines shares a working set proportional to the number of engines
+// stepping *concurrently* instead of T, which is most of the difference
+// between per-tenant footprint scaling with traffic and scaling with
+// protocol state. Slabs are wrapped in pointer structs so pool puts do
+// not allocate interface boxes, and all message references are cleared
+// before parking so an idle slab pins nothing.
+
+// inboxSlab backs Engine.inboxes: one per-node inbox slice per node,
+// all reused across beats while the engine holds the slab.
+type inboxSlab struct{ boxes [][]proto.Recv }
+
+var inboxSlabPool sync.Pool
+
+// acquireInboxes returns the engine's per-node inbox buffers for this
+// beat, each reset to length zero, acquiring pooled backing if the
+// engine holds none.
+func (e *Engine) acquireInboxes(n int) [][]proto.Recv {
+	if e.ibxSlab == nil {
+		if v, ok := inboxSlabPool.Get().(*inboxSlab); ok {
+			e.ibxSlab = v
+		} else {
+			e.ibxSlab = &inboxSlab{}
+		}
+	}
+	if cap(e.ibxSlab.boxes) < n {
+		e.ibxSlab.boxes = make([][]proto.Recv, n)
+	}
+	e.inboxes = e.ibxSlab.boxes[:n]
+	for i := range e.inboxes {
+		e.inboxes[i] = e.inboxes[i][:0]
+	}
+	return e.inboxes
+}
+
+// visSlab backs Engine.visible, the rushing adversary's intercept set.
+type visSlab struct{ s []adversary.Intercept }
+
+var visSlabPool sync.Pool
+
+// acquireVisible returns the empty intercept buffer for this beat.
+func (e *Engine) acquireVisible() []adversary.Intercept {
+	if e.visSlab == nil {
+		if v, ok := visSlabPool.Get().(*visSlab); ok {
+			e.visSlab = v
+		} else {
+			e.visSlab = &visSlab{}
+		}
+	}
+	return e.visSlab.s[:0]
+}
+
+// releaseBeatScratch parks the beat's inbox and intercept backing in
+// the process pools. Called from FinishBeat, when the beat's messages
+// are dead: every message reference is dropped first so parked slabs
+// pin neither payloads nor envelope arenas.
+func (e *Engine) releaseBeatScratch() {
+	if e.ibxSlab != nil {
+		for i := range e.ibxSlab.boxes {
+			b := e.ibxSlab.boxes[i]
+			clear(b[:cap(b)])
+		}
+		inboxSlabPool.Put(e.ibxSlab)
+		e.ibxSlab = nil
+		e.inboxes = nil
+	}
+	if e.visSlab != nil {
+		clear(e.visSlab.s[:cap(e.visSlab.s)])
+		visSlabPool.Put(e.visSlab)
+		e.visSlab = nil
+		e.visible = nil
+	}
+	clear(e.defaultSends)
+}

@@ -143,7 +143,8 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 // and inspect node protocols via Node.
 type Engine struct {
 	cfg    Config
-	nodes  []proto.Protocol // all n, including faulty (adversary's copies)
+	nodes  []proto.Protocol  // all n, including faulty (adversary's copies)
+	enders []proto.BeatEnder // nodes[i] as a BeatEnder, nil if not one
 	faulty []int
 	isBad  []bool
 	adv    adversary.Adversary
@@ -178,7 +179,9 @@ type Engine struct {
 	// slice (see proto.Protocol).
 	composed     [][]proto.Send
 	visible      []adversary.Intercept
+	visSlab      *visSlab
 	inboxes      [][]proto.Recv
+	ibxSlab      *inboxSlab
 	defaultSends []adversary.Sends
 	byteCounts   []uint64
 
@@ -245,6 +248,10 @@ func New(cfg Config, factory NodeFactory) *Engine {
 		}
 		e.nodes[i] = factory(env)
 	}
+	e.enders = make([]proto.BeatEnder, cfg.N)
+	for i, n := range e.nodes {
+		e.enders[i], _ = n.(proto.BeatEnder)
+	}
 	e.composed = make([][]proto.Send, cfg.N)
 	e.advCtx = &adversary.Context{
 		N: cfg.N, F: cfg.F,
@@ -290,15 +297,6 @@ func resolvePoolMode(m PoolMode) (pooled, poison bool) {
 		}
 	}
 	return m != PoolOff, m == PoolPoison
-}
-
-// rngFor derives an independent deterministic stream from seed and salt.
-func rngFor(seed int64, salt uint64) *rand.Rand {
-	x := uint64(seed) ^ salt
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return rand.New(rand.NewSource(int64(x ^ (x >> 31))))
 }
 
 // NodeRng returns the random stream node id derives from seed — the
@@ -395,10 +393,20 @@ func (e *Engine) DeliverNode(i int) {
 }
 
 // FinishBeat recycles the engine's own pools (externally supplied
-// pools are the owner's to recycle, after all DeliverNode calls) and
-// advances the beat counter.
+// pools are the owner's to recycle, after all DeliverNode calls), fires
+// each node's BeatEnder hook — every message of the beat is dead here,
+// so protocols park their per-beat backing in process pools — and
+// advances the beat counter. The engine's own references to the beat's
+// sends are dropped alongside, so parked backing pins nothing.
 func (e *Engine) FinishBeat() {
 	e.recyclePhase()
+	for i, be := range e.enders {
+		e.composed[i] = nil
+		if be != nil {
+			be.EndBeat()
+		}
+	}
+	e.releaseBeatScratch()
 	e.beat++
 	e.flushMetrics()
 }
@@ -454,7 +462,7 @@ func (e *Engine) composePhase(beat uint64) {
 // stateful and run on the engine's goroutine.
 func (e *Engine) interceptPhase(beat uint64) []adversary.Sends {
 	n := e.cfg.N
-	visible := e.visible[:0]
+	visible := e.acquireVisible()
 	for i := 0; i < n; i++ {
 		if e.isBad[i] {
 			continue
@@ -469,6 +477,7 @@ func (e *Engine) interceptPhase(beat uint64) []adversary.Sends {
 			}
 		}
 	}
+	e.visSlab.s = visible
 	e.visible = visible
 	if e.defaultSends == nil {
 		e.defaultSends = make([]adversary.Sends, len(e.faulty))
@@ -502,13 +511,7 @@ type delayedRecv struct {
 // adversarial.
 func (e *Engine) mergeInboxes(beat uint64, faultySends []adversary.Sends) {
 	n := e.cfg.N
-	if e.inboxes == nil {
-		e.inboxes = make([][]proto.Recv, n)
-	}
-	inboxes := e.inboxes
-	for i := range inboxes {
-		inboxes[i] = inboxes[i][:0]
-	}
+	inboxes := e.acquireInboxes(n)
 	if len(e.phantoms) > 0 {
 		for i := 0; i < n; i++ {
 			if !e.isBad[i] {

@@ -45,8 +45,10 @@ type Pipeline struct {
 
 	// Per-beat scratch: the compose output buffer (its contents are
 	// consumed within the beat per the engine contract), the envelope
-	// arena recycling the age-tag boxes, and the inbox splitter.
-	sends    []proto.Send
+	// arena recycling the age-tag boxes, and the inbox splitter. All
+	// three park their backing in process pools at EndBeat, so an idle
+	// resident pipeline holds no per-beat memory.
+	sends    proto.SendBuf
 	arena    proto.SendArena
 	splitter proto.InboxSplitter
 }
@@ -94,14 +96,28 @@ func (p *Pipeline) Rounds() int { return p.factory.Rounds() }
 // Compose implements proto.Protocol: every instance sends its
 // current-round messages, wrapped in an envelope carrying its age.
 func (p *Pipeline) Compose(beat uint64) []proto.Send {
-	out := p.sends[:0]
+	out := p.sends.Take()
 	p.arena.Reset()
 	for i, slot := range p.slots {
 		age := uint8(i + 1)
 		out = p.arena.Wrap(age, slot.Compose(i+1), out)
 	}
-	p.sends = out
+	p.sends.Keep(out)
 	return out
+}
+
+// EndBeat implements proto.BeatEnder: the beat's messages are dead, so
+// the envelope arena, splitter slab and compose buffer go back to the
+// process pools, and instances that support the hook release their own.
+func (p *Pipeline) EndBeat() {
+	p.arena.Release()
+	p.splitter.Release()
+	p.sends.Release()
+	for _, slot := range p.slots {
+		if be, ok := slot.(proto.BeatEnder); ok {
+			be.EndBeat()
+		}
+	}
 }
 
 // Deliver implements proto.Protocol: route messages to instances by age,
@@ -184,3 +200,9 @@ func (c *corruptFlipper) Compose(round int) []proto.Send     { return c.inner.Co
 func (c *corruptFlipper) Deliver(round int, in []proto.Recv) { c.inner.Deliver(round, in) }
 func (c *corruptFlipper) Output() byte                       { return c.out }
 func (c *corruptFlipper) OutputWord() uint64                 { return c.word }
+
+func (c *corruptFlipper) EndBeat() {
+	if be, ok := c.inner.(proto.BeatEnder); ok {
+		be.EndBeat()
+	}
+}

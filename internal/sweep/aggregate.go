@@ -13,6 +13,7 @@ type CellKey struct {
 	Adversary string
 	Layout    string
 	Fault     string
+	Net       string
 }
 
 // CellAgg is one cell's aggregate over its seeds, built by streaming the
@@ -29,6 +30,10 @@ type CellAgg struct {
 	Closure uint64
 	// Msgs and Bytes aggregate honest traffic per node-beat.
 	Msgs, Bytes stats.Stream
+	// Resident aggregates resident bytes/tenant over the seeds that
+	// recorded one (engine multitenant units only — its N() is 0 for
+	// single-instance and networked cells, rendered as "-").
+	Resident stats.Stream
 }
 
 // Aggregate streams the merged store into per-cell aggregates, in the
@@ -40,7 +45,7 @@ func Aggregate(st *Store) ([]*CellAgg, error) {
 	for i := range cells {
 		u := g.UnitAt(i * g.Seeds)
 		cells[i] = &CellAgg{
-			Key:  CellKey{N: u.N, Adversary: u.Adversary, Layout: u.Layout, Fault: u.Fault},
+			Key:  CellKey{N: u.N, Adversary: u.Adversary, Layout: u.Layout, Fault: u.Fault, Net: u.Net},
 			Conv: stats.NewHistogram(g.MaxBeats),
 		}
 	}
@@ -54,6 +59,9 @@ func Aggregate(st *Store) ([]*CellAgg, error) {
 		c.Closure += uint64(res.ClosureViolations)
 		c.Msgs.Add(res.MsgsPerNodeBeat)
 		c.Bytes.Add(res.BytesPerNodeBeat)
+		if res.ResidentBytesPerTenant > 0 {
+			c.Resident.Add(res.ResidentBytesPerTenant)
+		}
 		return nil
 	})
 	if err != nil {
@@ -75,10 +83,14 @@ func Render(w io.Writer, st *Store) error {
 	g := st.Grid()
 	fmt.Fprintf(w, "sweep: %s/%s k=%d seeds=%d max_beats=%d hold=%d (%d units)\n",
 		g.Protocol, g.Coin, g.protocolK(), g.Seeds, g.MaxBeats, g.Hold, g.Units())
-	t := stats.NewTable("n", "f", "adversary", "layout", "fault",
-		"mean", "p50", "p95", "max", "fails", "closure", "msgs/node-beat", "bytes/node-beat")
+	t := stats.NewTable("n", "f", "adversary", "layout", "fault", "net",
+		"mean", "p50", "p95", "max", "fails", "closure", "msgs/node-beat", "bytes/node-beat", "resident-B/tenant")
 	for _, c := range cells {
-		t.AddRow(fmt.Sprint(c.Key.N), fmt.Sprint((c.Key.N-1)/3), c.Key.Adversary, c.Key.Layout, c.Key.Fault,
+		resident := "-"
+		if c.Resident.N() > 0 {
+			resident = fmt.Sprintf("%.0f", c.Resident.Mean())
+		}
+		t.AddRow(fmt.Sprint(c.Key.N), fmt.Sprint((c.Key.N-1)/3), c.Key.Adversary, c.Key.Layout, c.Key.Fault, c.Key.Net,
 			fmt.Sprintf("%.1f", c.Conv.Mean()),
 			fmt.Sprintf("%.0f", c.Conv.Median()),
 			fmt.Sprintf("%.0f", c.Conv.Quantile(0.95)),
@@ -86,7 +98,8 @@ func Render(w io.Writer, st *Store) error {
 			fmt.Sprintf("%d/%d", c.Fails, c.Conv.N()),
 			fmt.Sprint(c.Closure),
 			fmt.Sprintf("%.1f", c.Msgs.Mean()),
-			fmt.Sprintf("%.0f", c.Bytes.Mean()))
+			fmt.Sprintf("%.0f", c.Bytes.Mean()),
+			resident)
 	}
 	_, err = fmt.Fprint(w, t)
 	return err

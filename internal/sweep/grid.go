@@ -52,6 +52,17 @@ type Grid struct {
 	// unit's own engine seed, so faulted units replay bit-for-bit like
 	// any other.
 	Faults []string `json:"faults,omitempty"`
+	// Nets lists execution substrates: "engine" (the in-process
+	// sim/multi engine, the default), "udp" or "tcp" (a Lockstep
+	// noderuntime cluster over real loopback sockets, multiplexing
+	// Tenants instances behind n endpoints with tenant-batched frames).
+	// Lockstep networked runs replay the engine byte-identically (the
+	// noderuntime differential harness), so a networked cell measures
+	// the same convergence distribution as its engine twin — the grid
+	// dimension exists to demonstrate that over real sockets and real
+	// fault injection, not to change the numbers. Empty means just
+	// "engine" — omitted from JSON so legacy grids keep their Hash.
+	Nets []string `json:"nets,omitempty"`
 	// Tenants multiplexes each unit: when > 1, the unit runs Tenants
 	// independent instances (tenant t seeded with the unit seed + t)
 	// lockstep on one internal/multi engine and records aggregate
@@ -83,13 +94,14 @@ type Grid struct {
 // Unit is one work item: a single measured run at a fixed grid cell and
 // seed. Units are identified by their dense Index in the grid's
 // row-major enumeration (n outermost, then adversary, layout, fault,
-// seed), so a unit index plus the grid fully determines the run.
+// net, seed), so a unit index plus the grid fully determines the run.
 type Unit struct {
 	Index     int
 	N, F      int
 	Adversary string
 	Layout    string
 	Fault     string
+	Net       string
 	SeedIdx   int
 }
 
@@ -103,6 +115,15 @@ func (g Grid) faultList() []string {
 		return []string{"none"}
 	}
 	return g.Faults
+}
+
+// netList returns the substrate dimension, defaulting the empty slice
+// to the in-process engine.
+func (g Grid) netList() []string {
+	if len(g.Nets) == 0 {
+		return []string{"engine"}
+	}
+	return g.Nets
 }
 
 // protocolK returns the effective clock modulus measured for g.
@@ -162,6 +183,11 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: bad fault schedule %q: %w", name, err)
 		}
 	}
+	for _, nt := range g.netList() {
+		if nt != "engine" && nt != "udp" && nt != "tcp" {
+			return fmt.Errorf("sweep: unknown net %q (want engine, udp or tcp)", nt)
+		}
+	}
 	if g.Tenants < 0 {
 		return fmt.Errorf("sweep: grid needs tenants >= 0, got %d", g.Tenants)
 	}
@@ -179,7 +205,7 @@ func (g Grid) Validate() error {
 
 // Units returns the total unit count.
 func (g Grid) Units() int {
-	return len(g.Ns) * len(g.Adversaries) * len(g.Layouts) * len(g.faultList()) * g.Seeds
+	return len(g.Ns) * len(g.Adversaries) * len(g.Layouts) * len(g.faultList()) * len(g.netList()) * g.Seeds
 }
 
 // UnitAt expands unit index idx into its coordinates. It panics on an
@@ -190,9 +216,12 @@ func (g Grid) UnitAt(idx int) Unit {
 		panic(fmt.Sprintf("sweep: unit index %d out of range [0,%d)", idx, g.Units()))
 	}
 	faults := g.faultList()
+	nets := g.netList()
 	rest := idx
 	seed := rest % g.Seeds
 	rest /= g.Seeds
+	nt := rest % len(nets)
+	rest /= len(nets)
 	fault := rest % len(faults)
 	rest /= len(faults)
 	layout := rest % len(g.Layouts)
@@ -207,6 +236,7 @@ func (g Grid) UnitAt(idx int) Unit {
 		Adversary: g.Adversaries[adv],
 		Layout:    g.Layouts[layout],
 		Fault:     faults[fault],
+		Net:       nets[nt],
 		SeedIdx:   seed,
 	}
 }

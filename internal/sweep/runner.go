@@ -4,14 +4,19 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"ssbyzclock/internal/adversary"
 	"ssbyzclock/internal/coin"
 	"ssbyzclock/internal/core"
 	"ssbyzclock/internal/faultnet"
 	"ssbyzclock/internal/multi"
+	"ssbyzclock/internal/net"
+	"ssbyzclock/internal/noderuntime"
+	"ssbyzclock/internal/proto"
 	"ssbyzclock/internal/sim"
 )
 
@@ -85,9 +90,16 @@ type Result struct {
 	// protocol).
 	ClosureViolations int
 	// MsgsPerNodeBeat and BytesPerNodeBeat are honest traffic divided by
-	// (n-f) honest nodes times executed beats.
+	// (n-f) honest nodes times executed beats. Networked units record 0:
+	// their frames are tenant-batched per link, so the engine's
+	// per-message counters have no wire counterpart there.
 	MsgsPerNodeBeat  float64
 	BytesPerNodeBeat float64
+	// ResidentBytesPerTenant is the steady-state live-heap delta per
+	// tenant for engine multitenant units (tenants > 1, net "engine"):
+	// the service-capacity number the multitenant grid aggregates. 0 for
+	// single-instance and networked units.
+	ResidentBytesPerTenant float64
 }
 
 // encode packs the result into the store's fixed-width row (column
@@ -101,17 +113,19 @@ func (r Result) encode() [numMetrics]uint64 {
 	row[2] = uint64(r.ClosureViolations)
 	row[3] = math.Float64bits(r.MsgsPerNodeBeat)
 	row[4] = math.Float64bits(r.BytesPerNodeBeat)
+	row[5] = math.Float64bits(r.ResidentBytesPerTenant)
 	return row
 }
 
 // decodeResult is encode's inverse.
 func decodeResult(row [numMetrics]uint64) Result {
 	return Result{
-		Converged:         row[0] != 0,
-		ConvBeats:         int(row[1]),
-		ClosureViolations: int(row[2]),
-		MsgsPerNodeBeat:   math.Float64frombits(row[3]),
-		BytesPerNodeBeat:  math.Float64frombits(row[4]),
+		Converged:              row[0] != 0,
+		ConvBeats:              int(row[1]),
+		ClosureViolations:      int(row[2]),
+		MsgsPerNodeBeat:        math.Float64frombits(row[3]),
+		BytesPerNodeBeat:       math.Float64frombits(row[4]),
+		ResidentBytesPerTenant: math.Float64frombits(row[5]),
 	}
 }
 
@@ -175,6 +189,9 @@ func (r Runner) RunUnit(g Grid, u Unit) (Result, error) {
 		sched.Seed = uint64(u.Seed(g))
 		cfg.Links = sched
 	}
+	if u.Net != "" && u.Net != "engine" {
+		return r.runNetworked(g, u, cfg, nodeFactory)
+	}
 	if g.Tenants > 1 {
 		return r.runMultiTenant(g, u, cfg, nodeFactory)
 	}
@@ -205,6 +222,12 @@ func (r Runner) RunUnit(g Grid, u Unit) (Result, error) {
 // so traffic is divided by the beats every tenant actually executed —
 // honest nodes × engine beats × tenants.
 func (r Runner) runMultiTenant(g Grid, u Unit, node sim.Config, factory sim.NodeFactory) (Result, error) {
+	// Bracket the engine's lifetime with live-heap readings: whatever the
+	// unit's run leaves resident, divided by tenants, is the
+	// service-capacity column. Units run sequentially in a worker, so the
+	// forced collections see only this engine's survivors on top of the
+	// worker's constant baseline.
+	before := multi.LiveHeap()
 	m := multi.New(multi.Config{Tenants: g.Tenants, Workers: r.Workers, Node: node}, factory)
 	results := multi.MeasureConvergence(m, g.protocolK(), g.MaxBeats, g.Hold)
 	out := Result{Converged: true}
@@ -225,7 +248,165 @@ func (r Runner) runMultiTenant(g Grid, u Unit, node sim.Config, factory sim.Node
 		out.MsgsPerNodeBeat = float64(m.HonestMsgs()) / perNodeBeat
 		out.BytesPerNodeBeat = float64(m.HonestBytes()) / perNodeBeat
 	}
+	if after := multi.LiveHeap(); after > before {
+		out.ResidentBytesPerTenant = float64(after-before) / float64(g.Tenants)
+	}
+	runtime.KeepAlive(m)
 	return out, nil
+}
+
+// clockCell is one honest node's clock reading at the end of one beat.
+type clockCell struct {
+	val  uint64
+	ok   bool
+	seen bool
+}
+
+// runNetworked measures the unit as a Lockstep noderuntime cluster over
+// real loopback sockets: tenants (min 1) instances multiplexed behind n
+// event-loop endpoints exchanging tenant-batched frames, with the
+// unit's fault schedule injected at the transport wrapper. Lockstep
+// networked runs replay the engine byte-identically per tenant, so the
+// convergence fold matches runMultiTenant's — the row demonstrates the
+// same numbers surviving real sockets, real frame encoding and real
+// fault injection.
+func (r Runner) runNetworked(g Grid, u Unit, node sim.Config, factory sim.NodeFactory) (Result, error) {
+	T := g.Tenants
+	if T < 1 {
+		T = 1
+	}
+	var tr net.Transport
+	var err error
+	switch u.Net {
+	case "udp":
+		tr, err = net.NewLoopbackUDP(u.N, 0)
+	case "tcp":
+		tr, err = net.NewLoopbackTCPSeeded(u.N, 0, u.Seed(g))
+	default:
+		return Result{}, fmt.Errorf("sweep: unknown net %q", u.Net)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("sweep: unit %d %s transport: %w", u.Index, u.Net, err)
+	}
+	// Trajectories: [tenant][beat][honest position] clock readings, in
+	// HonestIDs order. Lockstep guarantees every honest node reports
+	// every beat below MaxBeats exactly once.
+	honest := make([]int, 0, u.N-u.F)
+	pos := make([]int, u.N)
+	for i := 0; i < u.N-u.F; i++ {
+		pos[i] = len(honest)
+		honest = append(honest, i)
+	}
+	traj := make([][][]clockCell, T)
+	for t := range traj {
+		traj[t] = make([][]clockCell, g.MaxBeats)
+		for b := range traj[t] {
+			traj[t][b] = make([]clockCell, len(honest))
+		}
+	}
+	var mu sync.Mutex
+	cl, err := noderuntime.NewMultiCluster(noderuntime.MultiClusterConfig{
+		N: u.N, F: u.F, Tenants: T,
+		Seed:          node.Seed,
+		Factory:       factory,
+		NewAdversary:  node.NewAdversary,
+		ScrambleStart: true,
+		Links:         node.Links,
+		Transport:     tr,
+		MaxBeats:      uint64(g.MaxBeats),
+		OnBeat: func(tenant, id int, beat uint64, p proto.Protocol) {
+			if beat >= uint64(g.MaxBeats) || id >= u.N-u.F {
+				return
+			}
+			cell := clockCell{seen: true}
+			if cr, ok := p.(proto.ClockReader); ok {
+				cell.val, cell.ok = cr.Clock()
+			}
+			mu.Lock()
+			traj[tenant][beat][pos[id]] = cell
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("sweep: unit %d: %w", u.Index, err)
+	}
+	cl.Start()
+	cl.Wait()
+	cl.Stop()
+	// Fold each tenant's trajectory through the exact state machine of
+	// sim.MeasureConvergence, then the multitenant fold across tenants.
+	k := g.protocolK()
+	out := Result{Converged: true}
+	for t := 0; t < T; t++ {
+		res := measureTrajectory(traj[t], k, g.Hold)
+		cb := g.MaxBeats
+		if res.Converged {
+			cb = res.ConvergedAt
+		} else {
+			out.Converged = false
+		}
+		if cb > out.ConvBeats {
+			out.ConvBeats = cb
+		}
+		out.ClosureViolations += res.ClosureViolations
+	}
+	return out, nil
+}
+
+// measureTrajectory replays sim.MeasureConvergence's state machine over
+// a recorded per-beat clock trajectory: a beat is synced when every
+// honest node reported a defined, common clock, and good when that
+// common value also advanced by one mod k from the previous synced
+// beat.
+func measureTrajectory(beats [][]clockCell, k uint64, holdBeats int) sim.ConvergenceResult {
+	res := sim.ConvergenceResult{ConvergedAt: -1}
+	stableSince := -1
+	var prev uint64
+	havePrev := false
+	for b, cells := range beats {
+		res.Beats++
+		v, ok := syncedCells(cells)
+		good := ok && (!havePrev || v == (prev+1)%k)
+		if ok {
+			prev, havePrev = v, true
+		} else {
+			havePrev = false
+		}
+		if good {
+			if stableSince < 0 {
+				stableSince = b
+			}
+			if b-stableSince+1 >= holdBeats {
+				res.Converged = true
+				res.ConvergedAt = stableSince
+				return res
+			}
+		} else {
+			if stableSince >= 0 {
+				res.ClosureViolations++
+			}
+			stableSince = -1
+		}
+	}
+	return res
+}
+
+// syncedCells reports whether every honest reading in the beat is
+// present, defined and equal, and the common value.
+func syncedCells(cells []clockCell) (uint64, bool) {
+	if len(cells) == 0 {
+		return 0, false
+	}
+	ref := cells[0]
+	if !ref.seen || !ref.ok {
+		return 0, false
+	}
+	for _, c := range cells[1:] {
+		if !c.seen || !c.ok || c.val != ref.val {
+			return 0, false
+		}
+	}
+	return ref.val, true
 }
 
 // ExecuteShard runs every not-yet-completed unit assigned to the given

@@ -39,16 +39,24 @@ type Metric struct {
 	Type string `json:"type"`
 }
 
-// Metrics is the store's column schema, in row order.
+// Metrics is the store's column schema, in row order. Every column is a
+// pure function of (grid, unit index) — the byte-identical merge
+// contract — except resident_bytes_per_tenant, which is a physical
+// live-heap measurement: stable to a fraction of a percent in practice,
+// but re-executing a unit may differ in the low bytes. Merging never
+// re-runs a completed unit, so a given store's merge remains
+// byte-identical for every shard layout; only cross-store comparisons
+// of tenant grids see the measurement jitter.
 var Metrics = []Metric{
 	{"converged", "u64"},
 	{"conv_beats", "u64"},
 	{"closure_violations", "u64"},
 	{"msgs_per_node_beat", "f64"},
 	{"bytes_per_node_beat", "f64"},
+	{"resident_bytes_per_tenant", "f64"},
 }
 
-const numMetrics = 5
+const numMetrics = 6
 
 const (
 	manifestVersion = 1

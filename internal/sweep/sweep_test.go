@@ -471,7 +471,18 @@ func TestTenantsDimension(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mt != again {
+	// The resident column is a physical heap measurement — stable to a
+	// few hundred bytes/tenant across runs, but outside the bit-for-bit
+	// contract (see the Metrics doc). Everything else must match exactly.
+	if mt.ResidentBytesPerTenant <= 0 || again.ResidentBytesPerTenant <= 0 {
+		t.Fatalf("multi-tenant residency not measured: %+v vs %+v", mt, again)
+	}
+	if rel := (mt.ResidentBytesPerTenant - again.ResidentBytesPerTenant) / mt.ResidentBytesPerTenant; rel > 0.05 || rel < -0.05 {
+		t.Fatalf("resident bytes/tenant unstable across workers: %+v vs %+v", mt, again)
+	}
+	mtExact, againExact := mt, again
+	mtExact.ResidentBytesPerTenant, againExact.ResidentBytesPerTenant = 0, 0
+	if mtExact != againExact {
 		t.Fatalf("multi-tenant unit depends on workers: %+v vs %+v", mt, again)
 	}
 
@@ -502,6 +513,62 @@ func TestTenantsDimension(t *testing.T) {
 	}
 }
 
+// TestNetsDimension: a udp/tcp unit runs the same multiplexed workload
+// as a Lockstep noderuntime cluster over real loopback sockets and must
+// report the exact convergence fold of its engine twin — same
+// all-converged verdict, slowest convergence beat and closure
+// violations — because Lockstep networked runs replay the engine
+// byte-identically per tenant. Also pins the enumeration: nets widen
+// the grid, change its hash, and legacy (empty-Nets) grids keep theirs.
+func TestNetsDimension(t *testing.T) {
+	base := Grid{
+		Protocol: "clocksync", Coin: "fm", K: 16,
+		Ns:          []int{4},
+		Adversaries: []string{"splitter"},
+		Layouts:     []string{"shared"},
+		Faults:      []string{"loss15"},
+		Tenants:     2,
+		Seeds:       1,
+		MaxBeats:    300,
+		Hold:        6,
+	}
+	legacy := base.Hash()
+
+	g := base
+	g.Nets = []string{"engine", "udp", "tcp"}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Hash() == legacy {
+		t.Fatal("nets dimension must change the grid hash")
+	}
+	if got, want := g.Units(), 3*base.Units(); got != want {
+		t.Fatalf("nets must multiply units: %d vs %d", got, want)
+	}
+
+	results := make(map[string]Result, 3)
+	for i := 0; i < g.Units(); i++ {
+		u := g.UnitAt(i)
+		r, err := Runner{Workers: 1}.RunUnit(g, u)
+		if err != nil {
+			t.Fatalf("unit %d (%s): %v", i, u.Net, err)
+		}
+		// Residency and traffic are substrate-local; the convergence fold
+		// is the cross-substrate invariant.
+		r.MsgsPerNodeBeat, r.BytesPerNodeBeat, r.ResidentBytesPerTenant = 0, 0, 0
+		results[u.Net] = r
+	}
+	eng := results["engine"]
+	if !eng.Converged {
+		t.Fatalf("engine unit did not converge: %+v", eng)
+	}
+	for _, nt := range []string{"udp", "tcp"} {
+		if results[nt] != eng {
+			t.Fatalf("%s unit diverged from engine twin: %+v vs %+v", nt, results[nt], eng)
+		}
+	}
+}
+
 // TestGridValidate spot-checks the validator's rejections.
 func TestGridValidate(t *testing.T) {
 	for _, tc := range []struct {
@@ -518,6 +585,7 @@ func TestGridValidate(t *testing.T) {
 		{"hold", func(g *Grid) { g.Hold = 0 }},
 		{"k", func(g *Grid) { g.Protocol = "clocksync"; g.K = 0 }},
 		{"fault", func(g *Grid) { g.Faults = []string{"loss200"} }},
+		{"net", func(g *Grid) { g.Nets = []string{"carrier-pigeon"} }},
 		{"tenants", func(g *Grid) { g.Tenants = -1 }},
 	} {
 		g := testGrid()

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Batch payload — the body of a KindBatch frame. One batch carries a
+// contiguous window of tenants' messages from one sender for one beat:
+//
+//	payload := uvarint tenantStart
+//	           uvarint tenantCount
+//	           tenantCount × run          (tenant tenantStart+i, in order)
+//	run     := uvarint msgCount
+//	           msgCount × msg
+//	msg     := uvarint seq                (sender's compose/global order)
+//	           uvarint len
+//	           len bytes                  (one Encode'd protocol message)
+//
+// Runs are positional — run i is tenant tenantStart+i, and a tenant
+// appears at most once per frame by construction — so overlapping or
+// out-of-order tenant claims are unrepresentable inside a frame; a
+// Byzantine sender wanting to double a tenant's traffic must send more
+// messages (or more frames), both of which the receiver's ordinary
+// per-sender bounds and dedup already govern.
+//
+// Per-message seqs are carried explicitly (not derived from run
+// position) because the receiver's canonical inbox order sorts an
+// adversary's messages by its GLOBAL send sequence across all of its
+// faulty ids, and those interleave across frames.
+
+const (
+	// MaxBatchTenants bounds the tenant window a batch may claim: far
+	// above any real tenancy, low enough that a corrupted varint cannot
+	// become a giant table index or allocation downstream.
+	MaxBatchTenants = 1 << 20
+	// MaxBatchMsgs bounds one tenant's messages in one batch frame.
+	// Honest protocols send a handful per tenant per beat; the cap only
+	// bites floods, before any per-message work is done.
+	MaxBatchMsgs = 1 << 16
+)
+
+// BatchMsg is one encoded message inside a batch run.
+type BatchMsg struct {
+	// Seq is the message's position in its sender's compose order (for
+	// adversary senders: the adversary's global send order).
+	Seq uint32
+	// Payload is one Encode'd protocol message.
+	Payload []byte
+}
+
+// AppendBatchPayload appends the batch payload covering tenants
+// [start, start+len(runs)) to buf and returns the extended slice.
+// runs[i] is tenant start+i's messages; empty runs are encoded (the
+// window is contiguous).
+func AppendBatchPayload(buf []byte, start int, runs [][]BatchMsg) []byte {
+	buf = binary.AppendUvarint(buf, uint64(start))
+	buf = binary.AppendUvarint(buf, uint64(len(runs)))
+	for _, run := range runs {
+		buf = binary.AppendUvarint(buf, uint64(len(run)))
+		for _, m := range run {
+			buf = binary.AppendUvarint(buf, uint64(m.Seq))
+			buf = binary.AppendUvarint(buf, uint64(len(m.Payload)))
+			buf = append(buf, m.Payload...)
+		}
+	}
+	return buf
+}
+
+// DecodeBatchPayload parses a batch payload, calling fn once per
+// message in (tenant, run) order; msg aliases data. It never panics on
+// malformed input and returns ErrMalformed (wrapped) for truncation,
+// oversized counts or varints, a tenant window past maxTenant, or
+// trailing bytes. The whole payload is validated structurally BEFORE
+// the first callback, so a malformed frame delivers nothing — fn never
+// sees a partial batch.
+//
+// maxTenant, when positive, is the receiver's tenant count: windows
+// reaching at or beyond it are rejected outright, so a Byzantine range
+// cannot index outside the receiver's tables.
+func DecodeBatchPayload(data []byte, maxTenant int, fn func(tenant int, seq uint32, msg []byte)) error {
+	_, _, rest, err := scanBatch(data, maxTenant, nil)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing batch bytes", ErrMalformed, len(rest))
+	}
+	_, _, _, _ = scanBatch(data, maxTenant, fn)
+	return nil
+}
+
+// scanBatch walks one batch payload, optionally invoking fn per
+// message, returning the window plus unconsumed bytes.
+func scanBatch(data []byte, maxTenant int, fn func(int, uint32, []byte)) (start, count uint64, rest []byte, err error) {
+	if start, data, err = getUvarint(data); err != nil || start > MaxBatchTenants {
+		return 0, 0, nil, fmt.Errorf("%w: batch tenant start", ErrMalformed)
+	}
+	if count, data, err = getUvarint(data); err != nil || count > MaxBatchTenants {
+		return 0, 0, nil, fmt.Errorf("%w: batch tenant count", ErrMalformed)
+	}
+	if maxTenant > 0 && start+count > uint64(maxTenant) {
+		return 0, 0, nil, fmt.Errorf("%w: batch window [%d,%d) exceeds %d tenants", ErrMalformed, start, start+count, maxTenant)
+	}
+	for i := uint64(0); i < count; i++ {
+		var msgs uint64
+		if msgs, data, err = getUvarint(data); err != nil || msgs > MaxBatchMsgs {
+			return 0, 0, nil, fmt.Errorf("%w: batch run length", ErrMalformed)
+		}
+		for j := uint64(0); j < msgs; j++ {
+			var seq, ln uint64
+			if seq, data, err = getUvarint(data); err != nil || seq > 1<<32-1 {
+				return 0, 0, nil, fmt.Errorf("%w: batch msg seq", ErrMalformed)
+			}
+			if ln, data, err = getUvarint(data); err != nil || ln > uint64(len(data)) {
+				return 0, 0, nil, fmt.Errorf("%w: batch msg length", ErrMalformed)
+			}
+			if fn != nil {
+				fn(int(start+i), uint32(seq), data[:ln])
+			}
+			data = data[ln:]
+		}
+	}
+	return start, count, data, nil
+}

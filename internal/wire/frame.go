@@ -52,6 +52,17 @@ const (
 	KindMsg byte = 1
 	// KindMark is a beat-complete marker / heartbeat; no payload.
 	KindMark byte = 2
+	// KindBatch carries a contiguous run of tenants' protocol messages
+	// from one multiplexed sender — one frame per (from, to, beat)
+	// regardless of the tenant count, which is what makes a
+	// multi-tenant node's frames/beat O(links) instead of O(tenants).
+	// The payload layout is defined in batch.go. The frame-level
+	// metadata (Beat, DeliveryBeat, Seq, Copy) applies to the whole
+	// batch: the fault schedule's verdicts are per (beat, from, to), so
+	// a dropped/delayed/duplicated batch fares exactly as every
+	// tenant's individual frames would have — the property the
+	// multi-tenant differential harness pins.
+	KindBatch byte = 3
 
 	frameVersion byte = 1
 )
@@ -71,7 +82,7 @@ func AppendFrame(buf []byte, f Frame) []byte {
 	buf = binary.AppendUvarint(buf, delta)
 	buf = binary.AppendUvarint(buf, uint64(f.Seq))
 	buf = append(buf, f.Copy)
-	if f.Kind == KindMsg {
+	if f.Kind == KindMsg || f.Kind == KindBatch {
 		buf = append(buf, f.Payload...)
 	}
 	return buf
@@ -96,7 +107,7 @@ func DecodeFrame(data []byte) (Frame, error) {
 		return f, fmt.Errorf("%w: frame version %d", ErrMalformed, data[0])
 	}
 	f.Kind = data[1]
-	if f.Kind != KindMsg && f.Kind != KindMark {
+	if f.Kind != KindMsg && f.Kind != KindMark && f.Kind != KindBatch {
 		return f, fmt.Errorf("%w: frame kind %d", ErrMalformed, f.Kind)
 	}
 	rest := data[2:]
@@ -124,7 +135,7 @@ func DecodeFrame(data []byte) (Frame, error) {
 	f.Copy = rest[0]
 	rest = rest[1:]
 	switch f.Kind {
-	case KindMsg:
+	case KindMsg, KindBatch:
 		f.Payload = rest
 	case KindMark:
 		if len(rest) != 0 {
